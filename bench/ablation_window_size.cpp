@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation — sensitivity of Figure 3.1 to the instruction window size.
+ *
+ * The paper fixes the window at 40 entries (§3.1). This bench re-runs
+ * the BW=40 point of Figure 3.1 with windows of 16..256 entries. With
+ * tiny windows the machine cannot keep enough iterations in flight for
+ * value prediction to matter; at larger windows the picture is
+ * two-sided, because the baseline machine also mines more ILP from the
+ * window and every wrong speculation shows up on the now-tighter
+ * critical path.
+ */
+
+#include <cstdio>
+
+#include "core/ideal_machine.hpp"
+#include "sim/experiment.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vpsim;
+
+    Options options;
+    declareStandardOptions(options, 200000);
+    options.parse(argc, argv,
+                  "ablation: Figure 3.1 vs instruction window size");
+    const BenchmarkTraces bench = captureBenchmarks(options);
+
+    const std::vector<unsigned> windows = {16, 40, 64, 128, 256};
+    std::vector<std::string> columns;
+    for (const unsigned window : windows)
+        columns.push_back("W=" + std::to_string(window));
+
+    std::vector<std::vector<double>> gains(bench.size());
+    for (std::size_t i = 0; i < bench.size(); ++i) {
+        for (const unsigned window : windows) {
+            IdealMachineConfig config;
+            config.fetchRate = 40;
+            config.windowSize = window;
+            gains[i].push_back(
+                idealVpSpeedup(bench.traces[i], config) - 1.0);
+        }
+    }
+
+    std::fputs(renderPercentTable(
+                   "Window-size ablation - VP speedup on the ideal "
+                   "machine at BW=40",
+                   bench.names, columns, gains)
+                   .c_str(),
+               stdout);
+    std::puts("\ntakeaway: window scaling is NON-monotone per "
+              "benchmark: a larger window also speeds the no-VP "
+              "baseline and exposes more wrong speculations to the "
+              "1-cycle penalty; only the 16 -> 256 average trend is "
+              "robustly upward");
+    return 0;
+}

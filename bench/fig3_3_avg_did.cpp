@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 3.3 — "Average DID measurements."
+ *
+ * Builds the trace-wide dataflow graph of every benchmark (register
+ * true-data dependencies across basic-block boundaries, Equation 3.1)
+ * and reports the arithmetic mean dynamic instruction distance.
+ *
+ * Paper reference: every benchmark's average DID exceeds the 4-wide
+ * fetch bandwidth of then-current processors.
+ */
+
+#include <cstdio>
+
+#include "analysis/did.hpp"
+#include "common/table_printer.hpp"
+#include "sim/experiment.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vpsim;
+
+    Options options;
+    declareStandardOptions(options, 1000000);
+    options.parse(argc, argv, "Figure 3.3: average DID per benchmark");
+    const BenchmarkTraces bench = captureBenchmarks(options);
+
+    TablePrinter table(
+        "Figure 3.3 - average dynamic instruction distance (DID)",
+        {"benchmark", "avg DID", "avg DID (<=256)", "arcs", "DID>=4"});
+    std::vector<double> averages;
+    for (std::size_t i = 0; i < bench.size(); ++i) {
+        const DidAnalysis did = analyzeDid(bench.traces[i]);
+        averages.push_back(did.averageDidTrimmed);
+        table.addRow({bench.names[i],
+                      TablePrinter::numberCell(did.averageDid, 1),
+                      TablePrinter::numberCell(did.averageDidTrimmed, 1),
+                      std::to_string(did.totalArcs),
+                      TablePrinter::percentCell(did.fracDidAtLeast4)});
+    }
+    table.addSeparator();
+    double sum = 0.0;
+    for (const double avg : averages)
+        sum += avg;
+    table.addRow({"avg", "-",
+                  TablePrinter::numberCell(
+                      sum / static_cast<double>(averages.size()), 1),
+                  "-", "-"});
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("\npaper reference: all benchmarks have average DID > 4 "
+              "(the fetch width of 1998-era processors)");
+    return 0;
+}

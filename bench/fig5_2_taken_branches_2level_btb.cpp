@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 5.2 — "Value prediction speedup when using a 2-level BTB."
+ *
+ * Same sweep as Figure 5.1 but with the realistic branch predictor: a
+ * 2-level PAp BTB (2K entries, 2-way set associative, 4-bit per-branch
+ * history, multiple predictions per cycle), misprediction penalty 3.
+ *
+ * Paper reference (averages): ~3% at n=1 rising to ~20% at n=4 — about
+ * 30% lower than the ideal-BTB speedup at n=4, showing how branch
+ * prediction accuracy throttles value prediction. Their BTB averaged
+ * 86% accuracy; the bench prints ours for comparison.
+ */
+
+#include <cstdio>
+
+#include "core/pipeline_machine.hpp"
+#include "core/speedup.hpp"
+#include "sim/experiment.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vpsim;
+
+    Options options;
+    declareStandardOptions(options, 200000);
+    options.parse(argc, argv,
+                  "Figure 5.2: VP speedup vs taken branches/cycle, "
+                  "2-level PAp BTB");
+    const BenchmarkTraces bench = captureBenchmarks(options);
+
+    const std::vector<unsigned> taken_limits = {1, 2, 3, 4, 0};
+    std::vector<std::string> columns = {"n=1", "n=2", "n=3", "n=4",
+                                        "unlimited"};
+
+    std::vector<std::vector<double>> gains(bench.size());
+    std::vector<double> accuracies;
+    for (std::size_t i = 0; i < bench.size(); ++i) {
+        for (const unsigned limit : taken_limits) {
+            PipelineConfig config;
+            config.frontEnd = FrontEndKind::Sequential;
+            config.maxTakenBranches = limit;
+            config.perfectBranchPredictor = false;
+            const double speedup =
+                pipelineVpSpeedup(bench.traces[i], config);
+            gains[i].push_back(speedup - 1.0);
+            if (limit == 4) {
+                PipelineConfig probe = config;
+                probe.useValuePrediction = true;
+                accuracies.push_back(
+                    runPipelineMachine(bench.traces[i], probe)
+                        .branchAccuracy);
+            }
+        }
+    }
+
+    std::fputs(renderPercentTable(
+                   "Figure 5.2 - VP speedup vs max taken branches per "
+                   "cycle (2-level PAp BTB, 2K entries, 2-way, 4-bit "
+                   "history)",
+                   bench.names, columns, gains)
+                   .c_str(),
+               stdout);
+    std::printf("\nBTB control-flow accuracy (avg over benchmarks): "
+                "%.1f%% (paper: ~86%%)\n",
+                arithmeticMean(accuracies) * 100.0);
+    std::puts("paper reference (avg): ~3% at n=1, ~20% at n=4 "
+              "(~30% below the ideal-BTB speedup)");
+    maybeWriteCsv(options, "fig5.2", bench.names, columns, gains);
+    return 0;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Component micro-benchmarks (google-benchmark): raw throughput of the
+ * predictors, the branch predictor, the trace interpreter, the DID
+ * collector, and both machine models. These guard against performance
+ * regressions that would make the figure sweeps impractically slow.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/did.hpp"
+#include "bpred/two_level.hpp"
+#include "core/ideal_machine.hpp"
+#include "core/pipeline_machine.hpp"
+#include "predictor/factory.hpp"
+#include "workloads/workload.hpp"
+
+namespace
+{
+
+using namespace vpsim;
+
+const std::vector<TraceRecord> &
+sharedTrace()
+{
+    static const std::vector<TraceRecord> trace =
+        captureWorkloadTrace("m88ksim", 100000);
+    return trace;
+}
+
+void
+benchPredictor(benchmark::State &state, PredictorKind kind)
+{
+    const auto &trace = sharedTrace();
+    for (auto _ : state) {
+        auto predictor = makeClassifiedPredictor(kind);
+        for (const TraceRecord &rec : trace) {
+            if (!rec.producesValue())
+                continue;
+            const ClassifiedPrediction p = predictor->predict(rec.pc);
+            predictor->update(rec.pc, p, rec.result);
+        }
+        benchmark::DoNotOptimize(predictor->predictionsCorrect());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * trace.size()));
+}
+
+void BM_LastValuePredictor(benchmark::State &state)
+{ benchPredictor(state, PredictorKind::LastValue); }
+void BM_StridePredictor(benchmark::State &state)
+{ benchPredictor(state, PredictorKind::Stride); }
+void BM_HybridPredictor(benchmark::State &state)
+{ benchPredictor(state, PredictorKind::Hybrid); }
+
+void
+BM_TwoLevelBtb(benchmark::State &state)
+{
+    const auto &trace = sharedTrace();
+    for (auto _ : state) {
+        TwoLevelPApPredictor bpred;
+        for (const TraceRecord &rec : trace) {
+            if (!rec.isControlFlow())
+                continue;
+            const BranchPrediction p = bpred.predict(rec);
+            bpred.update(rec, p);
+        }
+        benchmark::DoNotOptimize(bpred.correctPredictions());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * trace.size()));
+}
+
+void
+BM_TraceCapture(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const auto trace = captureWorkloadTrace("compress", 50000);
+        benchmark::DoNotOptimize(trace.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 50000);
+}
+
+void
+BM_DidCollector(benchmark::State &state)
+{
+    const auto &trace = sharedTrace();
+    for (auto _ : state) {
+        const DidAnalysis did = analyzeDid(trace);
+        benchmark::DoNotOptimize(did.averageDid);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * trace.size()));
+}
+
+void
+BM_IdealMachine(benchmark::State &state)
+{
+    const auto &trace = sharedTrace();
+    IdealMachineConfig config;
+    config.fetchRate = static_cast<unsigned>(state.range(0));
+    config.useValuePrediction = true;
+    for (auto _ : state) {
+        const IdealMachineResult run = runIdealMachine(trace, config);
+        benchmark::DoNotOptimize(run.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * trace.size()));
+}
+
+void
+BM_PipelineMachine(benchmark::State &state)
+{
+    const auto &trace = sharedTrace();
+    PipelineConfig config;
+    config.useValuePrediction = true;
+    config.maxTakenBranches = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        const PipelineResult run = runPipelineMachine(trace, config);
+        benchmark::DoNotOptimize(run.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * trace.size()));
+}
+
+void
+BM_PipelineTraceCache(benchmark::State &state)
+{
+    const auto &trace = sharedTrace();
+    PipelineConfig config;
+    config.useValuePrediction = true;
+    config.frontEnd = FrontEndKind::TraceCache;
+    for (auto _ : state) {
+        const PipelineResult run = runPipelineMachine(trace, config);
+        benchmark::DoNotOptimize(run.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * trace.size()));
+}
+
+BENCHMARK(BM_LastValuePredictor);
+BENCHMARK(BM_StridePredictor);
+BENCHMARK(BM_HybridPredictor);
+BENCHMARK(BM_TwoLevelBtb);
+BENCHMARK(BM_TraceCapture);
+BENCHMARK(BM_DidCollector);
+BENCHMARK(BM_IdealMachine)->Arg(4)->Arg(40);
+BENCHMARK(BM_PipelineMachine)->Arg(1)->Arg(4);
+BENCHMARK(BM_PipelineTraceCache);
+
+} // namespace

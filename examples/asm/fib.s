@@ -1,0 +1,14 @@
+# Iterative Fibonacci: a stride-hostile value stream (each fib value is
+# the sum of the previous two -- neither last-value nor stride can track
+# it) wrapped in perfectly predictable loop control. Useful as a small
+# probe of what the classifier declines.
+        li   s0, 40          # iterations per pass
+        li   s1, 0           # fib(n-1)
+        li   s2, 1           # fib(n)
+loop:
+        add  t0, s1, s2
+        mv   s1, s2
+        mv   s2, t0
+        addi s0, s0, -1
+        bne  s0, zero, loop
+        halt

@@ -1,0 +1,15 @@
+# Word-by-word memory copy: the classic all-stride kernel. Source and
+# destination cursors, the loop counter and the store addresses all
+# stride, so nearly every dependence is value predictable; at wide fetch
+# the copy runs at the machine width.
+        li   s0, 512          # words to copy
+        li   s1, 0x10000      # src
+        li   s2, 0x20000      # dst
+loop:
+        ld   t0, 0(s1)
+        st   t0, 0(s2)
+        addi s1, s1, 8
+        addi s2, s2, 8
+        addi s0, s0, -1
+        bne  s0, zero, loop
+        halt

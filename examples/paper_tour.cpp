@@ -1,0 +1,139 @@
+/**
+ * @file
+ * paper_tour: the whole paper in one run.
+ *
+ * Walks the paper's argument end to end on small traces: Table 3.2's
+ * worked example, the DID structure (Figures 3.3/3.4), the
+ * predictability split (Figure 3.5), the ideal-machine bandwidth sweep
+ * (Figure 3.1), and the Section 5 machine with its three front ends
+ * (Figures 5.1-5.3). For publication-scale sweeps run the bench
+ * binaries; this example is the five-minute narrative version.
+ *
+ * Usage: paper_tour [--insts 120000] [--benchmark m88ksim]
+ */
+
+#include <cstdio>
+
+#include "analysis/did.hpp"
+#include "analysis/predictability.hpp"
+#include "common/options.hpp"
+#include "core/ideal_machine.hpp"
+#include "core/pipeline_machine.hpp"
+#include "workloads/workload.hpp"
+
+namespace
+{
+
+using namespace vpsim;
+
+void
+section(const char *title)
+{
+    std::printf("\n--- %s ---\n", title);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options;
+    options.declare("benchmark", "m88ksim", "benchmark to tour");
+    options.declare("insts", "120000", "dynamic instructions");
+    options.parse(argc, argv, "guided tour of the paper's experiments");
+
+    const std::string bench = options.getString("benchmark");
+    const auto insts =
+        static_cast<std::uint64_t>(options.getInt("insts"));
+    const auto trace = captureWorkloadTrace(bench, insts);
+    std::printf("touring '%s' (%zu dynamic instructions)\n",
+                bench.c_str(), trace.size());
+
+    section("1. why fetch bandwidth gates value prediction (Table 3.2)");
+    std::puts("a correct prediction is only USEFUL if producer and\n"
+              "consumer are in flight together; dependents fetched "
+              "cycles\nlater find their operands computed already.");
+    IdealMachineConfig probe;
+    probe.fetchRate = 4;
+    probe.useValuePrediction = true;
+    const IdealMachineResult narrow = runIdealMachine(trace, probe);
+    probe.fetchRate = 40;
+    const IdealMachineResult wide = runIdealMachine(trace, probe);
+    std::printf("  predictions made at BW=4:  %llu, useful: %llu\n",
+                static_cast<unsigned long long>(narrow.predictionsMade),
+                static_cast<unsigned long long>(
+                    narrow.usefulPredictions));
+    std::printf("  predictions made at BW=40: %llu, useful: %llu\n",
+                static_cast<unsigned long long>(wide.predictionsMade),
+                static_cast<unsigned long long>(wide.usefulPredictions));
+
+    section("2. dependence structure (Figures 3.3/3.4)");
+    const DidAnalysis did = analyzeDid(trace);
+    std::printf("  mean DID (arcs <= 256): %.1f; %.1f%% of arcs span "
+                ">= 4 insts\n",
+                did.averageDidTrimmed, did.fracDidAtLeast4 * 100.0);
+
+    section("3. predictability x distance (Figure 3.5)");
+    const PredictabilityAnalysis pa = analyzePredictability(trace);
+    std::printf("  unpredictable %.1f%% | predictable short (DID<4) "
+                "%.1f%% | predictable long (DID>=4) %.1f%%\n",
+                pa.fracUnpredictable * 100.0,
+                pa.fracPredictableShort() * 100.0,
+                pa.fracPredictableDid4Plus * 100.0);
+    std::puts("  only the last group turns into speedup on a wide "
+              "machine.");
+
+    section("4. the ideal-machine sweep (Figure 3.1)");
+    for (const unsigned rate : {4u, 8u, 16u, 32u, 40u}) {
+        IdealMachineConfig config;
+        config.fetchRate = rate;
+        std::printf("  BW=%-2u  VP speedup %+6.1f%%\n", rate,
+                    (idealVpSpeedup(trace, config) - 1.0) * 100.0);
+    }
+
+    section("5. the Section 5 machine (Figures 5.1-5.3)");
+    struct Row
+    {
+        const char *label;
+        PipelineConfig config;
+    };
+    std::vector<Row> rows;
+    for (const unsigned taken : {1u, 4u}) {
+        Row row;
+        row.label = taken == 1 ? "seq fetch, 1 taken, ideal BTB "
+                               : "seq fetch, 4 taken, ideal BTB ";
+        row.config.maxTakenBranches = taken;
+        rows.push_back(row);
+    }
+    {
+        Row row;
+        row.label = "seq fetch, 4 taken, 2-lvl BTB ";
+        row.config.maxTakenBranches = 4;
+        row.config.perfectBranchPredictor = false;
+        rows.push_back(row);
+    }
+    {
+        Row row;
+        row.label = "trace cache, ideal BTB        ";
+        row.config.frontEnd = FrontEndKind::TraceCache;
+        rows.push_back(row);
+    }
+    for (const Row &row : rows) {
+        const double speedup = pipelineVpSpeedup(trace, row.config);
+        std::printf("  %s VP speedup %+6.1f%%\n", row.label,
+                    (speedup - 1.0) * 100.0);
+    }
+
+    section("6. full statistics of the best configuration");
+    PipelineConfig best;
+    best.frontEnd = FrontEndKind::TraceCache;
+    best.useValuePrediction = true;
+    best.useInterleavedVpTable = true;
+    std::fputs(runPipelineMachine(trace, best).report().c_str(), stdout);
+
+    std::puts("\nconclusion (paper section 6): value prediction's "
+              "potential is\nunlocked by high-bandwidth instruction "
+              "fetch - at 4-wide fetch it is\nnearly worthless, beyond "
+              "taken-branch limits it pays for itself.");
+    return 0;
+}

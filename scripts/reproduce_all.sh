@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Rebuild the project, run the full test suite, and regenerate every
+# paper figure and ablation into an output directory.
+#
+# Usage: scripts/reproduce_all.sh [output-dir] [extra bench args...]
+#   e.g. scripts/reproduce_all.sh results --insts 1000000 --scale 2
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-reproduction-$(date +%Y%m%d-%H%M%S)}"
+if [ $# -gt 0 ]; then shift; fi
+mkdir -p "$out"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure | tee "$out/tests.txt"
+
+for bench in build/bench/*; do
+    [ -f "$bench" ] && [ -x "$bench" ] || continue
+    name="$(basename "$bench")"
+    echo "== $name"
+    if [ "$name" = "microbench_components" ]; then
+        "$bench" > "$out/$name.txt" 2>&1
+    else
+        # Some binaries (the worked-example tables) take no options.
+        "$bench" --csv "$out/figures.csv" "$@" > "$out/$name.txt" 2>&1 ||
+            "$bench" > "$out/$name.txt" 2>&1
+    fi
+done
+
+echo "reproduction artifacts written to $out/"

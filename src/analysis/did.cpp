@@ -1,0 +1,71 @@
+#include "analysis/did.hpp"
+
+#include "isa/instruction.hpp"
+
+namespace vpsim
+{
+
+std::vector<std::uint64_t>
+didHistogramBounds()
+{
+    return {1, 2, 3, 7, 15, 31, 63};
+}
+
+DidCollector::DidCollector()
+    : hist(didHistogramBounds()),
+      lastWriter(numArchRegs, invalidSeqNum)
+{
+}
+
+void
+DidCollector::observe(const TraceRecord &record)
+{
+    const auto consume = [&](RegIndex reg) {
+        if (reg == invalidReg || reg == 0)
+            return;
+        const SeqNum producer = lastWriter[reg];
+        if (producer == invalidSeqNum)
+            return;
+        const std::uint64_t did = record.seq - producer;
+        hist.add(did);
+        if (did >= 4)
+            ++arcsAtLeast4;
+        if (did <= 256) {
+            ++trimmedArcs;
+            trimmedSum += static_cast<long double>(did);
+        }
+    };
+    consume(record.rs1);
+    consume(record.rs2);
+
+    if (record.producesValue())
+        lastWriter[record.rd] = record.seq;
+}
+
+DidAnalysis
+DidCollector::finish() const
+{
+    DidAnalysis analysis;
+    analysis.distribution = hist;
+    analysis.totalArcs = hist.totalSamples();
+    analysis.averageDid = hist.mean();
+    analysis.averageDidTrimmed = trimmedArcs == 0
+        ? 0.0
+        : static_cast<double>(trimmedSum / trimmedArcs);
+    analysis.fracDidAtLeast4 = analysis.totalArcs == 0
+        ? 0.0
+        : static_cast<double>(arcsAtLeast4) /
+          static_cast<double>(analysis.totalArcs);
+    return analysis;
+}
+
+DidAnalysis
+analyzeDid(const std::vector<TraceRecord> &records)
+{
+    DidCollector collector;
+    for (const TraceRecord &record : records)
+        collector.observe(record);
+    return collector.finish();
+}
+
+} // namespace vpsim

@@ -1,0 +1,76 @@
+#include "analysis/predictability.hpp"
+
+#include "isa/instruction.hpp"
+#include "predictor/stride.hpp"
+
+namespace vpsim
+{
+
+PredictabilityAnalysis
+analyzePredictability(const std::vector<TraceRecord> &records,
+                      ValuePredictor *predictor)
+{
+    std::unique_ptr<ValuePredictor> fallback;
+    if (!predictor) {
+        fallback = std::make_unique<StridePredictor>();
+        predictor = fallback.get();
+    }
+
+    // Whether each producer instance's value was correctly predicted.
+    std::vector<bool> instancePredicted(records.size(), false);
+    struct Writer
+    {
+        SeqNum seq = invalidSeqNum;
+    };
+    std::vector<Writer> lastWriter(numArchRegs);
+
+    std::uint64_t arcs = 0;
+    std::uint64_t unpredictable = 0;
+    std::uint64_t predictableDid[4] = {0, 0, 0, 0}; // 1,2,3,>=4
+
+    for (const TraceRecord &record : records) {
+        const auto consume = [&](RegIndex reg) {
+            if (reg == invalidReg || reg == 0)
+                return;
+            const SeqNum producer = lastWriter[reg].seq;
+            if (producer == invalidSeqNum)
+                return;
+            ++arcs;
+            if (!instancePredicted[producer]) {
+                ++unpredictable;
+                return;
+            }
+            const std::uint64_t did = record.seq - producer;
+            if (did >= 4)
+                ++predictableDid[3];
+            else
+                ++predictableDid[did - 1];
+        };
+        consume(record.rs1);
+        consume(record.rs2);
+
+        if (record.producesValue()) {
+            const RawPrediction raw = predictor->lookup(record.pc);
+            instancePredicted[record.seq] =
+                raw.hasPrediction && raw.value == record.result;
+            predictor->train(record.pc, record.result);
+            lastWriter[record.rd].seq = record.seq;
+        }
+    }
+
+    PredictabilityAnalysis analysis;
+    analysis.totalArcs = arcs;
+    if (arcs == 0)
+        return analysis;
+    const auto frac = [arcs](std::uint64_t count) {
+        return static_cast<double>(count) / static_cast<double>(arcs);
+    };
+    analysis.fracUnpredictable = frac(unpredictable);
+    analysis.fracPredictableDid1 = frac(predictableDid[0]);
+    analysis.fracPredictableDid2 = frac(predictableDid[1]);
+    analysis.fracPredictableDid3 = frac(predictableDid[2]);
+    analysis.fracPredictableDid4Plus = frac(predictableDid[3]);
+    return analysis;
+}
+
+} // namespace vpsim

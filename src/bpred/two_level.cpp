@@ -1,0 +1,175 @@
+#include "bpred/two_level.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "isa/instruction.hpp"
+
+namespace vpsim
+{
+
+TwoLevelPApPredictor::TwoLevelPApPredictor(const TwoLevelConfig &config)
+    : cfg(config)
+{
+    fatalIf(cfg.ways == 0 || cfg.entries % cfg.ways != 0,
+            "BTB entries must divide evenly into ways");
+    numSets = cfg.entries / cfg.ways;
+    fatalIf((numSets & (numSets - 1)) != 0,
+            "BTB set count must be a power of two");
+    fatalIf(cfg.historyBits == 0 || cfg.historyBits > 16,
+            "history register width out of range");
+    entries.resize(cfg.entries);
+    ras.resize(cfg.rasEntries, 0);
+}
+
+bool
+TwoLevelPApPredictor::isCall(const TraceRecord &record)
+{
+    // The mini ISA's calling convention links through r1.
+    return record.op == OpCode::Jal && record.rd == 1;
+}
+
+bool
+TwoLevelPApPredictor::isReturn(const TraceRecord &record)
+{
+    return record.op == OpCode::Jalr && record.rs1 == 1 &&
+           record.rd == 0;
+}
+
+std::size_t
+TwoLevelPApPredictor::setIndex(Addr pc) const
+{
+    return (pc / instBytes) & (numSets - 1);
+}
+
+TwoLevelPApPredictor::Entry *
+TwoLevelPApPredictor::find(Addr pc)
+{
+    const std::size_t base = setIndex(pc) * cfg.ways;
+    for (std::size_t way = 0; way < cfg.ways; ++way) {
+        Entry &entry = entries[base + way];
+        if (entry.valid && entry.tag == pc)
+            return &entry;
+    }
+    return nullptr;
+}
+
+TwoLevelPApPredictor::Entry &
+TwoLevelPApPredictor::allocate(Addr pc)
+{
+    const std::size_t base = setIndex(pc) * cfg.ways;
+    Entry *victim = &entries[base];
+    for (std::size_t way = 0; way < cfg.ways; ++way) {
+        Entry &entry = entries[base + way];
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (entry.lastUse < victim->lastUse)
+            victim = &entry;
+    }
+    victim->valid = true;
+    victim->tag = pc;
+    victim->target = 0;
+    victim->history = 0;
+    victim->pattern.assign(std::size_t{1} << cfg.historyBits,
+                           SatCounter(cfg.counterBits, 1));
+    victim->lastUse = ++useClock;
+    return *victim;
+}
+
+BranchPrediction
+TwoLevelPApPredictor::predict(const TraceRecord &record)
+{
+    panicIf(!record.isControlFlow(),
+            "branch predictor consulted for a non-control instruction");
+    // Returns are served by the return address stack.
+    if (!ras.empty() && isReturn(record)) {
+        const std::size_t top = (rasTop + ras.size() - 1) % ras.size();
+        return {true, ras[top], true};
+    }
+    Entry *entry = find(record.pc);
+    if (!entry) {
+        // BTB miss: predict not-taken / fall-through.
+        return {false, record.fallThrough(), false};
+    }
+    entry->lastUse = ++useClock;
+    BranchPrediction prediction;
+    prediction.btbHit = true;
+    prediction.target = entry->target;
+    if (record.isConditional()) {
+        const SatCounter &counter = entry->pattern[entry->history];
+        prediction.taken = counter.isSet();
+    } else {
+        prediction.taken = true; // jumps are always taken
+    }
+    if (!prediction.taken)
+        prediction.target = record.fallThrough();
+    return prediction;
+}
+
+void
+TwoLevelPApPredictor::update(const TraceRecord &record,
+                             const BranchPrediction &prediction)
+{
+    ++numPredictions;
+    if (correct(record, prediction))
+        ++numCorrect;
+
+    // Maintain the return address stack at resolve time.
+    if (!ras.empty()) {
+        if (isCall(record)) {
+            ras[rasTop] = record.fallThrough();
+            rasTop = (rasTop + 1) % ras.size();
+        } else if (isReturn(record)) {
+            rasTop = (rasTop + ras.size() - 1) % ras.size();
+            return; // returns are not BTB-allocated
+        }
+    }
+
+    Entry *entry = find(record.pc);
+    if (!entry) {
+        ++numBtbMisses;
+        // Classic BTB policy: allocate only for taken transfers.
+        if (!record.taken)
+            return;
+        entry = &allocate(record.pc);
+    }
+    if (record.isConditional()) {
+        SatCounter &counter = entry->pattern[entry->history];
+        if (record.taken)
+            counter.increment();
+        else
+            counter.decrement();
+        const unsigned mask = (1u << cfg.historyBits) - 1;
+        entry->history =
+            ((entry->history << 1) | (record.taken ? 1 : 0)) & mask;
+    }
+    if (record.taken)
+        entry->target = record.nextPc;
+    entry->lastUse = ++useClock;
+}
+
+double
+TwoLevelPApPredictor::accuracy() const
+{
+    if (numPredictions == 0)
+        return 1.0;
+    return static_cast<double>(numCorrect) /
+           static_cast<double>(numPredictions);
+}
+
+void
+TwoLevelPApPredictor::reset()
+{
+    for (Entry &entry : entries)
+        entry.valid = false;
+    std::fill(ras.begin(), ras.end(), 0);
+    rasTop = 0;
+    useClock = 0;
+    numPredictions = 0;
+    numCorrect = 0;
+    numBtbMisses = 0;
+}
+
+} // namespace vpsim

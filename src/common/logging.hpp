@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user errors (bad configuration, malformed input): it prints
+ * the message and exits with status 1. panic() is for internal invariant
+ * violations (simulator bugs): it prints the message and aborts.
+ */
+
+#ifndef VPSIM_COMMON_LOGGING_HPP
+#define VPSIM_COMMON_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace vpsim
+{
+
+/** Print "fatal: <message>" to stderr and exit(1). For user errors. */
+[[noreturn]] void fatal(const std::string &message);
+
+/** Print "panic: <message>" to stderr and abort(). For simulator bugs. */
+[[noreturn]] void panic(const std::string &message);
+
+/** Print "warn: <message>" to stderr and continue. */
+void warn(const std::string &message);
+
+/** Print "info: <message>" to stderr and continue. */
+void inform(const std::string &message);
+
+/**
+ * Check an internal invariant; panics with location info when violated.
+ *
+ * Unlike assert(), the check is always compiled in: simulator results must
+ * not silently change between debug and release builds.
+ */
+inline void
+panicIf(bool condition, std::string_view message,
+        const char *file = __builtin_FILE(), int line = __builtin_LINE())
+{
+    if (condition) {
+        std::ostringstream oss;
+        oss << message << " (" << file << ":" << line << ")";
+        panic(oss.str());
+    }
+}
+
+/** Check a user-facing precondition; fatal()s when violated. */
+inline void
+fatalIf(bool condition, std::string_view message)
+{
+    if (condition)
+        fatal(std::string(message));
+}
+
+} // namespace vpsim
+
+#endif // VPSIM_COMMON_LOGGING_HPP

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal command-line option parser for the bench and example binaries.
+ *
+ * Supports "--name value" and "--name=value" forms plus boolean flags.
+ * Unknown options are fatal so typos do not silently run the default
+ * experiment.
+ */
+
+#ifndef VPSIM_COMMON_OPTIONS_HPP
+#define VPSIM_COMMON_OPTIONS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vpsim
+{
+
+/** Parsed command-line options with typed accessors and defaults. */
+class Options
+{
+  public:
+    /**
+     * Declare an option before parsing.
+     *
+     * @param name Option name without the leading dashes.
+     * @param default_value Default used when the option is absent.
+     * @param help One-line description for --help output.
+     */
+    void declare(const std::string &name, const std::string &default_value,
+                 const std::string &help);
+
+    /**
+     * Parse argv. Exits with usage text on --help or unknown options.
+     *
+     * @param program_description Shown at the top of --help output.
+     */
+    void parse(int argc, const char *const *argv,
+               const std::string &program_description);
+
+    /** String value of @p name (declared default if absent). */
+    std::string getString(const std::string &name) const;
+
+    /** Integer value of @p name. Fatal on non-numeric input. */
+    std::int64_t getInt(const std::string &name) const;
+
+    /** Double value of @p name. Fatal on non-numeric input. */
+    double getDouble(const std::string &name) const;
+
+    /** Boolean value: "1/true/yes/on" are true, "0/false/no/off" false. */
+    bool getBool(const std::string &name) const;
+
+    /** Comma-separated list value. Empty string yields an empty list. */
+    std::vector<std::string> getList(const std::string &name) const;
+
+  private:
+    struct Decl
+    {
+        std::string defaultValue;
+        std::string help;
+    };
+
+    std::string usage(const std::string &program_description) const;
+
+    std::map<std::string, Decl> decls;
+    std::map<std::string, std::string> values;
+    std::string programName;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_COMMON_OPTIONS_HPP

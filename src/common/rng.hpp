@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * The workload generators need reproducible randomness that is identical
+ * across platforms and standard-library versions, so we do not use
+ * std::mt19937 / std::uniform_int_distribution (whose outputs are not
+ * guaranteed to be portable for all distributions).
+ */
+
+#ifndef VPSIM_COMMON_RNG_HPP
+#define VPSIM_COMMON_RNG_HPP
+
+#include <cstdint>
+
+namespace vpsim
+{
+
+/** xoshiro256** by Blackman & Vigna; public-domain algorithm. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding, as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound), bound > 0. Uses rejection sampling. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+        std::uint64_t v = next();
+        while (v >= limit)
+            v = next();
+        return v % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    nextRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + nextBelow(hi - lo + 1);
+    }
+
+    /** Bernoulli draw: true with probability numer/denom. */
+    bool
+    nextChance(std::uint64_t numer, std::uint64_t denom)
+    {
+        return nextBelow(denom) < numer;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_COMMON_RNG_HPP

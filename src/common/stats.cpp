@@ -1,0 +1,51 @@
+#include "common/stats.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace vpsim
+{
+
+void
+StatGroup::addCounter(const std::string &stat_name, const Counter &counter,
+                      const std::string &description)
+{
+    scalars.push_back({stat_name, &counter, description});
+}
+
+void
+StatGroup::addRatio(const std::string &stat_name, const Counter &numerator,
+                    const Counter &denominator,
+                    const std::string &description)
+{
+    ratios.push_back({stat_name, &numerator, &denominator, description});
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream oss;
+    for (const auto &entry : scalars) {
+        oss << name << "." << std::left << std::setw(32) << entry.name
+            << " " << std::right << std::setw(14) << entry.counter->value();
+        if (!entry.description.empty())
+            oss << "  # " << entry.description;
+        oss << "\n";
+    }
+    for (const auto &entry : ratios) {
+        const double denom =
+            static_cast<double>(entry.denominator->value());
+        const double ratio = denom == 0.0
+            ? 0.0
+            : static_cast<double>(entry.numerator->value()) / denom;
+        oss << name << "." << std::left << std::setw(32) << entry.name
+            << " " << std::right << std::setw(14) << std::fixed
+            << std::setprecision(6) << ratio;
+        if (!entry.description.empty())
+            oss << "  # " << entry.description;
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace vpsim

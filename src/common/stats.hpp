@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Every simulator component owns a StatGroup; counters registered with the
+ * group can be dumped uniformly by the experiment drivers. This is a small
+ * cousin of gem5's stats package: scalars and ratios only, no binning.
+ */
+
+#ifndef VPSIM_COMMON_STATS_HPP
+#define VPSIM_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vpsim
+{
+
+/** A single named scalar statistic (a counter). */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void increment(std::uint64_t amount = 1) { count += amount; }
+    void reset() { count = 0; }
+    std::uint64_t value() const { return count; }
+
+    Counter &operator++() { ++count; return *this; }
+    Counter &operator+=(std::uint64_t amount) { count += amount; return *this; }
+
+  private:
+    std::uint64_t count = 0;
+};
+
+/**
+ * A named collection of counters belonging to one component.
+ *
+ * Components register members at construction; dump() renders them with the
+ * group prefix, and derived ratios can be registered as (numerator,
+ * denominator) counter pairs.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string group_name) : name(std::move(group_name)) {}
+
+    /** Register a counter under @p stat_name; the group does not own it. */
+    void addCounter(const std::string &stat_name, const Counter &counter,
+                    const std::string &description = "");
+
+    /** Register a ratio statistic numerator/denominator. */
+    void addRatio(const std::string &stat_name, const Counter &numerator,
+                  const Counter &denominator,
+                  const std::string &description = "");
+
+    /** Render all statistics as "group.stat value  # description" lines. */
+    std::string dump() const;
+
+    const std::string &groupName() const { return name; }
+
+  private:
+    struct ScalarEntry
+    {
+        std::string name;
+        const Counter *counter;
+        std::string description;
+    };
+
+    struct RatioEntry
+    {
+        std::string name;
+        const Counter *numerator;
+        const Counter *denominator;
+        std::string description;
+    };
+
+    std::string name;
+    std::vector<ScalarEntry> scalars;
+    std::vector<RatioEntry> ratios;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_COMMON_STATS_HPP

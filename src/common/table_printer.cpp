@@ -1,0 +1,96 @@
+#include "common/table_printer.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace vpsim
+{
+
+TablePrinter::TablePrinter(std::string table_title,
+                           std::vector<std::string> column_names)
+    : title(std::move(table_title)),
+      columns(std::move(column_names))
+{
+    fatalIf(columns.empty(), "TablePrinter needs at least one column");
+}
+
+void
+TablePrinter::addRow(const std::vector<std::string> &cells)
+{
+    panicIf(cells.size() != columns.size(),
+            "TablePrinter row has wrong number of cells");
+    rows.push_back({false, cells});
+}
+
+void
+TablePrinter::addSeparator()
+{
+    rows.push_back({true, {}});
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<std::size_t> widths(columns.size());
+    for (std::size_t c = 0; c < columns.size(); ++c)
+        widths[c] = columns[c].size();
+    for (const auto &row : rows) {
+        if (row.separator)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    const auto render_line = [&](const std::vector<std::string> &cells) {
+        std::ostringstream line;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c == 0)
+                line << std::left << std::setw(widths[c]) << cells[c];
+            else
+                line << "  " << std::right << std::setw(widths[c])
+                     << cells[c];
+        }
+        return line.str();
+    };
+
+    std::size_t line_width = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        line_width += widths[c] + (c == 0 ? 0 : 2);
+
+    std::ostringstream oss;
+    if (!title.empty())
+        oss << title << "\n";
+    oss << std::string(line_width, '=') << "\n";
+    oss << render_line(columns) << "\n";
+    oss << std::string(line_width, '-') << "\n";
+    for (const auto &row : rows) {
+        if (row.separator)
+            oss << std::string(line_width, '-') << "\n";
+        else
+            oss << render_line(row.cells) << "\n";
+    }
+    oss << std::string(line_width, '=') << "\n";
+    return oss.str();
+}
+
+std::string
+TablePrinter::percentCell(double fraction, int decimals)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << fraction * 100.0
+        << "%";
+    return oss.str();
+}
+
+std::string
+TablePrinter::numberCell(double value, int decimals)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << value;
+    return oss.str();
+}
+
+} // namespace vpsim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASCII table renderer used by the figure-regeneration benches.
+ *
+ * Each bench prints one table shaped like the corresponding paper figure:
+ * a row per benchmark, a column per configuration, and an average row.
+ */
+
+#ifndef VPSIM_COMMON_TABLE_PRINTER_HPP
+#define VPSIM_COMMON_TABLE_PRINTER_HPP
+
+#include <string>
+#include <vector>
+
+namespace vpsim
+{
+
+/** A simple column-aligned text table. */
+class TablePrinter
+{
+  public:
+    /**
+     * @param table_title Title printed above the table.
+     * @param column_names Header cells; the first column is the row label.
+     */
+    TablePrinter(std::string table_title,
+                 std::vector<std::string> column_names);
+
+    /** Append a data row; must have one cell per column. */
+    void addRow(const std::vector<std::string> &cells);
+
+    /** Append a horizontal separator before the next row. */
+    void addSeparator();
+
+    /** Render the full table. */
+    std::string render() const;
+
+    /** Format a double as a percentage cell, e.g. "33.4%". */
+    static std::string percentCell(double fraction, int decimals = 1);
+
+    /** Format a double with fixed decimals. */
+    static std::string numberCell(double value, int decimals = 2);
+
+  private:
+    struct Row
+    {
+        bool separator;
+        std::vector<std::string> cells;
+    };
+
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<Row> rows;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_COMMON_TABLE_PRINTER_HPP

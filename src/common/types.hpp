@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef VPSIM_COMMON_TYPES_HPP
+#define VPSIM_COMMON_TYPES_HPP
+
+#include <cstdint>
+
+namespace vpsim
+{
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Program counter / instruction address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Architectural data value (the mini ISA is a 64-bit machine). */
+using Value = std::uint64_t;
+
+/** Dynamic instruction sequence number (appearance order in the trace). */
+using SeqNum = std::uint64_t;
+
+/** Architectural register index. */
+using RegIndex = std::uint8_t;
+
+/** Sentinel meaning "no register operand". */
+inline constexpr RegIndex invalidReg = 0xff;
+
+/** Sentinel for "no cycle" / "not yet scheduled". */
+inline constexpr Cycle invalidCycle = ~Cycle{0};
+
+/** Sentinel for "no sequence number" (e.g. no producer). */
+inline constexpr SeqNum invalidSeqNum = ~SeqNum{0};
+
+} // namespace vpsim
+
+#endif // VPSIM_COMMON_TYPES_HPP

@@ -1,0 +1,211 @@
+#include "core/ideal_machine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "isa/instruction.hpp"
+
+namespace vpsim
+{
+
+IdealMachineResult
+runIdealMachine(const std::vector<TraceRecord> &records,
+                const IdealMachineConfig &config, bool keep_schedule)
+{
+    fatalIf(config.fetchRate == 0, "fetch rate must be positive");
+    fatalIf(config.windowSize == 0, "window size must be positive");
+
+    IdealMachineResult result;
+    result.instructions = records.size();
+    if (records.empty())
+        return result;
+
+    std::unique_ptr<ClassifiedPredictor> predictor;
+    if (config.useValuePrediction && !config.perfectValuePrediction) {
+        predictor = makeClassifiedPredictor(
+            config.predictorKind, config.tableCapacity,
+            config.counterBits, config.missPolicy);
+    }
+
+    /** What consumers need to know about a register's last writer. */
+    struct Writer
+    {
+        Cycle execCycle = 0;
+        bool exists = false;
+        bool predicted = false;
+        bool correct = false;
+    };
+    std::vector<Writer> lastWriter(numArchRegs);
+
+    // Ring buffer of the last windowSize execute cycles.
+    std::vector<Cycle> windowExec(config.windowSize, 0);
+
+    if (keep_schedule)
+        result.execCycle.resize(records.size());
+
+    Cycle max_exec = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const TraceRecord &record = records[i];
+        const Cycle fetch_cycle = i / config.fetchRate + 1;
+        Cycle earliest = fetch_cycle + config.frontendLatency;
+
+        // Window constraint: the slot of instruction i - windowSize must
+        // have freed (at its execute) before i can execute.
+        if (i >= config.windowSize) {
+            earliest = std::max(earliest,
+                                windowExec[i % config.windowSize] + 1);
+        }
+
+        // Operand constraints. A consumer issues as soon as its
+        // non-predicted operands are ready (predicted operands impose no
+        // issue constraint: the consumer speculates on the predicted
+        // value). An operand whose prediction was WRONG only costs the
+        // reissue penalty if the consumer actually speculated on it,
+        // i.e. if the real value was not yet available at issue time —
+        // when the consumer issues late anyway, it reads the real value
+        // and the prediction is merely useless, exactly the paper's
+        // "the prediction becomes useless" case.
+        struct OperandUse
+        {
+            Cycle readyNoVp = 0;
+            /** 0 = not predicted, 1 = predicted correct, 2 = wrong. */
+            int kind = 0;
+        };
+        OperandUse uses[2];
+        unsigned num_uses = 0;
+
+        const auto consume = [&](RegIndex reg) {
+            if (reg == invalidReg || reg == 0)
+                return;
+            const Writer &writer = lastWriter[reg];
+            if (!writer.exists)
+                return;
+            OperandUse use;
+            use.readyNoVp = writer.execCycle + 1;
+            if (config.useValuePrediction && writer.predicted)
+                use.kind = writer.correct ? 1 : 2;
+            uses[num_uses++] = use;
+        };
+        consume(record.rs1);
+        consume(record.rs2);
+
+        // Capacity statistic: a use stalls when its real value arrives
+        // after the machine could otherwise issue the consumer.
+        for (unsigned u = 0; u < num_uses; ++u) {
+            if (uses[u].readyNoVp > earliest)
+                ++result.stallingUses;
+        }
+
+        // Issue time: non-predicted operands bind.
+        Cycle issue = earliest;
+        for (unsigned u = 0; u < num_uses; ++u) {
+            if (uses[u].kind == 0)
+                issue = std::max(issue, uses[u].readyNoVp);
+        }
+        // Completion: wrong speculations reissue after the real value,
+        // in ascending ready order (a later wrong operand sees the
+        // delay already caused by an earlier one).
+        Cycle exec = issue;
+        if (num_uses == 2 && uses[0].kind == 2 && uses[1].kind == 2 &&
+            uses[0].readyNoVp > uses[1].readyNoVp) {
+            std::swap(uses[0], uses[1]);
+        }
+        for (unsigned u = 0; u < num_uses; ++u) {
+            if (uses[u].kind != 2)
+                continue;
+            if (uses[u].readyNoVp <= exec) {
+                // Real value available by then: no speculation needed.
+                exec = std::max(exec, uses[u].readyNoVp);
+            } else {
+                exec = uses[u].readyNoVp + config.vpPenalty;
+            }
+        }
+        // A correct prediction was useful when the operand would
+        // otherwise have delayed the consumer past its actual execute.
+        for (unsigned u = 0; u < num_uses; ++u) {
+            if (uses[u].kind != 1)
+                continue;
+            ++result.correctlyPredictedUses;
+            if (uses[u].readyNoVp > exec)
+                ++result.usefulPredictions;
+        }
+        windowExec[i % config.windowSize] = exec;
+        if (keep_schedule)
+            result.execCycle[i] = exec;
+        max_exec = std::max(max_exec, exec);
+
+        // Record this instruction as the new last writer of rd, with its
+        // own prediction outcome for downstream consumers.
+        if (record.producesValue()) {
+            Writer writer;
+            writer.exists = true;
+            writer.execCycle = exec;
+            const bool in_scope =
+                config.vpScope == VpScope::AllInstructions ||
+                record.instClass() == InstClass::Load;
+            if (config.useValuePrediction && in_scope) {
+                if (config.perfectValuePrediction) {
+                    writer.predicted = true;
+                    writer.correct = true;
+                    ++result.predictionsMade;
+                    ++result.predictionsCorrect;
+                } else {
+                    const ClassifiedPrediction prediction =
+                        predictor->predict(record.pc);
+                    writer.predicted = prediction.predicted;
+                    writer.correct = prediction.predicted &&
+                                     prediction.value == record.result;
+                    predictor->update(record.pc, prediction,
+                                      record.result);
+                }
+            }
+            lastWriter[record.rd] = writer;
+        }
+    }
+
+    if (predictor) {
+        result.predictionsMade = predictor->predictionsMade();
+        result.predictionsCorrect = predictor->predictionsCorrect();
+        result.predictionsWrong = predictor->predictionsWrong();
+    }
+
+    result.cycles = max_exec;
+    result.ipc = static_cast<double>(result.instructions) /
+                 static_cast<double>(result.cycles);
+    return result;
+}
+
+std::string
+IdealMachineResult::report() const
+{
+    std::ostringstream oss;
+    oss << "ideal machine: " << instructions << " insts in " << cycles
+        << " cycles (IPC " << ipc << ")\n";
+    if (predictionsMade > 0) {
+        oss << "  value predictions: " << predictionsMade << " made, "
+            << predictionsCorrect << " correct, " << predictionsWrong
+            << " wrong, " << usefulPredictions
+            << " actually removed a stall\n";
+    }
+    return oss.str();
+}
+
+double
+idealVpSpeedup(const std::vector<TraceRecord> &records,
+               const IdealMachineConfig &config)
+{
+    IdealMachineConfig base = config;
+    base.useValuePrediction = false;
+    IdealMachineConfig vp = config;
+    vp.useValuePrediction = true;
+
+    const IdealMachineResult base_result = runIdealMachine(records, base);
+    const IdealMachineResult vp_result = runIdealMachine(records, vp);
+    if (vp_result.cycles == 0)
+        return 1.0;
+    return static_cast<double>(base_result.cycles) /
+           static_cast<double>(vp_result.cycles);
+}
+
+} // namespace vpsim

@@ -1,0 +1,566 @@
+#include "core/pipeline_machine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <limits>
+#include <memory>
+
+#include "common/logging.hpp"
+#include "fetch/sequential_fetch.hpp"
+#include "isa/instruction.hpp"
+
+namespace vpsim
+{
+
+namespace
+{
+
+/** One reorder-buffer entry. */
+struct RobEntry
+{
+    SeqNum seq = 0;
+    /** Window slot id: monotone per dispatch, reused after a squash. */
+    std::uint64_t robSlot = 0;
+    /** Wrong-path bubble: occupies resources, never commits. */
+    bool wrongPath = false;
+    Cycle fetchCycle = 0;
+    bool executed = false;
+    Cycle execCycle = 0;
+
+    bool isControl = false;
+    bool mispredictedBranch = false;
+
+    bool producesValue = false;
+    Addr pc = 0;
+    Value result = 0;
+
+    /** Prediction made for this instruction's own output. */
+    bool vpPredicted = false;
+    bool vpCorrect = false;
+    bool vpTracked = false; //!< update() owed to the classifier
+    ClassifiedPrediction vpPrediction;
+
+    /** Issued (possibly speculatively); awaiting final completion. */
+    bool issued = false;
+    Cycle issueCycle = 0;
+
+    /** Source operand constraint. */
+    struct Operand
+    {
+        /** Still waiting on an in-flight producer. */
+        bool pending = false;
+        std::uint64_t producerSlot = 0;
+        /** Producer's value was (wrongly) predicted: the consumer may
+         *  issue speculatively but must reissue after the real value. */
+        bool wrongSpeculation = false;
+        /** Cycle the real value becomes usable (when !pending). */
+        Cycle readyAt = 0;
+    };
+    Operand operands[2];
+    unsigned numOperands = 0;
+};
+
+/** Last architectural writer of each register. */
+struct WriterInfo
+{
+    /** Window slot of the writer, or invalid when none dispatched. */
+    std::uint64_t slot = ~std::uint64_t{0};
+};
+
+} // namespace
+
+PipelineResult
+runPipelineMachine(const std::vector<TraceRecord> &records,
+                   const PipelineConfig &config)
+{
+    fatalIf(config.windowSize == 0, "window size must be positive");
+    fatalIf(config.issueWidth == 0, "issue width must be positive");
+
+    fatalIf(config.modelWrongPath &&
+                (config.frontEnd != FrontEndKind::Sequential ||
+                 config.program == nullptr),
+            "wrong-path modelling needs the Sequential front end and a "
+            "program image");
+
+    PipelineResult result;
+    result.instructions = records.size();
+    if (records.empty())
+        return result;
+
+    // Branch predictor.
+    std::unique_ptr<BranchPredictor> bpred;
+    TwoLevelPApPredictor *btb = nullptr;
+    if (config.perfectBranchPredictor) {
+        bpred = std::make_unique<PerfectBranchPredictor>();
+    } else {
+        auto two_level =
+            std::make_unique<TwoLevelPApPredictor>(config.btbConfig);
+        btb = two_level.get();
+        bpred = std::move(two_level);
+    }
+
+    // Front end.
+    std::unique_ptr<TraceFetchBase> engine;
+    std::unique_ptr<InstructionCache> icache;
+    TraceCacheFetch *tc = nullptr;
+    BranchAddressCacheFetch *bac = nullptr;
+    CollapsingBufferFetch *cb = nullptr;
+    SequentialFetch *seq_fetch = nullptr;
+    if (config.frontEnd == FrontEndKind::Sequential) {
+        if (config.useInstructionCache)
+            icache = std::make_unique<InstructionCache>(
+                config.icacheConfig);
+        auto seq_engine = std::make_unique<SequentialFetch>(
+            records, *bpred, config.maxTakenBranches, icache.get(),
+            config.modelWrongPath ? config.program : nullptr);
+        seq_fetch = seq_engine.get();
+        engine = std::move(seq_engine);
+    } else if (config.frontEnd == FrontEndKind::TraceCache) {
+        auto tc_engine = std::make_unique<TraceCacheFetch>(
+            records, *bpred, config.traceCacheConfig);
+        tc = tc_engine.get();
+        engine = std::move(tc_engine);
+    } else if (config.frontEnd == FrontEndKind::BranchAddressCache) {
+        auto bac_engine = std::make_unique<BranchAddressCacheFetch>(
+            records, *bpred, config.bacConfig);
+        bac = bac_engine.get();
+        engine = std::move(bac_engine);
+    } else {
+        auto cb_engine = std::make_unique<CollapsingBufferFetch>(
+            records, *bpred, config.collapsingBufferConfig);
+        cb = cb_engine.get();
+        engine = std::move(cb_engine);
+    }
+
+    // Value predictor (plain classified, or behind the §4 banked table).
+    std::unique_ptr<ClassifiedPredictor> plainPredictor;
+    std::unique_ptr<InterleavedVpTable> vpTable;
+    if (config.useValuePrediction && !config.perfectValuePrediction) {
+        auto classified = makeClassifiedPredictor(
+            config.predictorKind, config.tableCapacity,
+            config.counterBits, config.missPolicy);
+        if (config.useInterleavedVpTable) {
+            vpTable = std::make_unique<InterleavedVpTable>(
+                std::move(classified), config.vpTableConfig);
+        } else {
+            plainPredictor = std::move(classified);
+        }
+    }
+
+    std::deque<RobEntry> rob;
+    std::vector<WriterInfo> lastWriter(numArchRegs);
+    // Window entries are addressed by slot id: monotone as entries
+    // dispatch, advanced at the front as they commit, and rolled back
+    // at the tail when a wrong path squashes. Squashed slots are reused
+    // by later correct-path entries; nothing can still reference them
+    // (wrong-path producers never enter the rename map).
+    std::uint64_t poppedFront = 0;
+    std::uint64_t nextSlot = 0;
+    const auto robIndexOf = [&poppedFront](std::uint64_t slot) {
+        return static_cast<std::size_t>(slot - poppedFront);
+    };
+    const auto inRob = [&rob, &poppedFront](std::uint64_t slot) {
+        return slot >= poppedFront &&
+               slot < poppedFront + rob.size();
+    };
+
+    std::vector<FetchedInst> bundle;
+    std::vector<Addr> bundlePcs;
+    std::vector<std::size_t> bundleValueIdx;
+
+    Cycle now = 0;
+    Cycle lastCommit = 0;
+    std::uint64_t committed = 0;
+    Cycle idleCycles = 0;
+    // Dispatched-but-not-executed entries: the scheduling-window load.
+    unsigned unexecuted = 0;
+    // Retired entries must outlive any dispatched consumer's wakeup, so
+    // the deque also buffers executed entries until they reach the head;
+    // this bounds its growth when the head stalls on a long chain.
+    const std::size_t robCapacity =
+        config.windowFreePolicy == WindowFreePolicy::AtExecute
+            ? static_cast<std::size_t>(config.windowSize) * 8
+            : config.windowSize;
+
+    while (committed < records.size()) {
+        ++now;
+        bool progress = false;
+
+        // --- Commit: in order, executed in a previous cycle. With the
+        // scheduling-window policy the retire width is unconstrained
+        // (slots were recycled at execute); with the ROB policy it is
+        // the commit width. ---
+        unsigned commits_left =
+            config.windowFreePolicy == WindowFreePolicy::AtCommit
+                ? config.commitWidth
+                : std::numeric_limits<unsigned>::max();
+        while (!rob.empty() && commits_left > 0) {
+            const RobEntry &head = rob.front();
+            if (!head.executed || head.execCycle >= now)
+                break;
+            // Train the value predictor in program order at retire; the
+            // speculative lookup-time update covered in-flight copies
+            // (paper §3.1: the correct value is stored in the table "as
+            // soon as it is known", and retire order keeps the stride
+            // state consistent).
+            if (head.vpTracked) {
+                if (vpTable) {
+                    vpTable->update(head.pc, head.vpPrediction,
+                                    head.result);
+                } else if (plainPredictor) {
+                    plainPredictor->update(head.pc, head.vpPrediction,
+                                           head.result);
+                }
+            }
+            panicIf(head.wrongPath,
+                    "a wrong-path entry survived to commit");
+            lastCommit = now;
+            ++committed;
+            --commits_left;
+            rob.pop_front();
+            ++poppedFront;
+            progress = true;
+        }
+
+        // --- Execute: dataflow issue, oldest first. Operand wakeup runs
+        // for every entry each cycle (a consumer must capture its
+        // producer's ready time before the producer can commit); actual
+        // issue is bounded by the issue width. ---
+        unsigned issues_left = config.issueWidth;
+        for (std::size_t i = 0; i < rob.size(); ++i) {
+            RobEntry &entry = rob[i];
+            if (entry.executed)
+                continue;
+
+            // Operand wakeup: capture producers' ready times. A consumer
+            // must do this before its producer can commit, so wakeup is
+            // not gated by the issue width.
+            bool plain_ready = true;
+            for (unsigned op = 0; op < entry.numOperands; ++op) {
+                RobEntry::Operand &operand = entry.operands[op];
+                if (operand.pending) {
+                    panicIf(!inRob(operand.producerSlot),
+                            "pending operand lost its producer");
+                    const RobEntry &producer =
+                        rob[robIndexOf(operand.producerSlot)];
+                    if (producer.executed) {
+                        operand.pending = false;
+                        operand.readyAt = producer.execCycle + 1;
+                    }
+                }
+                if (operand.wrongSpeculation)
+                    continue; // does not gate issue: we speculate
+                if (operand.pending || operand.readyAt > now)
+                    plain_ready = false;
+            }
+
+            // Issue: non-predicted operands ready, front end done.
+            if (!entry.issued) {
+                if (!plain_ready || issues_left == 0)
+                    continue;
+                if (now < entry.fetchCycle + config.frontendLatency)
+                    continue;
+                entry.issued = true;
+                entry.issueCycle = now;
+                --issues_left;
+                progress = true;
+            }
+
+            // Completion: wrong speculations reissue one penalty after
+            // the real value arrives, unless the real value was already
+            // available when the consumer issued (then it simply used
+            // it and the prediction was merely useless).
+            bool complete = true;
+            for (unsigned op = 0; op < entry.numOperands; ++op) {
+                const RobEntry::Operand &operand = entry.operands[op];
+                if (!operand.wrongSpeculation)
+                    continue;
+                if (operand.pending) {
+                    complete = false;
+                    continue;
+                }
+                const Cycle needed =
+                    operand.readyAt <= entry.issueCycle
+                        ? operand.readyAt
+                        : operand.readyAt + config.vpPenalty;
+                if (needed > now)
+                    complete = false;
+            }
+            if (!complete)
+                continue;
+
+            entry.executed = true;
+            entry.execCycle = now;
+            --unexecuted;
+            progress = true;
+
+            // A mispredicted branch redirects fetch as it resolves,
+            // and every younger entry (all wrong-path bubbles, since
+            // correct-path fetch was stalled) squashes.
+            if (entry.isControl && entry.mispredictedBranch) {
+                engine->branchResolved(entry.seq, now);
+                while (rob.size() > i + 1) {
+                    RobEntry &victim = rob.back();
+                    panicIf(!victim.wrongPath,
+                            "squashed a correct-path entry");
+                    if (!victim.executed)
+                        --unexecuted;
+                    rob.pop_back();
+                    --nextSlot;
+                }
+            }
+        }
+
+        // --- Fetch/dispatch. ---
+        const unsigned window_load =
+            config.windowFreePolicy == WindowFreePolicy::AtExecute
+                ? unexecuted
+                : static_cast<unsigned>(rob.size());
+        if (!engine->done() && window_load < config.windowSize &&
+            rob.size() < robCapacity) {
+            const unsigned budget = std::min<std::size_t>(
+                std::min<std::size_t>(config.issueWidth,
+                                      config.windowSize - window_load),
+                robCapacity - rob.size());
+            bundle.clear();
+            engine->fetch(now, budget, bundle);
+
+            // Interleaved-table arbitration happens once per bundle.
+            std::vector<VpGrant> grants;
+            if (vpTable) {
+                bundlePcs.clear();
+                bundleValueIdx.clear();
+                for (std::size_t i = 0; i < bundle.size(); ++i) {
+                    const TraceRecord &rec = bundle[i].record;
+                    const bool in_scope =
+                        config.vpScope == VpScope::AllInstructions ||
+                        rec.instClass() == InstClass::Load;
+                    if (rec.producesValue() && in_scope) {
+                        bundlePcs.push_back(rec.pc);
+                        bundleValueIdx.push_back(i);
+                    }
+                }
+                grants = vpTable->processBundle(bundlePcs);
+            }
+
+            std::size_t grant_cursor = 0;
+            for (const FetchedInst &fetched : bundle) {
+                const TraceRecord &record = fetched.record;
+                RobEntry entry;
+                entry.seq = record.seq;
+                entry.wrongPath = fetched.wrongPath;
+                entry.pc = record.pc;
+                entry.fetchCycle = now;
+                entry.isControl = record.isControlFlow();
+                entry.mispredictedBranch = fetched.mispredicted;
+                entry.producesValue = record.producesValue();
+                entry.result = record.result;
+
+                // Wrong-path bubbles: poll (and pollute) the value
+                // predictor, then release the lookup immediately; no
+                // operands, no rename-map update, never committed.
+                if (entry.wrongPath) {
+                    const bool wp_in_scope =
+                        config.vpScope == VpScope::AllInstructions ||
+                        record.instClass() == InstClass::Load;
+                    if (entry.producesValue &&
+                        config.useValuePrediction &&
+                        !config.perfectValuePrediction && wp_in_scope) {
+                        if (vpTable) {
+                            const VpGrant &grant =
+                                grants[grant_cursor++];
+                            if (grant.granted)
+                                vpTable->abandon(record.pc);
+                        } else if (plainPredictor) {
+                            plainPredictor->predict(record.pc);
+                            plainPredictor->abandon(record.pc);
+                        }
+                    }
+                    entry.robSlot = nextSlot++;
+                    rob.push_back(entry);
+                    ++unexecuted;
+                    progress = true;
+                    continue;
+                }
+
+                // Value prediction for this instruction's own output.
+                const bool vp_in_scope =
+                    config.vpScope == VpScope::AllInstructions ||
+                    record.instClass() == InstClass::Load;
+                if (entry.producesValue && config.useValuePrediction &&
+                    vp_in_scope) {
+                    if (config.perfectValuePrediction) {
+                        entry.vpPredicted = true;
+                        entry.vpCorrect = true;
+                        ++result.vpPredictionsMade;
+                        ++result.vpPredictionsCorrect;
+                    } else if (vpTable) {
+                        const VpGrant &grant = grants[grant_cursor++];
+                        if (grant.granted) {
+                            entry.vpPrediction = grant.prediction;
+                            entry.vpPredicted =
+                                grant.prediction.predicted;
+                            entry.vpCorrect =
+                                entry.vpPredicted &&
+                                grant.prediction.value == record.result;
+                            if (config.vpUpdateTiming ==
+                                VpUpdateTiming::Dispatch) {
+                                vpTable->update(record.pc,
+                                                entry.vpPrediction,
+                                                record.result);
+                            } else {
+                                entry.vpTracked = true;
+                            }
+                        }
+                    } else {
+                        entry.vpPrediction =
+                            plainPredictor->predict(record.pc);
+                        entry.vpPredicted = entry.vpPrediction.predicted;
+                        entry.vpCorrect =
+                            entry.vpPredicted &&
+                            entry.vpPrediction.value == record.result;
+                        if (config.vpUpdateTiming ==
+                            VpUpdateTiming::Dispatch) {
+                            plainPredictor->update(record.pc,
+                                                   entry.vpPrediction,
+                                                   record.result);
+                        } else {
+                            entry.vpTracked = true;
+                        }
+                    }
+                }
+
+                // Resolve source operands against in-flight producers.
+                const auto addOperand = [&](RegIndex reg) {
+                    if (reg == invalidReg || reg == 0)
+                        return;
+                    const WriterInfo &writer = lastWriter[reg];
+                    if (!inRob(writer.slot))
+                        return; // architecturally ready
+                    const RobEntry &producer =
+                        rob[robIndexOf(writer.slot)];
+                    if (config.useValuePrediction &&
+                        producer.vpPredicted && producer.vpCorrect) {
+                        return; // speculate on the predicted value
+                    }
+                    RobEntry::Operand operand;
+                    operand.wrongSpeculation =
+                        config.useValuePrediction &&
+                        producer.vpPredicted && !producer.vpCorrect;
+                    if (producer.executed) {
+                        operand.readyAt = producer.execCycle + 1;
+                    } else {
+                        operand.pending = true;
+                        operand.producerSlot = producer.robSlot;
+                    }
+                    entry.operands[entry.numOperands++] = operand;
+                };
+                addOperand(record.rs1);
+                addOperand(record.rs2);
+
+                entry.robSlot = nextSlot++;
+                rob.push_back(entry);
+                ++unexecuted;
+                if (entry.producesValue)
+                    lastWriter[record.rd].slot = entry.robSlot;
+                progress = true;
+            }
+        }
+
+        if (!progress) {
+            ++idleCycles;
+            panicIf(idleCycles > 1000000,
+                    "pipeline machine deadlocked (no progress)");
+        } else {
+            idleCycles = 0;
+        }
+    }
+
+    result.cycles = lastCommit;
+    result.ipc = static_cast<double>(result.instructions) /
+                 static_cast<double>(result.cycles);
+    result.branchMispredicts = engine->mispredicts();
+    if (btb)
+        result.branchAccuracy = btb->accuracy();
+    if (tc) {
+        result.tcHitRate = tc->hitRate();
+        result.tcLookups = tc->lookups();
+        result.tcLineInsts = tc->lineInstsDelivered();
+    }
+    if (bac) {
+        result.bacHitRate = bac->hitRate();
+        result.bacBankConflicts = bac->bankConflicts();
+    }
+    if (cb)
+        result.cbCollapsedBranches = cb->collapsedBranches();
+    if (icache)
+        result.icacheHitRate = icache->hitRate();
+    if (seq_fetch)
+        result.wrongPathFetched = seq_fetch->wrongPathFetched();
+    if (vpTable) {
+        ClassifiedPredictor &classified = vpTable->predictor();
+        result.vpPredictionsMade = classified.predictionsMade();
+        result.vpPredictionsCorrect = classified.predictionsCorrect();
+        result.vpPredictionsWrong = classified.predictionsWrong();
+        result.vptRequests = vpTable->requests();
+        result.vptMergedRequests = vpTable->mergedRequests();
+        result.vptDeniedRequests = vpTable->deniedRequests();
+        result.vptDistributorAdditions = vpTable->distributorAdditions();
+    } else if (plainPredictor) {
+        result.vpPredictionsMade = plainPredictor->predictionsMade();
+        result.vpPredictionsCorrect =
+            plainPredictor->predictionsCorrect();
+        result.vpPredictionsWrong = plainPredictor->predictionsWrong();
+    }
+    return result;
+}
+
+std::string
+PipelineResult::report() const
+{
+    std::ostringstream oss;
+    oss << "pipeline machine: " << instructions << " insts in "
+        << cycles << " cycles (IPC " << ipc << ")\n";
+    oss << "  branches: accuracy " << branchAccuracy * 100.0 << "%, "
+        << branchMispredicts << " mispredicts\n";
+    if (vpPredictionsMade > 0) {
+        oss << "  value predictions: " << vpPredictionsMade << " made, "
+            << vpPredictionsCorrect << " correct, " << vpPredictionsWrong
+            << " wrong\n";
+    }
+    if (tcLookups > 0) {
+        oss << "  trace cache: hit rate " << tcHitRate * 100.0 << "%, "
+            << tcLineInsts << " line insts delivered\n";
+    }
+    if (vptRequests > 0) {
+        oss << "  vp table: " << vptRequests << " requests, "
+            << vptMergedRequests << " merged, " << vptDeniedRequests
+            << " denied, " << vptDistributorAdditions
+            << " distributor adds\n";
+    }
+    if (wrongPathFetched > 0) {
+        oss << "  wrong path: " << wrongPathFetched
+            << " instructions fetched and squashed\n";
+    }
+    return oss.str();
+}
+
+double
+pipelineVpSpeedup(const std::vector<TraceRecord> &records,
+                  const PipelineConfig &config)
+{
+    PipelineConfig base = config;
+    base.useValuePrediction = false;
+    PipelineConfig vp = config;
+    vp.useValuePrediction = true;
+
+    const PipelineResult base_result = runPipelineMachine(records, base);
+    const PipelineResult vp_result = runPipelineMachine(records, vp);
+    if (vp_result.cycles == 0)
+        return 1.0;
+    return static_cast<double>(base_result.cycles) /
+           static_cast<double>(vp_result.cycles);
+}
+
+} // namespace vpsim

@@ -1,0 +1,40 @@
+#include "core/speedup.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace vpsim
+{
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double value : values)
+        sum += value;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const double value : values) {
+        panicIf(value <= 0.0, "geometric mean needs positive values");
+        log_sum += std::log(value);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+speedupToGain(double speedup_ratio)
+{
+    return speedup_ratio - 1.0;
+}
+
+} // namespace vpsim

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Small helpers for reporting speedups the way the paper does.
+ *
+ * The paper reports per-benchmark speedup of a machine with value
+ * prediction relative to the *same* machine without it, plus an "avg"
+ * column that is the arithmetic mean of the per-benchmark speedup gains.
+ */
+
+#ifndef VPSIM_CORE_SPEEDUP_HPP
+#define VPSIM_CORE_SPEEDUP_HPP
+
+#include <vector>
+
+namespace vpsim
+{
+
+/** Arithmetic mean of @p values (0 when empty). */
+double arithmeticMean(const std::vector<double> &values);
+
+/** Geometric mean of @p values (0 when empty; values must be > 0). */
+double geometricMean(const std::vector<double> &values);
+
+/** Convert a speedup ratio (e.g. 1.33) to a gain fraction (0.33). */
+double speedupToGain(double speedup_ratio);
+
+} // namespace vpsim
+
+#endif // VPSIM_CORE_SPEEDUP_HPP

@@ -1,0 +1,106 @@
+#include "fetch/branch_address_cache.hpp"
+
+#include "common/logging.hpp"
+#include "isa/instruction.hpp"
+
+namespace vpsim
+{
+
+BranchAddressCacheFetch::BranchAddressCacheFetch(
+    const std::vector<TraceRecord> &trace_records,
+    BranchPredictor &branch_predictor, const BacConfig &config)
+    : TraceFetchBase(trace_records, branch_predictor),
+      cfg(config)
+{
+    fatalIf(cfg.entries == 0 || (cfg.entries & (cfg.entries - 1)) != 0,
+            "BAC entry count must be a power of two");
+    fatalIf(cfg.maxBlocksPerCycle == 0,
+            "BAC must fetch at least one block per cycle");
+    fatalIf(cfg.icacheBanks == 0, "icache bank count must be positive");
+    entries.resize(cfg.entries);
+}
+
+std::size_t
+BranchAddressCacheFetch::indexOf(Addr pc) const
+{
+    return (pc / instBytes) & (cfg.entries - 1);
+}
+
+unsigned
+BranchAddressCacheFetch::bankOf(Addr pc) const
+{
+    return static_cast<unsigned>((pc / cfg.lineBytes) % cfg.icacheBanks);
+}
+
+void
+BranchAddressCacheFetch::fetch(Cycle now, unsigned max_insts,
+                               std::vector<FetchedInst> &out)
+{
+    if (stalled(now) || done())
+        return;
+
+    std::vector<bool> bank_busy(cfg.icacheBanks, false);
+    unsigned blocks = 0;
+    unsigned fetched = 0;
+
+    while (blocks < cfg.maxBlocksPerCycle && fetched < max_insts &&
+           !done()) {
+        const Addr block_start = trace[cursor].pc;
+
+        // Interleaved icache constraint: the block's starting line bank
+        // must be free this cycle.
+        const unsigned bank = bankOf(block_start);
+        if (bank_busy[bank]) {
+            ++numBankConflicts;
+            break;
+        }
+        bank_busy[bank] = true;
+
+        // The first block of a cycle always fetches (the fetch address
+        // itself needs no BAC entry); continuing to FURTHER blocks
+        // requires the BAC to know this block so it can produce the
+        // next block's address this same cycle.
+        if (blocks > 0) {
+            ++numLookups;
+            Entry &entry = entries[indexOf(block_start)];
+            if (!entry.valid || entry.startPc != block_start) {
+                // BAC miss: learn the block, end the bundle.
+                entry.valid = true;
+                entry.startPc = block_start;
+                break;
+            }
+            ++numHits;
+        } else {
+            Entry &entry = entries[indexOf(block_start)];
+            entry.valid = true;
+            entry.startPc = block_start;
+        }
+
+        // Deliver the block: instructions up to and including the next
+        // control transfer (or the width limit).
+        bool block_ended = false;
+        while (fetched < max_insts && !done() && !block_ended) {
+            const TraceRecord &record = trace[cursor];
+            const bool mispredicted = consumeRecord(out);
+            ++fetched;
+            if (mispredicted)
+                return; // stall armed inside consumeRecord
+            if (record.isControlFlow())
+                block_ended = true;
+        }
+        ++blocks;
+        if (!block_ended)
+            break; // width limit hit inside the block
+    }
+}
+
+double
+BranchAddressCacheFetch::hitRate() const
+{
+    if (numLookups == 0)
+        return 0.0;
+    return static_cast<double>(numHits) /
+           static_cast<double>(numLookups);
+}
+
+} // namespace vpsim

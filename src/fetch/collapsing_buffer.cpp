@@ -1,0 +1,81 @@
+#include "fetch/collapsing_buffer.hpp"
+
+#include "common/logging.hpp"
+
+namespace vpsim
+{
+
+CollapsingBufferFetch::CollapsingBufferFetch(
+    const std::vector<TraceRecord> &trace_records,
+    BranchPredictor &branch_predictor,
+    const CollapsingBufferConfig &config)
+    : TraceFetchBase(trace_records, branch_predictor),
+      cfg(config)
+{
+    fatalIf(cfg.lineBytes == 0 ||
+                (cfg.lineBytes & (cfg.lineBytes - 1)) != 0,
+            "collapsing buffer line size must be a power of two");
+    fatalIf(cfg.linesPerCycle == 0, "need at least one line per cycle");
+    fatalIf(cfg.banks == 0, "icache bank count must be positive");
+}
+
+unsigned
+CollapsingBufferFetch::bankOf(Addr pc) const
+{
+    return static_cast<unsigned>(lineOf(pc) % cfg.banks);
+}
+
+void
+CollapsingBufferFetch::fetch(Cycle now, unsigned max_insts,
+                             std::vector<FetchedInst> &out)
+{
+    if (stalled(now) || done())
+        return;
+
+    std::vector<bool> bank_busy(cfg.banks, false);
+    unsigned lines_used = 0;
+    Addr current_line = 0;
+    bool have_line = false;
+    unsigned fetched = 0;
+
+    while (fetched < max_insts && !done()) {
+        const TraceRecord &record = trace[cursor];
+        const Addr record_line = lineOf(record.pc);
+
+        if (!have_line || record_line != current_line) {
+            // Need a (new) line window.
+            if (lines_used >= cfg.linesPerCycle)
+                break;
+            const unsigned bank = bankOf(record.pc);
+            if (bank_busy[bank]) {
+                ++numBankConflicts;
+                break;
+            }
+            bank_busy[bank] = true;
+            current_line = record_line;
+            have_line = true;
+            ++lines_used;
+        }
+
+        const bool mispredicted = consumeRecord(out);
+        ++fetched;
+        if (mispredicted)
+            return;
+
+        if (record.isControlFlow() && record.taken) {
+            const Addr target_line = lineOf(record.nextPc);
+            if (target_line == current_line &&
+                record.nextPc > record.pc) {
+                // Short forward branch inside the line: the collapsing
+                // buffer splices the gap out; fetch continues for free.
+                ++numCollapsed;
+            } else {
+                // Leaving the line: the next iteration will try to
+                // allocate the second line window for the target.
+                have_line = false;
+            }
+        }
+    }
+}
+
+} // namespace vpsim

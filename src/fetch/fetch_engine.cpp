@@ -1,0 +1,54 @@
+#include "fetch/fetch_engine.hpp"
+
+#include "common/logging.hpp"
+
+namespace vpsim
+{
+
+TraceFetchBase::TraceFetchBase(
+    const std::vector<TraceRecord> &trace_records,
+    BranchPredictor &branch_predictor)
+    : trace(trace_records),
+      bpred(branch_predictor)
+{
+}
+
+bool
+TraceFetchBase::stalled(Cycle now) const
+{
+    return pendingBranch != invalidSeqNum || now < resumeCycle;
+}
+
+void
+TraceFetchBase::branchResolved(SeqNum seq, Cycle resolve_cycle)
+{
+    if (seq != pendingBranch)
+        return;
+    pendingBranch = invalidSeqNum;
+    resumeCycle = resolve_cycle + 1;
+}
+
+bool
+TraceFetchBase::consumeRecord(std::vector<FetchedInst> &out)
+{
+    panicIf(cursor >= trace.size(), "fetch past the end of the trace");
+    const TraceRecord &record = trace[cursor];
+    FetchedInst inst;
+    inst.record = record;
+    if (record.isControlFlow()) {
+        const BranchPrediction prediction = bpred.predict(record);
+        bpred.update(record, prediction);
+        inst.mispredicted = !BranchPredictor::correct(record, prediction);
+        if (inst.mispredicted) {
+            pendingBranch = record.seq;
+            pendingPrediction = prediction;
+            ++numMispredicts;
+        }
+    }
+    out.push_back(inst);
+    ++cursor;
+    ++numFetched;
+    return inst.mispredicted;
+}
+
+} // namespace vpsim

@@ -1,0 +1,75 @@
+#include "fetch/icache.hpp"
+
+#include "common/logging.hpp"
+
+namespace vpsim
+{
+
+InstructionCache::InstructionCache(const ICacheConfig &config)
+    : cfg(config)
+{
+    fatalIf(cfg.lineBytes == 0 ||
+                (cfg.lineBytes & (cfg.lineBytes - 1)) != 0,
+            "icache line size must be a power of two");
+    fatalIf(cfg.ways == 0, "icache needs at least one way");
+    fatalIf(cfg.capacityBytes % (cfg.lineBytes * cfg.ways) != 0,
+            "icache capacity must divide into lines and ways");
+    numSets = cfg.capacityBytes / (cfg.lineBytes * cfg.ways);
+    fatalIf((numSets & (numSets - 1)) != 0,
+            "icache set count must be a power of two");
+    lines.resize(numSets * cfg.ways);
+}
+
+bool
+InstructionCache::access(Addr pc)
+{
+    ++numAccesses;
+    const Addr line_addr = pc / cfg.lineBytes;
+    const std::size_t set = line_addr & (numSets - 1);
+    const std::size_t base = set * cfg.ways;
+
+    for (std::size_t way = 0; way < cfg.ways; ++way) {
+        Line &line = lines[base + way];
+        if (line.valid && line.tag == line_addr) {
+            line.lastUse = ++useClock;
+            return true;
+        }
+    }
+
+    // Miss: fill into the LRU way.
+    ++numMisses;
+    Line *victim = &lines[base];
+    for (std::size_t way = 1; way < cfg.ways; ++way) {
+        if (!lines[base + way].valid ||
+            lines[base + way].lastUse < victim->lastUse) {
+            victim = &lines[base + way];
+        }
+        if (!victim->valid)
+            break;
+    }
+    victim->valid = true;
+    victim->tag = line_addr;
+    victim->lastUse = ++useClock;
+    return false;
+}
+
+double
+InstructionCache::hitRate() const
+{
+    if (numAccesses == 0)
+        return 1.0;
+    return static_cast<double>(numAccesses - numMisses) /
+           static_cast<double>(numAccesses);
+}
+
+void
+InstructionCache::reset()
+{
+    for (Line &line : lines)
+        line.valid = false;
+    useClock = 0;
+    numAccesses = 0;
+    numMisses = 0;
+}
+
+} // namespace vpsim

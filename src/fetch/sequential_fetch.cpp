@@ -1,0 +1,148 @@
+#include "fetch/sequential_fetch.hpp"
+
+#include <sstream>
+
+namespace vpsim
+{
+
+SequentialFetch::SequentialFetch(
+    const std::vector<TraceRecord> &trace_records,
+    BranchPredictor &branch_predictor, unsigned max_taken_branches,
+    InstructionCache *instruction_cache,
+    const Program *wrong_path_program)
+    : TraceFetchBase(trace_records, branch_predictor),
+      maxTaken(max_taken_branches),
+      icache(instruction_cache),
+      wpProgram(wrong_path_program)
+{
+}
+
+void
+SequentialFetch::branchResolved(SeqNum seq, Cycle resolve_cycle)
+{
+    if (seq == pendingBranch)
+        wpActive = false;
+    TraceFetchBase::branchResolved(seq, resolve_cycle);
+}
+
+void
+SequentialFetch::fetchWrongPath(unsigned max_insts,
+                                std::vector<FetchedInst> &out)
+{
+    unsigned taken_seen = 0;
+    unsigned fetched = 0;
+    while (wpActive && fetched < max_insts) {
+        if (!wpProgram->contains(wpPc)) {
+            wpActive = false; // walked off the image: fetch goes idle
+            break;
+        }
+        const Instruction &inst =
+            wpProgram->at(wpProgram->indexOf(wpPc));
+        if (inst.op == OpCode::Halt) {
+            wpActive = false;
+            break;
+        }
+
+        TraceRecord rec;
+        rec.seq = wpNextSeq++;
+        rec.pc = wpPc;
+        rec.op = inst.op;
+        rec.rd = writesDest(inst.op) ? inst.rd : invalidReg;
+        rec.rs1 = readsSrc1(inst.op) ? inst.rs1 : invalidReg;
+        rec.rs2 = readsSrc2(inst.op) ? inst.rs2 : invalidReg;
+
+        Addr next = rec.fallThrough();
+        if (inst.op == OpCode::Jal) {
+            rec.taken = true;
+            next = wpProgram->pcOf(inst.target);
+        } else if (inst.op == OpCode::Jalr) {
+            // Navigate indirect jumps through the BTB (peek only).
+            const BranchPrediction p = bpred.predict(rec);
+            if (p.btbHit) {
+                rec.taken = true;
+                next = p.target;
+            } else {
+                wpActive = false; // no target to follow
+            }
+        } else if (inst.isConditional()) {
+            const BranchPrediction p = bpred.predict(rec);
+            rec.taken = p.taken;
+            if (p.taken)
+                next = wpProgram->pcOf(inst.target);
+        }
+        rec.nextPc = next;
+
+        FetchedInst fetched_inst;
+        fetched_inst.record = rec;
+        fetched_inst.wrongPath = true;
+        out.push_back(fetched_inst);
+        ++fetched;
+        ++numWrongPath;
+
+        if (!wpActive)
+            break;
+        if (rec.taken) {
+            ++taken_seen;
+            if (maxTaken != 0 && taken_seen >= maxTaken)
+                break;
+        }
+        wpPc = next;
+    }
+}
+
+void
+SequentialFetch::fetch(Cycle now, unsigned max_insts,
+                       std::vector<FetchedInst> &out)
+{
+    if (stalled(now) || done()) {
+        // While a misprediction resolves, a wrong-path-enabled front
+        // end keeps fetching down the predicted path.
+        if (wpProgram && wpActive && pendingBranch != invalidSeqNum)
+            fetchWrongPath(max_insts, out);
+        return;
+    }
+
+    unsigned taken_seen = 0;
+    unsigned fetched = 0;
+    while (fetched < max_insts && !done()) {
+        const TraceRecord &record = trace[cursor];
+        // Instruction cache: a missing line ends the bundle and stalls
+        // fetch while the line fills (it is resident afterwards).
+        if (icache && !icache->access(record.pc)) {
+            resumeCycle = now + icache->missPenalty();
+            break;
+        }
+        const bool mispredicted = consumeRecord(out);
+        ++fetched;
+        if (mispredicted) {
+            if (wpProgram) {
+                // Arm the wrong-path walker at the predicted target.
+                wpPc = pendingPrediction.taken
+                    ? pendingPrediction.target
+                    : record.fallThrough();
+                wpActive = true;
+            }
+            break;
+        }
+        if (record.isControlFlow() && record.taken) {
+            ++taken_seen;
+            if (maxTaken != 0 && taken_seen >= maxTaken)
+                break;
+        }
+    }
+}
+
+std::string
+SequentialFetch::name() const
+{
+    std::ostringstream oss;
+    oss << "sequential(maxTaken=";
+    if (maxTaken == 0)
+        oss << "unlimited";
+    else
+        oss << maxTaken;
+    oss << ")";
+    return oss.str();
+}
+
+} // namespace vpsim

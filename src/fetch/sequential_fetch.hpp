@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Conventional multi-branch fetch engine (paper §5, Figures 5.1/5.2):
+ * fetches up to the machine width each cycle but stops after n taken
+ * control transfers (n = 1..4 or unlimited). The branch predictor may be
+ * consulted multiple times per cycle ([18]).
+ */
+
+#ifndef VPSIM_FETCH_SEQUENTIAL_FETCH_HPP
+#define VPSIM_FETCH_SEQUENTIAL_FETCH_HPP
+
+#include "fetch/fetch_engine.hpp"
+#include "fetch/icache.hpp"
+#include "vm/program.hpp"
+
+namespace vpsim
+{
+
+/** Width-and-taken-branch-limited fetch. */
+class SequentialFetch : public TraceFetchBase
+{
+  public:
+    /**
+     * @param trace_records The dynamic trace.
+     * @param branch_predictor Consulted for every control instruction.
+     * @param max_taken_branches Taken transfers allowed per cycle;
+     *        0 means unlimited.
+     * @param instruction_cache Optional icache; a miss ends the bundle
+     *        and stalls fetch for the miss penalty (not owned).
+     * @param wrong_path_program When non-null, fetch continues down the
+     *        mispredicted path (navigated through this static program
+     *        image and the branch predictor) while the machine resolves
+     *        the branch; those instructions are marked wrongPath and
+     *        squashed at resolution (not owned).
+     */
+    SequentialFetch(const std::vector<TraceRecord> &trace_records,
+                    BranchPredictor &branch_predictor,
+                    unsigned max_taken_branches,
+                    InstructionCache *instruction_cache = nullptr,
+                    const Program *wrong_path_program = nullptr);
+
+    void fetch(Cycle now, unsigned max_insts,
+               std::vector<FetchedInst> &out) override;
+
+    void branchResolved(SeqNum seq, Cycle resolve_cycle) override;
+
+    std::string name() const override;
+
+    /** Wrong-path instructions delivered (squashed later). */
+    std::uint64_t wrongPathFetched() const { return numWrongPath; }
+
+  private:
+    void fetchWrongPath(unsigned max_insts,
+                        std::vector<FetchedInst> &out);
+
+    unsigned maxTaken;
+    InstructionCache *icache;
+    const Program *wpProgram;
+
+    bool wpActive = false;
+    Addr wpPc = 0;
+    /** Synthetic sequence numbers, far above any real trace. */
+    SeqNum wpNextSeq = SeqNum{1} << 62;
+    std::uint64_t numWrongPath = 0;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_FETCH_SEQUENTIAL_FETCH_HPP

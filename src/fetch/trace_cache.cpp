@@ -1,0 +1,110 @@
+#include "fetch/trace_cache.hpp"
+
+#include "common/logging.hpp"
+#include "isa/instruction.hpp"
+
+namespace vpsim
+{
+
+TraceCacheFetch::TraceCacheFetch(
+    const std::vector<TraceRecord> &trace_records,
+    BranchPredictor &branch_predictor, const TraceCacheConfig &config)
+    : TraceFetchBase(trace_records, branch_predictor),
+      cfg(config)
+{
+    fatalIf(cfg.lines == 0 || (cfg.lines & (cfg.lines - 1)) != 0,
+            "trace cache line count must be a power of two");
+    fatalIf(cfg.maxLineInsts == 0 || cfg.maxLineBlocks == 0,
+            "trace cache line limits must be positive");
+    lines.resize(cfg.lines);
+}
+
+std::size_t
+TraceCacheFetch::lineIndex(Addr pc) const
+{
+    return (pc / instBytes) & (cfg.lines - 1);
+}
+
+void
+TraceCacheFetch::feedFillUnit(const TraceRecord &record)
+{
+    if (pendingPath.empty()) {
+        pendingStart = record.pc;
+        pendingBlocks = 0;
+    }
+    pendingPath.push_back(record.pc);
+    if (record.isControlFlow())
+        ++pendingBlocks;
+
+    const bool full = pendingPath.size() >= cfg.maxLineInsts ||
+                      pendingBlocks >= cfg.maxLineBlocks;
+    if (full) {
+        Line &line = lines[lineIndex(pendingStart)];
+        line.valid = true;
+        line.startPc = pendingStart;
+        line.path = pendingPath;
+        ++numFills;
+        pendingPath.clear();
+        pendingBlocks = 0;
+    }
+}
+
+void
+TraceCacheFetch::fetch(Cycle now, unsigned max_insts,
+                       std::vector<FetchedInst> &out)
+{
+    if (stalled(now) || done())
+        return;
+
+    const Addr fetch_pc = trace[cursor].pc;
+    ++numLookups;
+    const Line &line = lines[lineIndex(fetch_pc)];
+    const bool hit = line.valid && line.startPc == fetch_pc;
+
+    if (hit) {
+        ++numHits;
+        // Deliver the stored path, truncating where the actual path
+        // diverges from the line (partial hit) or at a misprediction.
+        unsigned delivered = 0;
+        for (const Addr expected_pc : line.path) {
+            if (delivered >= max_insts || done())
+                break;
+            const TraceRecord &record = trace[cursor];
+            if (record.pc != expected_pc)
+                break; // execution diverged from the stored trace
+            const bool mispredicted = consumeRecord(out);
+            feedFillUnit(record);
+            ++delivered;
+            ++numLineInsts;
+            if (mispredicted)
+                break;
+        }
+        return;
+    }
+
+    // Miss path: conventional contiguous fetch up to the first taken
+    // transfer (or the miss-fetch width), feeding the fill unit.
+    unsigned fetched = 0;
+    const unsigned budget = std::min(max_insts, cfg.missFetchWidth);
+    while (fetched < budget && !done()) {
+        const TraceRecord &record = trace[cursor];
+        const bool mispredicted = consumeRecord(out);
+        feedFillUnit(record);
+        ++fetched;
+        if (mispredicted)
+            break;
+        if (record.isControlFlow() && record.taken)
+            break;
+    }
+}
+
+double
+TraceCacheFetch::hitRate() const
+{
+    if (numLookups == 0)
+        return 0.0;
+    return static_cast<double>(numHits) /
+           static_cast<double>(numLookups);
+}
+
+} // namespace vpsim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Static instruction representation of the mini RISC ISA.
+ */
+
+#ifndef VPSIM_ISA_INSTRUCTION_HPP
+#define VPSIM_ISA_INSTRUCTION_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "isa/opcodes.hpp"
+
+namespace vpsim
+{
+
+/** Byte size of one encoded instruction (fixed-width ISA). */
+inline constexpr Addr instBytes = 4;
+
+/** Number of architectural general-purpose registers; r0 reads as zero. */
+inline constexpr unsigned numArchRegs = 32;
+
+/**
+ * One static instruction.
+ *
+ * Semantics summary:
+ *  - ALU reg-reg:   rd = rs1 op rs2
+ *  - ALU reg-imm:   rd = rs1 op imm            (lui: rd = imm << 16)
+ *  - ld:            rd = mem64[rs1 + imm]
+ *  - lbu:           rd = mem8[rs1 + imm]
+ *  - st:            mem64[rs1 + imm] = rs2
+ *  - sb:            mem8[rs1 + imm] = rs2 & 0xff
+ *  - beq/bne/...:   if (rs1 cmp rs2) goto target
+ *  - jal:           rd = linkValue; goto target
+ *  - jalr:          rd = linkValue; goto rs1 + imm
+ *
+ * @c target is an *instruction index* into the owning Program (resolved
+ * from a label by the ProgramBuilder), not a byte address.
+ */
+struct Instruction
+{
+    OpCode op = OpCode::Nop;
+    RegIndex rd = invalidReg;
+    RegIndex rs1 = invalidReg;
+    RegIndex rs2 = invalidReg;
+    std::int64_t imm = 0;
+    std::uint32_t target = 0;
+
+    /** Functional class (IntAlu / Load / Branch / ...). */
+    InstClass instClass() const { return instClassOf(op); }
+
+    /** True for conditional branches. */
+    bool isConditional() const { return isConditionalBranch(op); }
+
+    /** True for any control transfer. */
+    bool isControlFlow() const { return isControl(op); }
+
+    /** True when this instruction writes rd (and rd is not r0). */
+    bool
+    producesValue() const
+    {
+        return writesDest(op) && rd != invalidReg && rd != 0;
+    }
+
+    /** Disassemble for debugging, e.g. "add r3, r1, r2". */
+    std::string disassemble() const;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_ISA_INSTRUCTION_HPP

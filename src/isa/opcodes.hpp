@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Opcode set of the mini RISC ISA executed by the trace-generating VM.
+ *
+ * The ISA is deliberately small: a load/store 64-bit RISC machine with 32
+ * general-purpose registers (r0 hardwired to zero), conditional branches,
+ * and direct/indirect jumps. It is rich enough for the eight mini
+ * benchmarks (compression, interpreters, game search, DB transactions) to
+ * be written naturally, which is what gives the traces realistic value
+ * locality and control flow.
+ */
+
+#ifndef VPSIM_ISA_OPCODES_HPP
+#define VPSIM_ISA_OPCODES_HPP
+
+#include <cstdint>
+#include <string_view>
+
+namespace vpsim
+{
+
+/** Static opcode of one instruction. */
+enum class OpCode : std::uint8_t
+{
+    // Register-register ALU.
+    Add, Sub, And, Or, Xor, Slt, Sltu, Sll, Srl, Sra, Mul, Div, Rem,
+    // Register-immediate ALU.
+    Addi, Andi, Ori, Xori, Slti, Slli, Srli, Srai, Lui,
+    // Memory (64-bit word and unsigned byte).
+    Ld, St, Lbu, Sb,
+    // Conditional branches (compare two registers).
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    // Unconditional control flow.
+    Jal,  //!< Jump to label, link into rd.
+    Jalr, //!< Jump to register + imm, link into rd.
+    // Misc.
+    Nop,
+    Halt,
+
+    NumOpCodes,
+};
+
+/** Coarse functional class of an instruction, used by machine models. */
+enum class InstClass : std::uint8_t
+{
+    IntAlu,
+    IntMul,
+    IntDiv,
+    Load,
+    Store,
+    Branch, //!< Conditional branch.
+    Jump,   //!< Unconditional direct or indirect jump.
+    Nop,
+    Halt,
+};
+
+/** Functional class of @p op. */
+InstClass instClassOf(OpCode op);
+
+/** Mnemonic for @p op, e.g. "add". */
+std::string_view opcodeName(OpCode op);
+
+/** True for conditional branches. */
+bool isConditionalBranch(OpCode op);
+
+/** True for any control-transfer instruction (branch or jump). */
+bool isControl(OpCode op);
+
+/** True when the instruction writes a destination register. */
+bool writesDest(OpCode op);
+
+/** True when the opcode reads rs1. */
+bool readsSrc1(OpCode op);
+
+/** True when the opcode reads rs2. */
+bool readsSrc2(OpCode op);
+
+/** True for loads and stores. */
+bool isMemory(OpCode op);
+
+} // namespace vpsim
+
+#endif // VPSIM_ISA_OPCODES_HPP

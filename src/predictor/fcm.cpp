@@ -1,0 +1,113 @@
+#include "predictor/fcm.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace vpsim
+{
+
+FcmPredictor::FcmPredictor(unsigned context_order,
+                           std::size_t table_capacity,
+                           unsigned value_table_bits)
+    : order(context_order),
+      contexts(table_capacity),
+      values(std::size_t{1} << value_table_bits),
+      valueMask((std::uint64_t{1} << value_table_bits) - 1)
+{
+    fatalIf(order == 0 || order > 8, "FCM order out of range (1-8)");
+    fatalIf(value_table_bits == 0 || value_table_bits > 28,
+            "FCM value table bits out of range");
+}
+
+std::uint64_t
+FcmPredictor::contextHash(const ContextEntry &entry) const
+{
+    // Hash exactly the last `order` values, oldest first, so the
+    // context is a true sliding window (a period-k value sequence
+    // produces exactly k distinct contexts).
+    std::uint64_t hash = 0x9e3779b97f4a7c15ull;
+    for (unsigned i = 0; i < order; ++i) {
+        const Value value =
+            entry.recent[(entry.head + 8 - order + i) % 8];
+        const std::uint64_t mixed =
+            (value ^ (value >> 23)) * 0x2545f4914f6cdd1dull;
+        hash = (hash ^ mixed) * 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::size_t
+FcmPredictor::valueIndex(Addr pc, std::uint64_t context) const
+{
+    // The second level is shared; mixing the pc in reduces aliasing
+    // between instructions with the same value history.
+    const std::uint64_t mixed =
+        context ^ (static_cast<std::uint64_t>(pc) * 0x9e3779b97f4a7c15ull);
+    return static_cast<std::size_t>((mixed ^ (mixed >> 29)) & valueMask);
+}
+
+RawPrediction
+FcmPredictor::lookup(Addr pc)
+{
+    const ContextEntry *entry = contexts.find(pc);
+    if (!entry || entry->valuesSeen < order)
+        return {};
+    const std::uint64_t context = contextHash(*entry);
+    const ValueEntry &slot = values[valueIndex(pc, context)];
+    if (!slot.valid || slot.tag != context)
+        return {};
+    return {true, slot.value};
+}
+
+void
+FcmPredictor::train(Addr pc, Value actual, bool spec_was_correct)
+{
+    (void)spec_was_correct; // FCM state advances only on train
+    ContextEntry &entry = contexts.findOrAllocate(pc);
+    if (entry.valuesSeen >= order) {
+        const std::uint64_t context = contextHash(entry);
+        ValueEntry &slot = values[valueIndex(pc, context)];
+        slot.tag = context;
+        slot.value = actual;
+        slot.valid = true;
+    }
+    entry.recent[entry.head] = actual;
+    entry.head = static_cast<std::uint8_t>((entry.head + 1) % 8);
+    if (entry.valuesSeen < order)
+        ++entry.valuesSeen;
+}
+
+StrideInfo
+FcmPredictor::strideInfo(Addr pc) const
+{
+    // FCM predictions are context lookups, not arithmetic sequences:
+    // report the predicted value with a zero stride so the value
+    // distributor broadcasts it (like a last-value hit).
+    const ContextEntry *entry = contexts.find(pc);
+    if (!entry || entry->valuesSeen < order)
+        return {};
+    const std::uint64_t context = contextHash(*entry);
+    const ValueEntry &slot = values[valueIndex(pc, context)];
+    if (!slot.valid || slot.tag != context)
+        return {};
+    return {true, slot.value, 0};
+}
+
+std::string
+FcmPredictor::name() const
+{
+    std::ostringstream oss;
+    oss << "fcm-order" << order;
+    return oss.str();
+}
+
+void
+FcmPredictor::reset()
+{
+    contexts.clear();
+    for (ValueEntry &slot : values)
+        slot.valid = false;
+}
+
+} // namespace vpsim

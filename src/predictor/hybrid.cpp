@@ -1,0 +1,97 @@
+#include "predictor/hybrid.hpp"
+
+namespace vpsim
+{
+
+RawPrediction
+HybridPredictor::lookup(Addr pc)
+{
+    // The stride table has priority: it only holds instructions that
+    // demonstrated stride behaviour.
+    StrideEntry *stride_entry = strideTable.find(pc);
+    if (stride_entry && stride_entry->seen) {
+        ++strideHits;
+        ++stride_entry->inFlight;
+        const Value predicted =
+            stride_entry->specValue + stride_entry->stride;
+        stride_entry->specValue = predicted; // speculative update
+        return {true, predicted};
+    }
+    const LastEntry *last_entry = lastTable.find(pc);
+    if (last_entry && last_entry->timesSeen > 0) {
+        ++lastValueHits;
+        return {true, last_entry->lastValue};
+    }
+    return {};
+}
+
+void
+HybridPredictor::train(Addr pc, Value actual, bool spec_was_correct)
+{
+    StrideEntry *stride_entry = strideTable.find(pc);
+    if (stride_entry && stride_entry->seen) {
+        if (stride_entry->inFlight > 0)
+            --stride_entry->inFlight;
+        const Value observed = actual - stride_entry->lastValue;
+        const bool stable = observed == stride_entry->stride;
+        stride_entry->stride = observed;
+        stride_entry->lastValue = actual;
+        if (!spec_was_correct) {
+            stride_entry->specValue = stable
+                ? actual + observed * static_cast<Value>(
+                               stride_entry->inFlight)
+                : actual;
+        }
+        return;
+    }
+
+    LastEntry &entry = lastTable.findOrAllocate(pc);
+    if (entry.timesSeen > 0) {
+        const Value observed = actual - entry.lastValue;
+        // Promote to the stride table after two identical nonzero
+        // strides (the dynamic equivalent of a profiling opcode hint).
+        if (observed != 0 && observed == entry.prevStride &&
+            entry.timesSeen >= 2) {
+            StrideEntry &promoted = strideTable.findOrAllocate(pc);
+            promoted.lastValue = actual;
+            promoted.specValue = actual;
+            promoted.stride = observed;
+            promoted.seen = true;
+        }
+        entry.prevStride = observed;
+    }
+    entry.lastValue = actual;
+    if (entry.timesSeen < 3)
+        ++entry.timesSeen;
+}
+
+void
+HybridPredictor::abandon(Addr pc)
+{
+    StrideEntry *entry = strideTable.find(pc);
+    if (entry && entry->seen && entry->inFlight > 0)
+        --entry->inFlight;
+}
+
+StrideInfo
+HybridPredictor::strideInfo(Addr pc) const
+{
+    const StrideEntry *stride_entry = strideTable.find(pc);
+    if (stride_entry && stride_entry->seen)
+        return {true, stride_entry->specValue, stride_entry->stride};
+    const LastEntry *last_entry = lastTable.find(pc);
+    if (last_entry && last_entry->timesSeen > 0)
+        return {true, last_entry->lastValue, 0};
+    return {};
+}
+
+void
+HybridPredictor::reset()
+{
+    lastTable.clear();
+    strideTable.clear();
+    strideHits = 0;
+    lastValueHits = 0;
+}
+
+} // namespace vpsim

@@ -1,0 +1,35 @@
+#include "predictor/last_value.hpp"
+
+namespace vpsim
+{
+
+RawPrediction
+LastValuePredictor::lookup(Addr pc)
+{
+    const Entry *entry = table.find(pc);
+    if (!entry || !entry->seen)
+        return {};
+    return {true, entry->lastValue};
+}
+
+void
+LastValuePredictor::train(Addr pc, Value actual, bool spec_was_correct)
+{
+    (void)spec_was_correct; // last-value lookups never advance state
+
+    Entry &entry = table.findOrAllocate(pc);
+    entry.lastValue = actual;
+    entry.seen = true;
+}
+
+StrideInfo
+LastValuePredictor::strideInfo(Addr pc) const
+{
+    const Entry *entry = table.find(pc);
+    if (!entry || !entry->seen)
+        return {};
+    // Last-value prediction is the stride == 0 special case.
+    return {true, entry->lastValue, 0};
+}
+
+} // namespace vpsim

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Last-value predictor of Lipasti et al. [13][14]: predicts that an
+ * instruction produces the same value it produced last time.
+ */
+
+#ifndef VPSIM_PREDICTOR_LAST_VALUE_HPP
+#define VPSIM_PREDICTOR_LAST_VALUE_HPP
+
+#include "predictor/table_storage.hpp"
+#include "predictor/value_predictor.hpp"
+
+namespace vpsim
+{
+
+/** Last-value predictor with infinite or direct-mapped storage. */
+class LastValuePredictor : public ValuePredictor
+{
+  public:
+    /** @param table_capacity 0 = infinite, else power-of-two entries. */
+    explicit LastValuePredictor(std::size_t table_capacity = 0)
+        : table(table_capacity)
+    {}
+
+    RawPrediction lookup(Addr pc) override;
+    void train(Addr pc, Value actual,
+               bool spec_was_correct = false) override;
+    StrideInfo strideInfo(Addr pc) const override;
+    std::string name() const override { return "last-value"; }
+    void reset() override { table.clear(); }
+
+    /** Resident entries (for tests). */
+    std::size_t tableSize() const { return table.size(); }
+
+  private:
+    struct Entry
+    {
+        Value lastValue = 0;
+        bool seen = false;
+    };
+
+    PredictionTable<Entry> table;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_PREDICTOR_LAST_VALUE_HPP

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Stride value predictor of Gabbay & Mendelson [7][8]: predicts
+ * last value + stride, where the stride is the delta between the two most
+ * recent outcomes.
+ *
+ * Following the paper (§3.1), the predictor is by default updated
+ * *speculatively* right after the lookup (the table's last-value advances
+ * by the stride, so back-to-back copies of the same instruction each get
+ * the next value in the sequence), and the correct value is repaired in at
+ * train() time if the speculation was wrong.
+ */
+
+#ifndef VPSIM_PREDICTOR_STRIDE_HPP
+#define VPSIM_PREDICTOR_STRIDE_HPP
+
+#include "predictor/table_storage.hpp"
+#include "predictor/value_predictor.hpp"
+
+namespace vpsim
+{
+
+/** Classic (last + stride) predictor. */
+class StridePredictor : public ValuePredictor
+{
+  public:
+    /**
+     * @param table_capacity 0 = infinite, else power-of-two entries.
+     * @param speculative_update Advance table state at lookup (paper
+     *        default); when false, state changes only at train().
+     */
+    explicit StridePredictor(std::size_t table_capacity = 0,
+                             bool speculative_update = true)
+        : table(table_capacity),
+          speculativeUpdate(speculative_update)
+    {}
+
+    RawPrediction lookup(Addr pc) override;
+    void train(Addr pc, Value actual,
+               bool spec_was_correct = false) override;
+    void abandon(Addr pc) override;
+    StrideInfo strideInfo(Addr pc) const override;
+    std::string name() const override { return "stride"; }
+    void reset() override { table.clear(); }
+
+    std::size_t tableSize() const { return table.size(); }
+
+  private:
+    struct Entry
+    {
+        /** Architectural last value (as trained). */
+        Value lastValue = 0;
+        /** Speculatively advanced last value (== lastValue when clean). */
+        Value specValue = 0;
+        Value stride = 0;
+        /** 0 = empty, 1 = one outcome seen, 2 = stride established. */
+        std::uint8_t timesSeen = 0;
+        /**
+         * Lookups whose outcomes have not trained yet (copies in
+         * flight). A repair after a wrong speculation restores
+         * specValue to actual + inFlight * stride, i.e. it re-predicts
+         * the squashed in-flight copies instead of rewinding the table
+         * behind them.
+         */
+        std::uint32_t inFlight = 0;
+    };
+
+    PredictionTable<Entry> table;
+    bool speculativeUpdate;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_PREDICTOR_STRIDE_HPP

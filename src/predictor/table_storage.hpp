@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Prediction-table storage shared by all predictors.
+ *
+ * capacity == 0 models the paper's "infinite table" assumption (§3.1)
+ * with a hash map; a nonzero capacity models a real direct-mapped, tagged
+ * table (entries are evicted on index conflicts), used by the finite
+ * configurations in Section 5 style experiments and the hybrid predictor's
+ * "relatively small stride table".
+ */
+
+#ifndef VPSIM_PREDICTOR_TABLE_STORAGE_HPP
+#define VPSIM_PREDICTOR_TABLE_STORAGE_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace vpsim
+{
+
+/**
+ * Keyed storage for per-static-instruction predictor state.
+ *
+ * @tparam Entry Plain state struct; default-constructed on allocation.
+ */
+template <typename Entry>
+class PredictionTable
+{
+  public:
+    /**
+     * @param table_capacity 0 for an unbounded table; otherwise a
+     *        power-of-two number of direct-mapped, tagged entries.
+     */
+    explicit PredictionTable(std::size_t table_capacity = 0)
+        : capacity(table_capacity)
+    {
+        if (capacity != 0) {
+            fatalIf((capacity & (capacity - 1)) != 0,
+                    "prediction table capacity must be a power of two");
+            slots.resize(capacity);
+        }
+    }
+
+    /** Find the entry for @p pc, or nullptr on a miss. */
+    Entry *
+    find(Addr pc)
+    {
+        if (capacity == 0) {
+            const auto it = entries.find(pc);
+            return it == entries.end() ? nullptr : &it->second;
+        }
+        Slot &slot = slots[indexOf(pc)];
+        return (slot.valid && slot.tag == pc) ? &slot.entry : nullptr;
+    }
+
+    /** Const find. */
+    const Entry *
+    find(Addr pc) const
+    {
+        return const_cast<PredictionTable *>(this)->find(pc);
+    }
+
+    /**
+     * Return the entry for @p pc, allocating (and possibly evicting the
+     * direct-mapped victim) when absent. @p allocated reports whether a
+     * fresh entry was created.
+     */
+    Entry &
+    findOrAllocate(Addr pc, bool *allocated = nullptr)
+    {
+        if (capacity == 0) {
+            const auto [it, fresh] = entries.try_emplace(pc);
+            if (allocated)
+                *allocated = fresh;
+            return it->second;
+        }
+        Slot &slot = slots[indexOf(pc)];
+        const bool fresh = !slot.valid || slot.tag != pc;
+        if (fresh) {
+            slot.valid = true;
+            slot.tag = pc;
+            slot.entry = Entry{};
+        }
+        if (allocated)
+            *allocated = fresh;
+        return slot.entry;
+    }
+
+    /** Number of live entries (resident static instructions). */
+    std::size_t
+    size() const
+    {
+        if (capacity == 0)
+            return entries.size();
+        std::size_t live = 0;
+        for (const Slot &slot : slots)
+            live += slot.valid ? 1 : 0;
+        return live;
+    }
+
+    /** Drop all state. */
+    void
+    clear()
+    {
+        entries.clear();
+        for (Slot &slot : slots)
+            slot.valid = false;
+    }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Entry entry{};
+    };
+
+    std::size_t
+    indexOf(Addr pc) const
+    {
+        // Instructions are word aligned; drop the low bits first.
+        return (pc / instBytes) & (capacity - 1);
+    }
+
+    std::size_t capacity;
+    std::unordered_map<Addr, Entry> entries;
+    std::vector<Slot> slots;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_PREDICTOR_TABLE_STORAGE_HPP

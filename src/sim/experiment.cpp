@@ -1,0 +1,134 @@
+#include "sim/experiment.hpp"
+
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "core/speedup.hpp"
+#include "trace/trace_stats.hpp"
+#include "workloads/workload.hpp"
+
+namespace vpsim
+{
+
+void
+declareStandardOptions(Options &options, std::uint64_t default_insts)
+{
+    options.declare("insts", std::to_string(default_insts),
+                    "dynamic instructions captured per benchmark");
+    options.declare("benchmarks", "",
+                    "comma-separated benchmark subset (default: all 8)");
+    options.declare("csv", "",
+                    "append the figure data to this CSV file "
+                    "(figure,benchmark,configuration,value)");
+    options.declare("scale", "1",
+                    "workload input-set scale factor (SPEC-style "
+                    "test/train/ref sizing)");
+    options.declare("seed", "0", "workload input-data seed");
+    options.declare("skip", "0",
+                    "warm-up instructions to execute and discard before "
+                    "the measured window");
+}
+
+BenchmarkTraces
+captureBenchmarks(const Options &options)
+{
+    const std::uint64_t insts =
+        static_cast<std::uint64_t>(options.getInt("insts"));
+    fatalIf(insts == 0, "--insts must be positive");
+
+    std::vector<std::string> names = options.getList("benchmarks");
+    if (names.empty())
+        names = workloadNames();
+
+    WorkloadParams params;
+    params.scale = static_cast<unsigned>(options.getInt("scale"));
+    params.seed = static_cast<std::uint64_t>(options.getInt("seed"));
+    const auto skip =
+        static_cast<std::uint64_t>(options.getInt("skip"));
+
+    BenchmarkTraces result;
+    for (const std::string &name : names) {
+        result.names.push_back(name);
+        auto trace = captureWorkloadTrace(name, insts + skip, params);
+        if (skip > 0)
+            trace = sliceTrace(trace, skip);
+        result.traces.push_back(std::move(trace));
+    }
+    return result;
+}
+
+std::string
+renderFigureTable(const std::string &title,
+                  const std::vector<std::string> &row_names,
+                  const std::vector<std::string> &column_names,
+                  const std::vector<std::vector<double>> &cells,
+                  const std::function<std::string(double)> &render)
+{
+    panicIf(cells.size() != row_names.size(),
+            "figure table row count mismatch");
+
+    std::vector<std::string> header;
+    header.push_back("benchmark");
+    header.insert(header.end(), column_names.begin(), column_names.end());
+    TablePrinter table(title, header);
+
+    for (std::size_t row = 0; row < row_names.size(); ++row) {
+        panicIf(cells[row].size() != column_names.size(),
+                "figure table column count mismatch");
+        std::vector<std::string> line;
+        line.push_back(row_names[row]);
+        for (const double value : cells[row])
+            line.push_back(render(value));
+        table.addRow(line);
+    }
+
+    // Average row, per column, as in the paper's "avg" bars.
+    table.addSeparator();
+    std::vector<std::string> avg_line;
+    avg_line.push_back("avg");
+    for (std::size_t col = 0; col < column_names.size(); ++col) {
+        std::vector<double> column;
+        for (std::size_t row = 0; row < row_names.size(); ++row)
+            column.push_back(cells[row][col]);
+        avg_line.push_back(render(arithmeticMean(column)));
+    }
+    table.addRow(avg_line);
+
+    return table.render();
+}
+
+void
+maybeWriteCsv(const Options &options, const std::string &figure_id,
+              const std::vector<std::string> &row_names,
+              const std::vector<std::string> &column_names,
+              const std::vector<std::vector<double>> &cells)
+{
+    const std::string path = options.getString("csv");
+    if (path.empty())
+        return;
+    std::FILE *file = std::fopen(path.c_str(), "a");
+    fatalIf(!file, "cannot open CSV file " + path);
+    for (std::size_t row = 0; row < row_names.size(); ++row) {
+        for (std::size_t col = 0; col < column_names.size(); ++col) {
+            std::fprintf(file, "%s,%s,%s,%.9g\n", figure_id.c_str(),
+                         row_names[row].c_str(),
+                         column_names[col].c_str(), cells[row][col]);
+        }
+    }
+    std::fclose(file);
+    std::fprintf(stderr, "appended %zu rows to %s\n",
+                 row_names.size() * column_names.size(), path.c_str());
+}
+
+std::string
+renderPercentTable(const std::string &title,
+                   const std::vector<std::string> &row_names,
+                   const std::vector<std::string> &column_names,
+                   const std::vector<std::vector<double>> &cells)
+{
+    return renderFigureTable(
+        title, row_names, column_names, cells,
+        [](double value) { return TablePrinter::percentCell(value); });
+}
+
+} // namespace vpsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared plumbing for the figure-regeneration benches: trace capture for
+ * a benchmark set, standard command-line options, and the per-benchmark +
+ * average table layout the paper's figures use.
+ */
+
+#ifndef VPSIM_SIM_EXPERIMENT_HPP
+#define VPSIM_SIM_EXPERIMENT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "common/table_printer.hpp"
+#include "trace/record.hpp"
+
+namespace vpsim
+{
+
+/** Captured traces for a set of benchmarks. */
+struct BenchmarkTraces
+{
+    std::vector<std::string> names;
+    std::vector<std::vector<TraceRecord>> traces;
+
+    std::size_t size() const { return names.size(); }
+};
+
+/**
+ * Declare the options every figure bench shares:
+ * --insts (trace length per benchmark) and --benchmarks (subset filter).
+ *
+ * @param default_insts Default per-benchmark trace length; figure benches
+ *        choose a length that keeps a full sweep under ~1 minute.
+ */
+void declareStandardOptions(Options &options,
+                            std::uint64_t default_insts);
+
+/**
+ * Capture traces for the requested benchmarks (per the parsed options).
+ */
+BenchmarkTraces captureBenchmarks(const Options &options);
+
+/**
+ * Build a figure-shaped table: one row per benchmark, one column per
+ * configuration, plus an "avg" row of per-column arithmetic means.
+ *
+ * @param title Table title, e.g. "Figure 3.1 - ...".
+ * @param row_names Benchmark names.
+ * @param column_names Configuration labels.
+ * @param cells cells[row][column] as fractions/values.
+ * @param render Cell formatter (percent or number).
+ */
+std::string renderFigureTable(
+    const std::string &title, const std::vector<std::string> &row_names,
+    const std::vector<std::string> &column_names,
+    const std::vector<std::vector<double>> &cells,
+    const std::function<std::string(double)> &render);
+
+/** Shorthand: render cells as percentages ("33.4%"). */
+std::string renderPercentTable(
+    const std::string &title, const std::vector<std::string> &row_names,
+    const std::vector<std::string> &column_names,
+    const std::vector<std::vector<double>> &cells);
+
+/**
+ * If the standard --csv option was given, append the figure's data to
+ * that file in tidy long form: figure,benchmark,configuration,value.
+ * Values are written raw (fractions, not percentages). No-op when the
+ * option is empty.
+ */
+void maybeWriteCsv(const Options &options, const std::string &figure_id,
+                   const std::vector<std::string> &row_names,
+                   const std::vector<std::string> &column_names,
+                   const std::vector<std::vector<double>> &cells);
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_EXPERIMENT_HPP

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Abstract trace sources.
+ *
+ * A TraceSource produces TraceRecords in program order. Machine models are
+ * written against this interface so they can run from in-memory traces
+ * (produced by the VM) or from trace files interchangeably.
+ */
+
+#ifndef VPSIM_TRACE_SOURCE_HPP
+#define VPSIM_TRACE_SOURCE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace vpsim
+{
+
+/** Sequential, resettable stream of trace records. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Fetch the next record.
+     *
+     * @param out Filled with the next record on success.
+     * @retval true A record was produced.
+     * @retval false The trace is exhausted.
+     */
+    virtual bool next(TraceRecord &out) = 0;
+
+    /** Rewind to the beginning of the trace. */
+    virtual void reset() = 0;
+};
+
+/** Trace source backed by an in-memory vector of records. */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(std::vector<TraceRecord> trace_records)
+        : records(std::move(trace_records))
+    {}
+
+    bool
+    next(TraceRecord &out) override
+    {
+        if (position >= records.size())
+            return false;
+        out = records[position++];
+        return true;
+    }
+
+    void reset() override { position = 0; }
+
+    /** Number of records in the backing vector. */
+    std::size_t size() const { return records.size(); }
+
+    /** Random access for analyses that need to revisit records. */
+    const TraceRecord &at(std::size_t index) const { return records[index]; }
+
+    /** The full backing vector. */
+    const std::vector<TraceRecord> &all() const { return records; }
+
+  private:
+    std::vector<TraceRecord> records;
+    std::size_t position = 0;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_TRACE_SOURCE_HPP

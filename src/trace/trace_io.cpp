@@ -1,0 +1,123 @@
+#include "trace/trace_io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/logging.hpp"
+
+namespace vpsim
+{
+
+namespace
+{
+
+constexpr char traceMagic[4] = {'V', 'P', 'T', 'R'};
+
+/** Bytes per packed on-disk record. */
+constexpr std::size_t packedRecordBytes =
+    8 /*seq*/ + 8 /*pc*/ + 8 /*nextPc*/ + 8 /*memAddr*/ + 8 /*result*/ +
+    1 /*op*/ + 1 /*rd*/ + 1 /*rs1*/ + 1 /*rs2*/ + 1 /*taken*/;
+
+void
+packU64(unsigned char *out, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<unsigned char>(value >> (8 * i));
+}
+
+std::uint64_t
+unpackU64(const unsigned char *in)
+{
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    return value;
+}
+
+struct FileCloser
+{
+    void operator()(std::FILE *file) const { if (file) std::fclose(file); }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+void
+writeTraceFile(const std::string &path,
+               const std::vector<TraceRecord> &records)
+{
+    FilePtr file(std::fopen(path.c_str(), "wb"));
+    fatalIf(!file, "cannot open trace file for writing: " + path);
+
+    unsigned char header[16] = {};
+    std::memcpy(header, traceMagic, 4);
+    packU64(header + 8, records.size());
+    header[4] = static_cast<unsigned char>(traceFormatVersion);
+    fatalIf(std::fwrite(header, 1, sizeof(header), file.get()) !=
+                sizeof(header),
+            "short write on trace header: " + path);
+
+    std::vector<unsigned char> buffer(packedRecordBytes);
+    for (const TraceRecord &rec : records) {
+        unsigned char *p = buffer.data();
+        packU64(p, rec.seq); p += 8;
+        packU64(p, rec.pc); p += 8;
+        packU64(p, rec.nextPc); p += 8;
+        packU64(p, rec.memAddr); p += 8;
+        packU64(p, rec.result); p += 8;
+        *p++ = static_cast<unsigned char>(rec.op);
+        *p++ = rec.rd;
+        *p++ = rec.rs1;
+        *p++ = rec.rs2;
+        *p++ = rec.taken ? 1 : 0;
+        fatalIf(std::fwrite(buffer.data(), 1, buffer.size(), file.get()) !=
+                    buffer.size(),
+                "short write on trace record: " + path);
+    }
+}
+
+std::vector<TraceRecord>
+readTraceFile(const std::string &path)
+{
+    FilePtr file(std::fopen(path.c_str(), "rb"));
+    fatalIf(!file, "cannot open trace file for reading: " + path);
+
+    unsigned char header[16];
+    fatalIf(std::fread(header, 1, sizeof(header), file.get()) !=
+                sizeof(header),
+            "short read on trace header: " + path);
+    fatalIf(std::memcmp(header, traceMagic, 4) != 0,
+            "bad trace file magic: " + path);
+    fatalIf(header[4] != traceFormatVersion,
+            "unsupported trace file version in " + path);
+    const std::uint64_t count = unpackU64(header + 8);
+
+    std::vector<TraceRecord> records;
+    records.reserve(count);
+    std::vector<unsigned char> buffer(packedRecordBytes);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        fatalIf(std::fread(buffer.data(), 1, buffer.size(), file.get()) !=
+                    buffer.size(),
+                "truncated trace file: " + path);
+        const unsigned char *p = buffer.data();
+        TraceRecord rec;
+        rec.seq = unpackU64(p); p += 8;
+        rec.pc = unpackU64(p); p += 8;
+        rec.nextPc = unpackU64(p); p += 8;
+        rec.memAddr = unpackU64(p); p += 8;
+        rec.result = unpackU64(p); p += 8;
+        fatalIf(*p >= static_cast<unsigned char>(OpCode::NumOpCodes),
+                "corrupt opcode in trace file: " + path);
+        rec.op = static_cast<OpCode>(*p); ++p;
+        rec.rd = *p++;
+        rec.rs1 = *p++;
+        rec.rs2 = *p++;
+        rec.taken = *p != 0;
+        records.push_back(rec);
+    }
+    return records;
+}
+
+} // namespace vpsim

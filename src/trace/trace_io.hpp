@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Versioned binary trace file format.
+ *
+ * Layout: a fixed header (magic "VPTR", format version, record count)
+ * followed by packed little-endian records. This lets users capture a
+ * workload trace once and re-run experiments against the file, mirroring
+ * how the paper's authors drove their simulator from Shade trace files.
+ */
+
+#ifndef VPSIM_TRACE_TRACE_IO_HPP
+#define VPSIM_TRACE_TRACE_IO_HPP
+
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace vpsim
+{
+
+/** Current trace file format version. */
+inline constexpr std::uint32_t traceFormatVersion = 1;
+
+/**
+ * Write @p records to @p path in the binary trace format.
+ *
+ * Calls fatal() on I/O failure.
+ */
+void writeTraceFile(const std::string &path,
+                    const std::vector<TraceRecord> &records);
+
+/**
+ * Read a binary trace file written by writeTraceFile().
+ *
+ * Calls fatal() on I/O failure, bad magic, or version mismatch.
+ */
+std::vector<TraceRecord> readTraceFile(const std::string &path);
+
+} // namespace vpsim
+
+#endif // VPSIM_TRACE_TRACE_IO_HPP

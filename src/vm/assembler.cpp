@@ -1,0 +1,360 @@
+#include "vm/assembler.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "vm/program_builder.hpp"
+
+namespace vpsim
+{
+
+namespace
+{
+
+/** One parsed source line: optional label, mnemonic, operand strings. */
+struct SourceLine
+{
+    int number = 0;
+    std::vector<std::string> labels;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+};
+
+[[noreturn]] void
+asmError(int line, const std::string &message)
+{
+    fatal("assembler: line " + std::to_string(line) + ": " + message);
+}
+
+bool
+isIdentChar(char ch)
+{
+    return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+           ch == '.';
+}
+
+std::string
+lower(std::string text)
+{
+    for (char &ch : text)
+        ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    return text;
+}
+
+/** Strip comments and surrounding whitespace. */
+std::string
+cleanLine(const std::string &raw)
+{
+    std::string text = raw;
+    for (const char marker : {'#', ';'}) {
+        const auto pos = text.find(marker);
+        if (pos != std::string::npos)
+            text.resize(pos);
+    }
+    const auto first = text.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return "";
+    const auto last = text.find_last_not_of(" \t\r");
+    return text.substr(first, last - first + 1);
+}
+
+/** Parse the (possibly multiple) "label:" prefixes off a line. */
+std::string
+takeLabels(std::string text, int line_no, std::vector<std::string> &out)
+{
+    while (true) {
+        std::size_t i = 0;
+        while (i < text.size() && isIdentChar(text[i]))
+            ++i;
+        if (i == 0 || i >= text.size() || text[i] != ':')
+            return text;
+        const std::string label = text.substr(0, i);
+        if (std::isdigit(static_cast<unsigned char>(label[0])))
+            asmError(line_no, "label '" + label +
+                                  "' must not start with a digit");
+        out.push_back(label);
+        text = cleanLine(text.substr(i + 1));
+        if (text.empty())
+            return text;
+    }
+}
+
+/** Split "a, b, 8(c)" into operand tokens. */
+std::vector<std::string>
+splitOperands(const std::string &text)
+{
+    std::vector<std::string> operands;
+    std::string current;
+    for (const char ch : text) {
+        if (ch == ',') {
+            operands.push_back(cleanLine(current));
+            current.clear();
+        } else {
+            current.push_back(ch);
+        }
+    }
+    const std::string tail = cleanLine(current);
+    if (!tail.empty())
+        operands.push_back(tail);
+    return operands;
+}
+
+/** Register-name table (named aliases + r0..r31). */
+RegIndex
+parseRegister(const std::string &token, int line_no)
+{
+    static const std::map<std::string, RegIndex> names = {
+        {"zero", 0}, {"ra", 1},  {"sp", 2},
+        {"t0", 3},   {"t1", 4},  {"t2", 5},  {"t3", 6},  {"t4", 7},
+        {"t5", 8},   {"t6", 9},  {"t7", 10}, {"t8", 11},
+        {"s0", 12},  {"s1", 13}, {"s2", 14}, {"s3", 15}, {"s4", 16},
+        {"s5", 17},  {"s6", 18}, {"s7", 19}, {"s8", 20}, {"s9", 21},
+        {"a0", 22},  {"a1", 23}, {"a2", 24}, {"a3", 25},
+        {"c0", 26},  {"c1", 27}, {"c2", 28}, {"c3", 29}, {"c4", 30},
+        {"c5", 31},
+    };
+    const std::string name = lower(token);
+    const auto it = names.find(name);
+    if (it != names.end())
+        return it->second;
+    if (name.size() >= 2 && name[0] == 'r') {
+        char *end = nullptr;
+        const long index = std::strtol(name.c_str() + 1, &end, 10);
+        if (*end == '\0' && index >= 0 &&
+            index < static_cast<long>(numArchRegs)) {
+            return static_cast<RegIndex>(index);
+        }
+    }
+    asmError(line_no, "unknown register '" + token + "'");
+}
+
+std::int64_t
+parseImmediate(const std::string &token, int line_no)
+{
+    if (token.empty())
+        asmError(line_no, "missing immediate");
+    char *end = nullptr;
+    const long long value = std::strtoll(token.c_str(), &end, 0);
+    if (end == token.c_str() || *end != '\0')
+        asmError(line_no, "bad immediate '" + token + "'");
+    return value;
+}
+
+/** Parse "imm(base)" memory operands. */
+void
+parseMemOperand(const std::string &token, int line_no,
+                std::int64_t &imm, RegIndex &base)
+{
+    const auto open = token.find('(');
+    const auto close = token.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open || close + 1 != token.size()) {
+        asmError(line_no, "bad memory operand '" + token +
+                              "' (expected imm(base))");
+    }
+    const std::string imm_text = cleanLine(token.substr(0, open));
+    imm = imm_text.empty() ? 0 : parseImmediate(imm_text, line_no);
+    base = parseRegister(
+        cleanLine(token.substr(open + 1, close - open - 1)), line_no);
+}
+
+} // namespace
+
+Program
+assembleProgram(const std::string &source,
+                const std::string &program_name, Addr load_address)
+{
+    // Pass 0: lex into lines.
+    std::vector<SourceLine> lines;
+    {
+        std::istringstream stream(source);
+        std::string raw;
+        int number = 0;
+        while (std::getline(stream, raw)) {
+            ++number;
+            std::string text = cleanLine(raw);
+            if (text.empty())
+                continue;
+            SourceLine line;
+            line.number = number;
+            text = takeLabels(text, number, line.labels);
+            if (!text.empty()) {
+                const auto space = text.find_first_of(" \t");
+                line.mnemonic = lower(text.substr(0, space));
+                if (space != std::string::npos) {
+                    line.operands =
+                        splitOperands(cleanLine(text.substr(space)));
+                }
+            }
+            if (!line.labels.empty() || !line.mnemonic.empty())
+                lines.push_back(line);
+        }
+    }
+
+    ProgramBuilder builder(program_name, load_address);
+
+    // Pass 1: declare every label (forward references need handles).
+    std::map<std::string, Label> labels;
+    for (const SourceLine &line : lines) {
+        for (const std::string &name : line.labels) {
+            if (labels.count(name))
+                asmError(line.number, "label '" + name + "' redefined");
+            labels.emplace(name, builder.newLabel());
+        }
+    }
+
+    const auto labelOf = [&](const std::string &name,
+                             int line_no) -> Label {
+        const auto it = labels.find(name);
+        if (it == labels.end())
+            asmError(line_no, "undefined label '" + name + "'");
+        return it->second;
+    };
+
+    // Pass 2: emit.
+    for (const SourceLine &line : lines) {
+        for (const std::string &name : line.labels)
+            builder.bind(labels.at(name));
+        if (line.mnemonic.empty())
+            continue;
+        const int n = line.number;
+        const auto &ops = line.operands;
+        const auto want = [&](std::size_t count) {
+            if (ops.size() != count) {
+                asmError(n, "'" + line.mnemonic + "' expects " +
+                                std::to_string(count) + " operands, got " +
+                                std::to_string(ops.size()));
+            }
+        };
+        const auto reg = [&](std::size_t i) {
+            return parseRegister(ops[i], n);
+        };
+        const auto imm = [&](std::size_t i) {
+            return parseImmediate(ops[i], n);
+        };
+
+        using Emit3R = void (ProgramBuilder::*)(RegIndex, RegIndex,
+                                                RegIndex);
+        static const std::map<std::string, Emit3R> three_reg = {
+            {"add", &ProgramBuilder::add},   {"sub", &ProgramBuilder::sub},
+            {"and", &ProgramBuilder::and_},  {"or", &ProgramBuilder::or_},
+            {"xor", &ProgramBuilder::xor_},  {"slt", &ProgramBuilder::slt},
+            {"sltu", &ProgramBuilder::sltu}, {"sll", &ProgramBuilder::sll},
+            {"srl", &ProgramBuilder::srl},   {"sra", &ProgramBuilder::sra},
+            {"mul", &ProgramBuilder::mul},   {"div", &ProgramBuilder::div},
+            {"rem", &ProgramBuilder::rem},
+        };
+        using EmitRI = void (ProgramBuilder::*)(RegIndex, RegIndex,
+                                                std::int64_t);
+        static const std::map<std::string, EmitRI> reg_imm = {
+            {"addi", &ProgramBuilder::addi},
+            {"andi", &ProgramBuilder::andi},
+            {"ori", &ProgramBuilder::ori},
+            {"xori", &ProgramBuilder::xori},
+            {"slti", &ProgramBuilder::slti},
+            {"slli", &ProgramBuilder::slli},
+            {"srli", &ProgramBuilder::srli},
+            {"srai", &ProgramBuilder::srai},
+        };
+        using EmitBr = void (ProgramBuilder::*)(RegIndex, RegIndex,
+                                                Label);
+        static const std::map<std::string, EmitBr> branches = {
+            {"beq", &ProgramBuilder::beq},   {"bne", &ProgramBuilder::bne},
+            {"blt", &ProgramBuilder::blt},   {"bge", &ProgramBuilder::bge},
+            {"bltu", &ProgramBuilder::bltu}, {"bgeu", &ProgramBuilder::bgeu},
+        };
+
+        if (const auto it = three_reg.find(line.mnemonic);
+            it != three_reg.end()) {
+            want(3);
+            (builder.*(it->second))(reg(0), reg(1), reg(2));
+        } else if (const auto ri = reg_imm.find(line.mnemonic);
+                   ri != reg_imm.end()) {
+            want(3);
+            (builder.*(ri->second))(reg(0), reg(1), imm(2));
+        } else if (const auto br = branches.find(line.mnemonic);
+                   br != branches.end()) {
+            want(3);
+            (builder.*(br->second))(reg(0), reg(1), labelOf(ops[2], n));
+        } else if (line.mnemonic == "lui") {
+            want(2);
+            builder.lui(reg(0), imm(1));
+        } else if (line.mnemonic == "li") {
+            want(2);
+            builder.li(reg(0), imm(1));
+        } else if (line.mnemonic == "mv") {
+            want(2);
+            builder.mv(reg(0), reg(1));
+        } else if (line.mnemonic == "la") {
+            want(2);
+            builder.la(reg(0), labelOf(ops[1], n));
+        } else if (line.mnemonic == "ld" || line.mnemonic == "lbu") {
+            want(2);
+            std::int64_t offset = 0;
+            RegIndex base = 0;
+            parseMemOperand(ops[1], n, offset, base);
+            if (line.mnemonic == "ld")
+                builder.ld(reg(0), base, offset);
+            else
+                builder.lbu(reg(0), base, offset);
+        } else if (line.mnemonic == "st" || line.mnemonic == "sb") {
+            want(2);
+            std::int64_t offset = 0;
+            RegIndex base = 0;
+            parseMemOperand(ops[1], n, offset, base);
+            if (line.mnemonic == "st")
+                builder.st(reg(0), base, offset);
+            else
+                builder.sb(reg(0), base, offset);
+        } else if (line.mnemonic == "jal") {
+            want(2);
+            builder.jal(reg(0), labelOf(ops[1], n));
+        } else if (line.mnemonic == "jalr") {
+            want(3);
+            builder.jalr(reg(0), reg(1), imm(2));
+        } else if (line.mnemonic == "j") {
+            want(1);
+            builder.j(labelOf(ops[0], n));
+        } else if (line.mnemonic == "call") {
+            want(1);
+            builder.call(labelOf(ops[0], n));
+        } else if (line.mnemonic == "ret") {
+            want(0);
+            builder.ret();
+        } else if (line.mnemonic == "jr") {
+            want(1);
+            builder.jr(reg(0));
+        } else if (line.mnemonic == "nop") {
+            want(0);
+            builder.nop();
+        } else if (line.mnemonic == "halt") {
+            want(0);
+            builder.halt();
+        } else {
+            asmError(n, "unknown mnemonic '" + line.mnemonic + "'");
+        }
+    }
+
+    fatalIf(builder.size() == 0, "assembler: empty program");
+    return builder.build();
+}
+
+Program
+assembleFile(const std::string &path, Addr load_address)
+{
+    std::ifstream stream(path);
+    fatalIf(!stream, "assembler: cannot open " + path);
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    // Program name = file name without directories.
+    const auto slash = path.find_last_of('/');
+    const std::string name =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    return assembleProgram(buffer.str(), name, load_address);
+}
+
+} // namespace vpsim

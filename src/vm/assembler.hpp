@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Text assembler for the mini ISA.
+ *
+ * The ProgramBuilder API is convenient from C++, but downstream users
+ * writing their own workloads want an assembly file. The dialect is a
+ * tiny RISC-V-flavoured syntax:
+ *
+ * @code
+ *     # sum the numbers 1..10
+ *             li   s0, 10          # counter
+ *             li   s1, 0           # sum
+ *     loop:
+ *             add  s1, s1, s0
+ *             addi s0, s0, -1
+ *             bne  s0, zero, loop
+ *             st   s1, 0(s2)
+ *             halt
+ * @endcode
+ *
+ * Comments start with '#' or ';'. Registers are named (zero, ra, sp,
+ * t0-t8, s0-s9, a0-a3, c0-c5) or numeric (r0-r31). Immediates are
+ * decimal or 0x hex, optionally negative. Memory operands use the
+ * imm(base) form. Labels are identifiers followed by ':'. Pseudo-ops:
+ * li, mv, la, j, call, ret, jr, nop, halt.
+ */
+
+#ifndef VPSIM_VM_ASSEMBLER_HPP
+#define VPSIM_VM_ASSEMBLER_HPP
+
+#include <string>
+
+#include "vm/program.hpp"
+
+namespace vpsim
+{
+
+/**
+ * Assemble @p source into a Program.
+ *
+ * Calls fatal() with the line number on any syntax error, unknown
+ * mnemonic/register, or undefined label.
+ *
+ * @param source Full assembly text.
+ * @param program_name Name recorded in the Program.
+ * @param load_address Byte address of the first instruction.
+ */
+Program assembleProgram(const std::string &source,
+                        const std::string &program_name = "asm",
+                        Addr load_address = 0x1000);
+
+/** Assemble the contents of @p path (fatal() if unreadable). */
+Program assembleFile(const std::string &path,
+                     Addr load_address = 0x1000);
+
+} // namespace vpsim
+
+#endif // VPSIM_VM_ASSEMBLER_HPP

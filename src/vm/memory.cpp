@@ -1,0 +1,69 @@
+#include "vm/memory.hpp"
+
+namespace vpsim
+{
+
+const Memory::Page *
+Memory::findPage(Addr addr) const
+{
+    const auto it = pages.find(addr >> pageShift);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+Memory::Page &
+Memory::touchPage(Addr addr)
+{
+    auto &slot = pages[addr >> pageShift];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+std::uint8_t
+Memory::read8(Addr addr) const
+{
+    const Page *page = findPage(addr);
+    if (!page)
+        return 0;
+    return (*page)[addr & (pageBytes - 1)];
+}
+
+void
+Memory::write8(Addr addr, std::uint8_t value)
+{
+    touchPage(addr)[addr & (pageBytes - 1)] = value;
+}
+
+Value
+Memory::read64(Addr addr) const
+{
+    Value value = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        value |= static_cast<Value>(read8(addr + i)) << (8 * i);
+    return value;
+}
+
+void
+Memory::write64(Addr addr, Value value)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        write8(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+Memory::writeBlock(Addr addr, const std::uint8_t *data, std::size_t size)
+{
+    for (std::size_t i = 0; i < size; ++i)
+        write8(addr + i, data[i]);
+}
+
+void
+Memory::writeWords(Addr addr, const std::vector<Value> &words)
+{
+    for (std::size_t i = 0; i < words.size(); ++i)
+        write64(addr + i * 8, words[i]);
+}
+
+} // namespace vpsim

@@ -1,0 +1,59 @@
+#include "vm/program.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace vpsim
+{
+
+Program::Program(std::string program_name,
+                 std::vector<Instruction> instructions,
+                 Addr load_address)
+    : progName(std::move(program_name)),
+      insts(std::move(instructions)),
+      base(load_address)
+{
+    for (const Instruction &inst : insts) {
+        if (inst.op == OpCode::Jal || inst.isConditional()) {
+            panicIf(inst.target >= insts.size(),
+                    "program '" + progName + "' has a control target "
+                    "outside the image");
+        }
+    }
+}
+
+const Instruction &
+Program::at(std::size_t index) const
+{
+    panicIf(index >= insts.size(), "Program::at index out of range");
+    return insts[index];
+}
+
+std::size_t
+Program::indexOf(Addr pc) const
+{
+    panicIf(!contains(pc), "Program::indexOf: pc outside program");
+    panicIf((pc - base) % instBytes != 0, "Program::indexOf: unaligned pc");
+    return static_cast<std::size_t>((pc - base) / instBytes);
+}
+
+bool
+Program::contains(Addr pc) const
+{
+    return pc >= base && pc < base + insts.size() * instBytes &&
+           (pc - base) % instBytes == 0;
+}
+
+std::string
+Program::listing() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        oss << std::hex << pcOf(i) << std::dec << "  [" << i << "]  "
+            << insts[i].disassemble() << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace vpsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A compiled mini-ISA program: the instruction image plus its load address.
+ */
+
+#ifndef VPSIM_VM_PROGRAM_HPP
+#define VPSIM_VM_PROGRAM_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace vpsim
+{
+
+/** An executable program image for the interpreter. */
+class Program
+{
+  public:
+    Program() = default;
+
+    /**
+     * @param program_name Human-readable name (e.g. "compress").
+     * @param instructions The instruction image.
+     * @param load_address Byte address of instruction 0.
+     */
+    Program(std::string program_name,
+            std::vector<Instruction> instructions,
+            Addr load_address = 0x1000);
+
+    /** Number of static instructions. */
+    std::size_t size() const { return insts.size(); }
+
+    /** Instruction at static index @p index. */
+    const Instruction &at(std::size_t index) const;
+
+    /** Byte address of static instruction @p index. */
+    Addr pcOf(std::size_t index) const { return base + index * instBytes; }
+
+    /** Static index of byte address @p pc; panics on unaligned/foreign pc. */
+    std::size_t indexOf(Addr pc) const;
+
+    /** True when @p pc falls inside this program's code image. */
+    bool contains(Addr pc) const;
+
+    /** Load address of instruction 0. */
+    Addr baseAddr() const { return base; }
+
+    /** Program name. */
+    const std::string &name() const { return progName; }
+
+    /** Full disassembly listing for debugging. */
+    std::string listing() const;
+
+  private:
+    std::string progName;
+    std::vector<Instruction> insts;
+    Addr base = 0x1000;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_VM_PROGRAM_HPP

@@ -1,0 +1,282 @@
+#include "vm/program_builder.hpp"
+
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace vpsim
+{
+
+namespace
+{
+
+constexpr std::size_t unboundLabel = std::numeric_limits<std::size_t>::max();
+
+} // namespace
+
+ProgramBuilder::ProgramBuilder(std::string program_name, Addr load_address)
+    : progName(std::move(program_name)),
+      base(load_address)
+{
+}
+
+Label
+ProgramBuilder::newLabel()
+{
+    labelPositions.push_back(unboundLabel);
+    return Label(labelPositions.size() - 1);
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    panicIf(!label.valid, "bind() on a default-constructed label");
+    panicIf(labelPositions[label.id] != unboundLabel,
+            "label bound twice in program '" + progName + "'");
+    labelPositions[label.id] = insts.size();
+}
+
+Addr
+ProgramBuilder::boundAddr(Label label) const
+{
+    panicIf(!label.valid, "boundAddr() on a default-constructed label");
+    const std::size_t pos = labelPositions[label.id];
+    panicIf(pos == unboundLabel,
+            "boundAddr() on an unbound label in '" + progName + "'");
+    return base + pos * instBytes;
+}
+
+void
+ProgramBuilder::checkReg(RegIndex index) const
+{
+    panicIf(index >= numArchRegs,
+            "register index out of range in program '" + progName + "'");
+}
+
+void
+ProgramBuilder::emitRR(OpCode op, RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    checkReg(rd);
+    checkReg(rs1);
+    checkReg(rs2);
+    Instruction inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    insts.push_back(inst);
+}
+
+void
+ProgramBuilder::emitRI(OpCode op, RegIndex rd, RegIndex rs1,
+                       std::int64_t imm)
+{
+    checkReg(rd);
+    if (readsSrc1(op))
+        checkReg(rs1);
+    Instruction inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = readsSrc1(op) ? rs1 : invalidReg;
+    inst.imm = imm;
+    insts.push_back(inst);
+}
+
+void
+ProgramBuilder::emitBranch(OpCode op, RegIndex rs1, RegIndex rs2,
+                           Label target)
+{
+    checkReg(rs1);
+    checkReg(rs2);
+    panicIf(!target.valid, "branch to a default-constructed label");
+    Instruction inst;
+    inst.op = op;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    fixups.emplace_back(insts.size(), target.id);
+    insts.push_back(inst);
+}
+
+void ProgramBuilder::add(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emitRR(OpCode::Add, rd, rs1, rs2); }
+void ProgramBuilder::sub(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emitRR(OpCode::Sub, rd, rs1, rs2); }
+void ProgramBuilder::and_(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emitRR(OpCode::And, rd, rs1, rs2); }
+void ProgramBuilder::or_(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emitRR(OpCode::Or, rd, rs1, rs2); }
+void ProgramBuilder::xor_(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emitRR(OpCode::Xor, rd, rs1, rs2); }
+void ProgramBuilder::slt(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emitRR(OpCode::Slt, rd, rs1, rs2); }
+void ProgramBuilder::sltu(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emitRR(OpCode::Sltu, rd, rs1, rs2); }
+void ProgramBuilder::sll(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emitRR(OpCode::Sll, rd, rs1, rs2); }
+void ProgramBuilder::srl(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emitRR(OpCode::Srl, rd, rs1, rs2); }
+void ProgramBuilder::sra(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emitRR(OpCode::Sra, rd, rs1, rs2); }
+void ProgramBuilder::mul(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emitRR(OpCode::Mul, rd, rs1, rs2); }
+void ProgramBuilder::div(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emitRR(OpCode::Div, rd, rs1, rs2); }
+void ProgramBuilder::rem(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emitRR(OpCode::Rem, rd, rs1, rs2); }
+
+void ProgramBuilder::addi(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ emitRI(OpCode::Addi, rd, rs1, imm); }
+void ProgramBuilder::andi(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ emitRI(OpCode::Andi, rd, rs1, imm); }
+void ProgramBuilder::ori(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ emitRI(OpCode::Ori, rd, rs1, imm); }
+void ProgramBuilder::xori(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ emitRI(OpCode::Xori, rd, rs1, imm); }
+void ProgramBuilder::slti(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ emitRI(OpCode::Slti, rd, rs1, imm); }
+void ProgramBuilder::slli(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ emitRI(OpCode::Slli, rd, rs1, imm); }
+void ProgramBuilder::srli(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ emitRI(OpCode::Srli, rd, rs1, imm); }
+void ProgramBuilder::srai(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ emitRI(OpCode::Srai, rd, rs1, imm); }
+void ProgramBuilder::lui(RegIndex rd, std::int64_t imm)
+{ emitRI(OpCode::Lui, rd, invalidReg, imm); }
+
+void
+ProgramBuilder::ld(RegIndex rd, RegIndex rs1_base, std::int64_t imm)
+{
+    checkReg(rd);
+    checkReg(rs1_base);
+    Instruction inst;
+    inst.op = OpCode::Ld;
+    inst.rd = rd;
+    inst.rs1 = rs1_base;
+    inst.imm = imm;
+    insts.push_back(inst);
+}
+
+void
+ProgramBuilder::st(RegIndex rs2_src, RegIndex rs1_base, std::int64_t imm)
+{
+    checkReg(rs2_src);
+    checkReg(rs1_base);
+    Instruction inst;
+    inst.op = OpCode::St;
+    inst.rs1 = rs1_base;
+    inst.rs2 = rs2_src;
+    inst.imm = imm;
+    insts.push_back(inst);
+}
+
+void
+ProgramBuilder::lbu(RegIndex rd, RegIndex rs1_base, std::int64_t imm)
+{
+    checkReg(rd);
+    checkReg(rs1_base);
+    Instruction inst;
+    inst.op = OpCode::Lbu;
+    inst.rd = rd;
+    inst.rs1 = rs1_base;
+    inst.imm = imm;
+    insts.push_back(inst);
+}
+
+void
+ProgramBuilder::sb(RegIndex rs2_src, RegIndex rs1_base, std::int64_t imm)
+{
+    checkReg(rs2_src);
+    checkReg(rs1_base);
+    Instruction inst;
+    inst.op = OpCode::Sb;
+    inst.rs1 = rs1_base;
+    inst.rs2 = rs2_src;
+    inst.imm = imm;
+    insts.push_back(inst);
+}
+
+void ProgramBuilder::beq(RegIndex rs1, RegIndex rs2, Label target)
+{ emitBranch(OpCode::Beq, rs1, rs2, target); }
+void ProgramBuilder::bne(RegIndex rs1, RegIndex rs2, Label target)
+{ emitBranch(OpCode::Bne, rs1, rs2, target); }
+void ProgramBuilder::blt(RegIndex rs1, RegIndex rs2, Label target)
+{ emitBranch(OpCode::Blt, rs1, rs2, target); }
+void ProgramBuilder::bge(RegIndex rs1, RegIndex rs2, Label target)
+{ emitBranch(OpCode::Bge, rs1, rs2, target); }
+void ProgramBuilder::bltu(RegIndex rs1, RegIndex rs2, Label target)
+{ emitBranch(OpCode::Bltu, rs1, rs2, target); }
+void ProgramBuilder::bgeu(RegIndex rs1, RegIndex rs2, Label target)
+{ emitBranch(OpCode::Bgeu, rs1, rs2, target); }
+
+void
+ProgramBuilder::jal(RegIndex rd, Label target)
+{
+    checkReg(rd);
+    panicIf(!target.valid, "jal to a default-constructed label");
+    Instruction inst;
+    inst.op = OpCode::Jal;
+    inst.rd = rd;
+    fixups.emplace_back(insts.size(), target.id);
+    insts.push_back(inst);
+}
+
+void
+ProgramBuilder::jalr(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{
+    checkReg(rd);
+    checkReg(rs1);
+    Instruction inst;
+    inst.op = OpCode::Jalr;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.imm = imm;
+    insts.push_back(inst);
+}
+
+void ProgramBuilder::li(RegIndex rd, std::int64_t imm)
+{ addi(rd, 0, imm); }
+void ProgramBuilder::mv(RegIndex rd, RegIndex rs)
+{ addi(rd, rs, 0); }
+
+void
+ProgramBuilder::la(RegIndex rd, Label target)
+{
+    li(rd, static_cast<std::int64_t>(boundAddr(target)));
+}
+
+void ProgramBuilder::j(Label target) { jal(0, target); }
+void ProgramBuilder::call(Label target) { jal(1, target); }
+void ProgramBuilder::ret() { jalr(0, 1, 0); }
+void ProgramBuilder::jr(RegIndex rs) { jalr(0, rs, 0); }
+
+void
+ProgramBuilder::nop()
+{
+    Instruction inst;
+    inst.op = OpCode::Nop;
+    insts.push_back(inst);
+}
+
+void
+ProgramBuilder::halt()
+{
+    Instruction inst;
+    inst.op = OpCode::Halt;
+    insts.push_back(inst);
+}
+
+Program
+ProgramBuilder::build()
+{
+    panicIf(built, "ProgramBuilder::build() called twice");
+    built = true;
+    for (const auto &[inst_index, label_id] : fixups) {
+        const std::size_t pos = labelPositions[label_id];
+        panicIf(pos == unboundLabel,
+                "unbound label referenced in program '" + progName + "'");
+        insts[inst_index].target = static_cast<std::uint32_t>(pos);
+    }
+    return Program(progName, std::move(insts), base);
+}
+
+} // namespace vpsim

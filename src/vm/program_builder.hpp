@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Programmatic assembler for the mini ISA.
+ *
+ * Workload authors emit instructions through named methods (add, beq, ...)
+ * and use Label handles for control-flow targets; build() resolves all
+ * label references and returns an immutable Program.
+ *
+ * Register conventions used by the bundled workloads (not enforced):
+ * r0 = zero, r1 = return address, r2 = stack pointer, r3.. = general.
+ */
+
+#ifndef VPSIM_VM_PROGRAM_BUILDER_HPP
+#define VPSIM_VM_PROGRAM_BUILDER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/program.hpp"
+
+namespace vpsim
+{
+
+/** Opaque handle to a branch/jump target within one ProgramBuilder. */
+class Label
+{
+  public:
+    Label() = default;
+
+  private:
+    friend class ProgramBuilder;
+    explicit Label(std::size_t label_id) : id(label_id), valid(true) {}
+
+    std::size_t id = 0;
+    bool valid = false;
+};
+
+/** Incremental builder producing a Program. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string program_name,
+                            Addr load_address = 0x1000);
+
+    /** Create a fresh, unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the next emitted instruction. */
+    void bind(Label label);
+
+    /**
+     * Byte address of a bound label. Usable immediately after bind(); used
+     * by workloads to place function addresses into jump tables in memory.
+     */
+    Addr boundAddr(Label label) const;
+
+    /** @name Register-register ALU. */
+    /// @{
+    void add(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void sub(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void and_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void or_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void xor_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void slt(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void sltu(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void sll(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void srl(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void sra(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void mul(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void div(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void rem(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    /// @}
+
+    /** @name Register-immediate ALU. */
+    /// @{
+    void addi(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void andi(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void ori(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void xori(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void slti(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void slli(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void srli(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void srai(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void lui(RegIndex rd, std::int64_t imm);
+    /// @}
+
+    /** @name Memory. */
+    /// @{
+    void ld(RegIndex rd, RegIndex rs1_base, std::int64_t imm);
+    void st(RegIndex rs2_src, RegIndex rs1_base, std::int64_t imm);
+    void lbu(RegIndex rd, RegIndex rs1_base, std::int64_t imm);
+    void sb(RegIndex rs2_src, RegIndex rs1_base, std::int64_t imm);
+    /// @}
+
+    /** @name Control flow. */
+    /// @{
+    void beq(RegIndex rs1, RegIndex rs2, Label target);
+    void bne(RegIndex rs1, RegIndex rs2, Label target);
+    void blt(RegIndex rs1, RegIndex rs2, Label target);
+    void bge(RegIndex rs1, RegIndex rs2, Label target);
+    void bltu(RegIndex rs1, RegIndex rs2, Label target);
+    void bgeu(RegIndex rs1, RegIndex rs2, Label target);
+    void jal(RegIndex rd, Label target);
+    void jalr(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    /// @}
+
+    /** @name Pseudo-instructions. */
+    /// @{
+    /** li: rd = imm (expands to addi rd, r0, imm). */
+    void li(RegIndex rd, std::int64_t imm);
+    /** mv: rd = rs (addi rd, rs, 0). */
+    void mv(RegIndex rd, RegIndex rs);
+    /** la: rd = byte address of @p target (target must be bound). */
+    void la(RegIndex rd, Label target);
+    /** j: unconditional jump (jal r0, target). */
+    void j(Label target);
+    /** call: jal r1, target. */
+    void call(Label target);
+    /** ret: jalr r0, r1, 0. */
+    void ret();
+    /** jr: jalr r0, rs, 0. */
+    void jr(RegIndex rs);
+    void nop();
+    void halt();
+    /// @}
+
+    /** Number of instructions emitted so far. */
+    std::size_t size() const { return insts.size(); }
+
+    /** Resolve all label references and produce the Program. */
+    Program build();
+
+  private:
+    void emitRR(OpCode op, RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void emitRI(OpCode op, RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void emitBranch(OpCode op, RegIndex rs1, RegIndex rs2, Label target);
+    void checkReg(RegIndex index) const;
+    std::size_t labelTarget(Label label) const;
+
+    std::string progName;
+    Addr base;
+    std::vector<Instruction> insts;
+    /** Bound position of each label (invalid sentinel when unbound). */
+    std::vector<std::size_t> labelPositions;
+    /** (instruction index, label id) pairs awaiting resolution. */
+    std::vector<std::pair<std::size_t, std::size_t>> fixups;
+    bool built = false;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_VM_PROGRAM_BUILDER_HPP

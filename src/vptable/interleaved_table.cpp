@@ -1,0 +1,101 @@
+#include "vptable/interleaved_table.hpp"
+
+#include <map>
+
+#include "common/logging.hpp"
+#include "isa/instruction.hpp"
+
+namespace vpsim
+{
+
+InterleavedVpTable::InterleavedVpTable(
+    std::unique_ptr<ClassifiedPredictor> predictor,
+    const VpTableConfig &config)
+    : classified(std::move(predictor)),
+      cfg(config)
+{
+    panicIf(!classified, "InterleavedVpTable needs a predictor");
+    fatalIf(cfg.banks == 0, "bank count must be positive");
+    fatalIf(cfg.portsPerBank == 0, "ports per bank must be positive");
+}
+
+unsigned
+InterleavedVpTable::bankOf(Addr pc) const
+{
+    // Low-order bits of the (word) address select the bank (§4.2).
+    return static_cast<unsigned>((pc / instBytes) % cfg.banks);
+}
+
+std::vector<VpGrant>
+InterleavedVpTable::processBundle(const std::vector<Addr> &pcs)
+{
+    std::vector<VpGrant> grants(pcs.size());
+    numRequests += pcs.size();
+
+    // Router step 1: merge copies of the same instruction. Groups are
+    // ordered by the first (lead) occurrence, which also defines the
+    // priority used for conflict resolution.
+    struct Group
+    {
+        Addr pc = 0;
+        std::vector<std::size_t> members;
+    };
+    std::vector<Group> groups;
+    std::map<Addr, std::size_t> groupOf;
+    for (std::size_t i = 0; i < pcs.size(); ++i) {
+        // §4.2: opcode hints tell the router which instructions are
+        // prediction candidates at all; hinted-off requests never reach
+        // the banks (fewer conflicts to resolve).
+        if (cfg.hints &&
+            cfg.hints->hintFor(pcs[i]) == ValueHint::NotPredictable) {
+            ++numHintFiltered;
+            continue;
+        }
+        const auto [it, fresh] = groupOf.try_emplace(pcs[i], groups.size());
+        if (fresh)
+            groups.push_back({pcs[i], {}});
+        groups[it->second].members.push_back(i);
+    }
+
+    // Router step 2: per-bank port arbitration in priority order.
+    std::vector<unsigned> bankLoad(cfg.banks, 0);
+    for (const Group &group : groups) {
+        ++numAccesses;
+        numMerged += group.members.size() - 1;
+        unsigned &load = bankLoad[bankOf(group.pc)];
+        if (load >= cfg.portsPerBank) {
+            // Denied: every copy is informed its prediction is invalid.
+            ++numDeniedAccesses;
+            numDeniedRequests += group.members.size();
+            continue;
+        }
+        ++load;
+
+        // Table access + value distribution. The classifier's
+        // speculative update advances the stride sequence per copy, so
+        // successive copies of the same instruction receive
+        // X, X+stride, X+2*stride, ... (Figure 4.2).
+        const StrideInfo info =
+            classified->raw().strideInfo(group.pc);
+        bool lead = true;
+        for (const std::size_t member : group.members) {
+            VpGrant &grant = grants[member];
+            grant.granted = true;
+            grant.merged = !lead;
+            grant.prediction = classified->predict(group.pc);
+            if (!lead && info.valid && info.stride != 0)
+                ++numAdditions; // distributor computes X + k*stride
+            lead = false;
+        }
+    }
+    return grants;
+}
+
+void
+InterleavedVpTable::update(Addr pc, const ClassifiedPrediction &prediction,
+                           Value actual)
+{
+    classified->update(pc, prediction, actual);
+}
+
+} // namespace vpsim

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * gcc mini-benchmark: tokenizer + expression evaluator + code emission,
+ * mirroring SPEC95's gcc (a compiler).
+ *
+ * The program scans a synthetic source buffer of assignment statements
+ * ("d=a+3*b;"), tokenizes characters with class-test branches, evaluates
+ * expressions left-to-right through a called operand-fetch function, and
+ * emits (lhs, value) tuples. Compiler-style code is dominated by short
+ * data-dependent branches and call/return traffic.
+ */
+
+#include "workloads/workload.hpp"
+
+#include "common/rng.hpp"
+#include "workloads/regs.hpp"
+#include "vm/program_builder.hpp"
+
+namespace vpsim
+{
+
+namespace
+{
+
+using namespace regs;
+
+constexpr Addr srcBase = 0x900000;
+constexpr Addr symBase = 0x910000;   // 26 variable slots
+constexpr Addr emitBase = 0x920000;
+constexpr Addr stackBase = 0x980000;
+
+
+
+/**
+ * Synthetic source: three-term assignment statements over a-z, digits
+ * and + - * &. Every statement is exactly eight characters
+ * ("d=a+3*b;"), so the tokenizer cursor advances in a fixed pattern —
+ * like a fixed-format record scanner — while operators and operand kinds
+ * still vary per statement.
+ */
+std::vector<std::uint8_t>
+makeSource(std::int64_t num_statements, std::uint64_t seed)
+{
+    Rng rng(0x6cc6cc ^ seed);
+    const char ops[4] = {'+', '-', '*', '&'};
+    std::string text;
+    for (std::int64_t s = 0; s < num_statements; ++s) {
+        text.push_back(static_cast<char>('a' + rng.nextBelow(26)));
+        text.push_back('=');
+        for (std::size_t t = 0; t < 3; ++t) {
+            if (t > 0)
+                text.push_back(ops[rng.nextBelow(4)]);
+            if (rng.nextChance(1, 3))
+                text.push_back(static_cast<char>('1' + rng.nextBelow(9)));
+            else
+                text.push_back(static_cast<char>('a' + rng.nextBelow(26)));
+        }
+        text.push_back(';');
+    }
+    text.push_back('\0');
+    return {text.begin(), text.end()};
+}
+
+} // namespace
+
+Workload
+buildGcc(const WorkloadParams &params)
+{
+    const std::int64_t num_statements =
+        400 * static_cast<std::int64_t>(params.scale);
+    ProgramBuilder b("gcc");
+
+    // s0 = source cursor, s1 = source base, s2 = symtab base,
+    // s3 = emit base, s4 = emit cursor, s5 = statement count,
+    // s6 = accumulator, s7 = lhs slot, s8 = passes.
+    Label outer = b.newLabel();
+    Label stmt = b.newLabel();
+    Label oploop = b.newLabel();
+    Label doAdd = b.newLabel();
+    Label doSub = b.newLabel();
+    Label doMul = b.newLabel();
+    Label doAnd = b.newLabel();
+    Label opDone = b.newLabel();
+    Label endStmt = b.newLabel();
+    Label getVal = b.newLabel();
+    Label getDigit = b.newLabel();
+
+    b.li(s8, 0);
+    b.li(s4, 0);
+
+    b.bind(outer);
+    b.li(s1, srcBase);
+    b.li(s2, symBase);
+    b.li(s3, emitBase);
+    b.li(sp, stackBase);
+    b.li(s5, 0);
+    b.li(s0, 0);
+    b.addi(s8, s8, 1);
+
+    b.bind(stmt);
+    b.add(t0, s0, s1);
+    b.lbu(t1, t0, 0);            // lhs letter or NUL
+    b.beq(t1, zero, outer);      // end of source: start a new pass
+    b.addi(s7, t1, -'a');        // lhs slot index
+    b.addi(s0, s0, 2);           // skip the letter and '='
+    // first operand
+    b.add(t0, s0, s1);
+    b.lbu(a0, t0, 0);
+    b.addi(s0, s0, 1);
+    b.call(getVal);
+    b.mv(s6, a0);
+
+    b.bind(oploop);
+    b.add(t0, s0, s1);
+    b.lbu(t2, t0, 0);            // operator or ';'
+    b.addi(s0, s0, 1);
+    b.li(t3, ';');
+    b.beq(t2, t3, endStmt);
+    // fetch the next operand
+    b.add(t0, s0, s1);
+    b.lbu(a0, t0, 0);
+    b.addi(s0, s0, 1);
+    b.call(getVal);
+    // dispatch on the operator
+    b.li(t3, '+');
+    b.beq(t2, t3, doAdd);
+    b.li(t3, '-');
+    b.beq(t2, t3, doSub);
+    b.li(t3, '*');
+    b.beq(t2, t3, doMul);
+    b.j(doAnd);
+    b.bind(doAdd);
+    b.add(s6, s6, a0);
+    b.j(opDone);
+    b.bind(doSub);
+    b.sub(s6, s6, a0);
+    b.j(opDone);
+    b.bind(doMul);
+    b.mul(s6, s6, a0);
+    b.j(opDone);
+    b.bind(doAnd);
+    b.and_(s6, s6, a0);
+    b.bind(opDone);
+    b.j(oploop);
+
+    b.bind(endStmt);
+    // symtab[lhs] = acc (keep values bounded with a mask)
+    b.li(t4, 0xffff);
+    b.and_(s6, s6, t4);
+    b.slli(t5, s7, 3);
+    b.add(t5, t5, s2);
+    b.st(s6, t5, 0);
+    // emit (lhs, value)
+    b.slli(t6, s4, 3);
+    b.add(t6, t6, s3);
+    b.st(s7, t6, 0);
+    b.st(s6, t6, 8);
+    b.addi(s4, s4, 2);
+    b.li(t7, 0x3ffe);
+    b.and_(s4, s4, t7);          // wrap the emit ring
+    b.addi(s5, s5, 1);
+    b.j(stmt);
+
+    // --- getVal: a0 = token char -> a0 = operand value ---
+    b.bind(getVal);
+    b.li(t8, 'a');
+    b.blt(a0, t8, getDigit);
+    b.addi(a0, a0, -'a');
+    b.slli(a0, a0, 3);
+    b.add(a0, a0, s2);
+    b.ld(a0, a0, 0);             // variable value
+    b.ret();
+    b.bind(getDigit);
+    b.addi(a0, a0, -'0');        // literal digit
+    b.ret();
+
+    Program program = b.build();
+
+    Memory mem;
+    const auto source = makeSource(num_statements, params.seed);
+    mem.writeBlock(srcBase, source.data(), source.size());
+    // Initial variable values 1..26.
+    std::vector<Value> symtab;
+    for (std::int64_t i = 0; i < 26; ++i)
+        symtab.push_back(static_cast<Value>(i + 1));
+    mem.writeWords(symBase, symtab);
+
+    return Workload{"gcc", std::move(program), std::move(mem)};
+}
+
+} // namespace vpsim

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * m88ksim mini-benchmark: an instruction-set simulator for a tiny guest
+ * CPU, mirroring SPEC95's m88ksim (a Motorola 88100 simulator).
+ *
+ * The host program runs a classic fetch/decode/dispatch loop over a guest
+ * program stored in data memory, with a jump table of handler routines
+ * (indirect jumps), per-opcode statistics counters, a guest register file
+ * and guest memory. Simulator-style code is rich in monotonic counters and
+ * regular address arithmetic, which is what makes the real m88ksim one of
+ * the most value-predictable SPEC programs (paper §3.3, Figure 3.5).
+ */
+
+#include "workloads/workload.hpp"
+
+#include "workloads/regs.hpp"
+#include "vm/program_builder.hpp"
+
+namespace vpsim
+{
+
+namespace
+{
+
+using namespace regs;
+
+// Data memory layout.
+constexpr Addr guestProgBase = 0x200000;
+constexpr Addr guestRegsBase = 0x210000;
+constexpr Addr guestMemBase = 0x220000;
+constexpr Addr jumpTableBase = 0x230000;
+
+// Guest instruction encoding: byte 0 opcode, byte 1 rd, byte 2 rs1,
+// byte 3 rs2, bytes 4-7 signed immediate.
+constexpr std::uint64_t
+guestInst(std::uint64_t op, std::uint64_t rd, std::uint64_t rs1,
+          std::uint64_t rs2, std::int32_t imm)
+{
+    return op | (rd << 8) | (rs1 << 16) | (rs2 << 24) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(imm))
+            << 32);
+}
+
+constexpr std::uint64_t gAdd = 0;
+constexpr std::uint64_t gAddi = 1;
+constexpr std::uint64_t gLoad = 2;
+constexpr std::uint64_t gStore = 3;
+constexpr std::uint64_t gBnez = 4;
+constexpr std::uint64_t gHalt = 5;
+constexpr std::uint64_t gSub = 6;
+
+} // namespace
+
+Workload
+buildM88ksim(const WorkloadParams &params)
+{
+    const auto guest_iterations =
+        static_cast<std::int32_t>(64 * params.scale);
+    ProgramBuilder b("m88ksim");
+
+    // Register roles:
+    //  s0 = guest pc, s1 = guest program base, s2 = guest regs base,
+    //  s3 = guest memory base, s4 = simulated cycle counter,
+    //  s5 = jump table base, s7 = guest run count,
+    //  s8 = total dispatched instructions, c0-c5 = per-opcode counters.
+    Label mainloop = b.newLabel();
+    Label opAdd = b.newLabel();
+    Label opAddi = b.newLabel();
+    Label opLoad = b.newLabel();
+    Label opStore = b.newLabel();
+    Label opBnez = b.newLabel();
+    Label opHalt = b.newLabel();
+    Label opSub = b.newLabel();
+    Label bnezNotTaken = b.newLabel();
+
+    // init
+    b.li(s0, 0);
+    b.li(s4, 0);
+    b.li(s7, 0);
+    b.li(s8, 0);
+
+    // Main simulator loop. Base addresses are re-materialized at the loop
+    // top (as a compiler would rematerialize constants / reload them after
+    // calls), keeping dependence distances bounded and giving the trace
+    // its characteristic stream of constant-producing instructions.
+    b.bind(mainloop);
+    b.li(s1, static_cast<std::int64_t>(guestProgBase));
+    b.li(s2, static_cast<std::int64_t>(guestRegsBase));
+    b.li(s3, static_cast<std::int64_t>(guestMemBase));
+    b.li(s5, static_cast<std::int64_t>(jumpTableBase));
+
+    // Simulation budget check: the cycle counter produced at the top of
+    // the previous iteration is consumed here, ~30 instructions later (a
+    // long-DID, perfectly stride-predictable dependence).
+    b.li(s9, 1 << 30);
+    b.bge(s4, s9, opHalt);
+
+    // Fetch guest instruction.
+    b.slli(t0, s0, 3);
+    b.add(t0, t0, s1);
+    b.ld(t1, t0, 0);
+    // Bookkeeping counters (stride-predictable, long DID).
+    b.addi(s4, s4, 1);
+    b.addi(s8, s8, 1);
+    // Decode fields.
+    b.andi(t2, t1, 0xff);        // opcode
+    b.srli(t3, t1, 8);
+    b.andi(t3, t3, 0xf);         // rd
+    b.srli(t4, t1, 16);
+    b.andi(t4, t4, 0xf);         // rs1
+    b.srli(t5, t1, 24);
+    b.andi(t5, t5, 0xf);         // rs2
+    b.srai(t6, t1, 32);          // imm
+    // Dispatch through the handler jump table.
+    b.slli(t7, t2, 3);
+    b.add(t7, t7, s5);
+    b.ld(t7, t7, 0);
+    b.jr(t7);
+
+    // gr[rd] = gr[rs1] + gr[rs2]
+    b.bind(opAdd);
+    b.addi(c0, c0, 1);  // per-opcode retired counter
+    b.slli(a0, t4, 3);
+    b.add(a0, a0, s2);
+    b.ld(a0, a0, 0);
+    b.slli(a1, t5, 3);
+    b.add(a1, a1, s2);
+    b.ld(a1, a1, 0);
+    b.add(a0, a0, a1);
+    b.slli(a2, t3, 3);
+    b.add(a2, a2, s2);
+    b.st(a0, a2, 0);
+    b.addi(s0, s0, 1);
+    b.j(mainloop);
+
+    // gr[rd] = gr[rs1] + imm
+    b.bind(opAddi);
+    b.addi(c1, c1, 1);  // per-opcode retired counter
+    b.slli(a0, t4, 3);
+    b.add(a0, a0, s2);
+    b.ld(a0, a0, 0);
+    b.add(a0, a0, t6);
+    b.slli(a2, t3, 3);
+    b.add(a2, a2, s2);
+    b.st(a0, a2, 0);
+    b.addi(s0, s0, 1);
+    b.j(mainloop);
+
+    // gr[rd] = gmem[gr[rs1] + imm]
+    b.bind(opLoad);
+    b.addi(c2, c2, 1);  // per-opcode retired counter
+    b.slli(a0, t4, 3);
+    b.add(a0, a0, s2);
+    b.ld(a0, a0, 0);
+    b.add(a0, a0, t6);
+    b.andi(a0, a0, 0xff8);       // wrap into guest memory, 8-aligned
+    b.add(a0, a0, s3);
+    b.ld(a0, a0, 0);
+    b.slli(a2, t3, 3);
+    b.add(a2, a2, s2);
+    b.st(a0, a2, 0);
+    b.addi(s0, s0, 1);
+    b.j(mainloop);
+
+    // gmem[gr[rs1] + imm] = gr[rd]
+    b.bind(opStore);
+    b.addi(c3, c3, 1);  // per-opcode retired counter
+    b.slli(a0, t4, 3);
+    b.add(a0, a0, s2);
+    b.ld(a0, a0, 0);
+    b.add(a0, a0, t6);
+    b.andi(a0, a0, 0xff8);
+    b.add(a0, a0, s3);
+    b.slli(a2, t3, 3);
+    b.add(a2, a2, s2);
+    b.ld(a1, a2, 0);
+    b.st(a1, a0, 0);
+    b.addi(s0, s0, 1);
+    b.j(mainloop);
+
+    // if (gr[rd] != 0) gpc += imm else gpc++
+    b.bind(opBnez);
+    b.addi(c4, c4, 1);           // per-opcode retired counter
+    b.slli(a0, t3, 3);
+    b.add(a0, a0, s2);
+    b.ld(a0, a0, 0);
+    b.beq(a0, zero, bnezNotTaken);
+    b.add(s0, s0, t6);
+    b.j(mainloop);
+    b.bind(bnezNotTaken);
+    b.addi(s0, s0, 1);
+    b.j(mainloop);
+
+    // gr[rd] = gr[rs1] - gr[rs2]
+    b.bind(opSub);
+    b.addi(c5, c5, 1);  // per-opcode retired counter
+    b.slli(a0, t4, 3);
+    b.add(a0, a0, s2);
+    b.ld(a0, a0, 0);
+    b.slli(a1, t5, 3);
+    b.add(a1, a1, s2);
+    b.ld(a1, a1, 0);
+    b.sub(a0, a0, a1);
+    b.slli(a2, t3, 3);
+    b.add(a2, a2, s2);
+    b.st(a0, a2, 0);
+    b.addi(s0, s0, 1);
+    b.j(mainloop);
+
+    // Guest halt: restart the guest program (outer benchmark loop).
+    b.bind(opHalt);
+    b.li(s0, 0);
+    b.addi(s7, s7, 1);
+    b.j(mainloop);
+
+    Program program = b.build();
+
+    // Handler table and guest program image.
+    Memory mem;
+    mem.writeWords(jumpTableBase, {
+        b.boundAddr(opAdd), b.boundAddr(opAddi), b.boundAddr(opLoad),
+        b.boundAddr(opStore), b.boundAddr(opBnez), b.boundAddr(opHalt),
+        b.boundAddr(opSub),
+    });
+
+    // Guest program: a checksum-and-copy loop. Each loop slot uses a
+    // distinct guest opcode, so each host handler serves one loop slot
+    // and its guest-pc bookkeeping is steady at that handler's pc (the
+    // common case in a real ISS, where hot handlers correlate with hot
+    // guest instructions).
+    //   r1 = 64 iterations; r2 = byte offset; r4 = 1; r5 = running sum
+    //   loop: r3 = gmem[r2]; r5 += r3; gmem[r2+512] = r5;
+    //         r2 += 8; r1 -= r4; bnez r1 -> loop
+    //   store r5; halt
+    mem.writeWords(guestProgBase, {
+        guestInst(gAddi, 1, 0, 0, guest_iterations),
+        guestInst(gAddi, 2, 0, 0, 0),
+        guestInst(gAddi, 5, 0, 0, 0),
+        guestInst(gAddi, 4, 0, 0, 1),
+        guestInst(gLoad, 3, 2, 0, 0),
+        guestInst(gAdd, 5, 5, 3, 0),
+        guestInst(gStore, 5, 2, 0, 512),
+        guestInst(gAddi, 2, 2, 0, 8),
+        guestInst(gSub, 1, 1, 4, 0),
+        guestInst(gBnez, 1, 0, 0, -5),
+        guestInst(gStore, 5, 0, 0, 1024),
+        guestInst(gHalt, 0, 0, 0, 0),
+    });
+
+    // Guest data memory: a deterministic pattern to checksum.
+    std::vector<Value> guest_data;
+    guest_data.reserve(64);
+    for (std::uint64_t i = 0; i < 64; ++i)
+        guest_data.push_back(i * 0x9e37 + (i ^ (0x5a + params.seed)));
+    mem.writeWords(guestMemBase, guest_data);
+
+    return Workload{"m88ksim", std::move(program), std::move(mem)};
+}
+
+} // namespace vpsim

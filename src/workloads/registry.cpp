@@ -1,0 +1,81 @@
+#include "workloads/workload.hpp"
+
+#include "common/logging.hpp"
+#include "vm/interpreter.hpp"
+
+namespace vpsim
+{
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "go", "m88ksim", "gcc", "compress", "li", "ijpeg", "perl", "vortex",
+    };
+    return names;
+}
+
+std::string
+workloadDescription(const std::string &name)
+{
+    if (name == "go")
+        return "Game playing: positional board evaluation with "
+               "captures (SPEC: the game of go).";
+    if (name == "m88ksim")
+        return "A simulator for a small guest CPU: fetch/decode/"
+               "dispatch with a handler jump table (SPEC: Motorola "
+               "88100 simulator).";
+    if (name == "gcc")
+        return "Tokenizer + expression evaluator + code emission "
+               "(SPEC: GNU C compiler 2.5.3).";
+    if (name == "compress")
+        return "Adaptive Lempel-Ziv coding over a hash-probed "
+               "dictionary (SPEC: compress95).";
+    if (name == "li")
+        return "Cons-cell list processing with recursion and pointer "
+               "chasing (SPEC: xlisp interpreter).";
+    if (name == "ijpeg")
+        return "8x8 integer block transform with quantization "
+               "(SPEC: JPEG encoder).";
+    if (name == "perl")
+        return "Anagram search via letter-count signatures and "
+               "hashing (SPEC: perl anagram script).";
+    if (name == "vortex")
+        return "Single-user object-oriented database transactions "
+               "over indexed record tables (SPEC: vortex).";
+    fatal("unknown workload '" + name + "'");
+}
+
+Workload
+buildWorkload(const std::string &name, const WorkloadParams &params)
+{
+    fatalIf(params.scale == 0, "workload scale must be positive");
+    if (name == "go")
+        return buildGo(params);
+    if (name == "m88ksim")
+        return buildM88ksim(params);
+    if (name == "gcc")
+        return buildGcc(params);
+    if (name == "compress")
+        return buildCompress(params);
+    if (name == "li")
+        return buildLi(params);
+    if (name == "ijpeg")
+        return buildIjpeg(params);
+    if (name == "perl")
+        return buildPerl(params);
+    if (name == "vortex")
+        return buildVortex(params);
+    fatal("unknown workload '" + name + "'");
+}
+
+std::vector<TraceRecord>
+captureWorkloadTrace(const std::string &name, std::uint64_t max_insts,
+                     const WorkloadParams &params)
+{
+    Workload workload = buildWorkload(name, params);
+    return captureTrace(workload.program, std::move(workload.memory),
+                        max_insts);
+}
+
+} // namespace vpsim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Register-name conventions shared by the workload sources.
+ *
+ * r0 is hardwired zero; r1 is the link register; r2 the stack pointer;
+ * t0-t8 are scratch; s0-s9 are long-lived locals; a0-a3 argument/return
+ * registers for the internal calling convention.
+ */
+
+#ifndef VPSIM_WORKLOADS_REGS_HPP
+#define VPSIM_WORKLOADS_REGS_HPP
+
+#include "common/types.hpp"
+
+namespace vpsim::regs
+{
+
+inline constexpr RegIndex zero = 0;
+inline constexpr RegIndex ra = 1;
+inline constexpr RegIndex sp = 2;
+
+inline constexpr RegIndex t0 = 3;
+inline constexpr RegIndex t1 = 4;
+inline constexpr RegIndex t2 = 5;
+inline constexpr RegIndex t3 = 6;
+inline constexpr RegIndex t4 = 7;
+inline constexpr RegIndex t5 = 8;
+inline constexpr RegIndex t6 = 9;
+inline constexpr RegIndex t7 = 10;
+inline constexpr RegIndex t8 = 11;
+
+inline constexpr RegIndex s0 = 12;
+inline constexpr RegIndex s1 = 13;
+inline constexpr RegIndex s2 = 14;
+inline constexpr RegIndex s3 = 15;
+inline constexpr RegIndex s4 = 16;
+inline constexpr RegIndex s5 = 17;
+inline constexpr RegIndex s6 = 18;
+inline constexpr RegIndex s7 = 19;
+inline constexpr RegIndex s8 = 20;
+inline constexpr RegIndex s9 = 21;
+
+inline constexpr RegIndex a0 = 22;
+inline constexpr RegIndex a1 = 23;
+inline constexpr RegIndex a2 = 24;
+inline constexpr RegIndex a3 = 25;
+
+/** Extra long-lived counters (c0-c5) for bookkeeping-heavy workloads. */
+inline constexpr RegIndex c0 = 26;
+inline constexpr RegIndex c1 = 27;
+inline constexpr RegIndex c2 = 28;
+inline constexpr RegIndex c3 = 29;
+inline constexpr RegIndex c4 = 30;
+inline constexpr RegIndex c5 = 31;
+
+} // namespace vpsim::regs
+
+#endif // VPSIM_WORKLOADS_REGS_HPP

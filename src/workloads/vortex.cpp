@@ -1,0 +1,197 @@
+/**
+ * @file
+ * vortex mini-benchmark: object-oriented database transactions, mirroring
+ * SPEC95's vortex (a single-user OO database).
+ *
+ * Transactions round-robin over four record tables. The per-table insert
+ * code is inlined (one body per table, as an optimizing compiler would
+ * produce), so each body's record count, record address and index cursor
+ * are perfect arithmetic progressions at their static instruction —
+ * which is why the real vortex shows the largest fraction of
+ * value-predictable long-distance dependencies in the paper (Fig 3.5).
+ * Every fourth transaction walks the newest records' predecessor chain
+ * through a shared lookup routine.
+ */
+
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+
+#include "workloads/regs.hpp"
+#include "vm/program_builder.hpp"
+
+namespace vpsim
+{
+
+namespace
+{
+
+using namespace regs;
+
+constexpr Addr tablesBase = 0xa00000;   // 4 tables x capacity x 32 bytes
+constexpr Addr indexBase = 0xa80000;    // 4 index arrays
+constexpr Addr countsBase = 0xaf0000;   // 4 record counts
+constexpr Addr prevBase = 0xaf0100;     // 4 last-record pointers
+constexpr Addr stackBase = 0xb00000;
+
+constexpr std::int64_t tableStride = 0x20000;
+constexpr std::int64_t indexStride = 0x4000;
+
+
+} // namespace
+
+Workload
+buildVortex(const WorkloadParams &params)
+{
+    // Record capacity scales, bounded by the per-table address stride.
+    const std::int64_t capacity = std::min<std::int64_t>(
+        768 * static_cast<std::int64_t>(params.scale),
+        tableStride / 32 - 1);
+    ProgramBuilder b("vortex");
+
+    // s0 = txn id, s1 = tables base, s2 = index base, s3 = counts base,
+    // s4 = prev-pointer base, s5 = checksum, s6 = lookups done,
+    // s7 = resets, s9 = chain sum.
+    Label outer = b.newLabel();
+    Label txnLoop = b.newLabel();
+    Label lookupFn = b.newLabel();
+    Label lookupLoop = b.newLabel();
+    Label lookupDone = b.newLabel();
+    Label noLookup = b.newLabel();
+    Label resetDb = b.newLabel();
+    Label resetLoop = b.newLabel();
+    Label afterInsert = b.newLabel();
+    Label insertBody[4] = {b.newLabel(), b.newLabel(), b.newLabel(),
+                           b.newLabel()};
+    Label dispatch[4] = {b.newLabel(), b.newLabel(), b.newLabel(),
+                         b.newLabel()};
+
+    b.li(s0, 0);
+    b.li(s5, 0);
+    b.li(s6, 0);
+    b.li(s7, 0);
+
+    b.bind(outer);
+    b.li(sp, stackBase);
+
+    // Base addresses are re-materialized per transaction, as compiled
+    // OO code reloads object/table handles on every method entry. Each
+    // reload is a perfectly predictable producer whose consumers sit
+    // 4-40 instructions away (the paper's "predictable and DID >= 4"
+    // population that makes vortex the biggest wide-fetch winner).
+    b.bind(txnLoop);
+    b.li(s1, tablesBase);
+    b.li(s2, indexBase);
+    b.li(s3, countsBase);
+    b.li(s4, prevBase);
+    b.addi(s0, s0, 1);           // txn id (perfect stride)
+    b.andi(t0, s0, 3);           // table for this txn
+    // Two-level branch tree to the inlined insert body.
+    b.li(t1, 2);
+    b.blt(t0, t1, dispatch[0]);
+    b.li(t1, 3);
+    b.blt(t0, t1, insertBody[2]);
+    b.j(insertBody[3]);
+    b.bind(dispatch[0]);
+    b.li(t1, 1);
+    b.blt(t0, t1, insertBody[0]);
+    b.j(insertBody[1]);
+    // dispatch[1..3] unused but kept for symmetry with the source's
+    // switch lowering.
+    b.bind(dispatch[1]);
+    b.bind(dispatch[2]);
+    b.bind(dispatch[3]);
+
+    // --- four inlined insert bodies, one per table ---
+    for (int table = 0; table < 4; ++table) {
+        b.bind(insertBody[table]);
+        const std::int64_t countOff = table * 8;
+        const std::int64_t tableOff = table * tableStride;
+        const std::int64_t indexOff = table * indexStride;
+        const std::int64_t prevOff = table * 8;
+
+        b.ld(t1, s3, countOff);      // count (stride +1 at this pc)
+        b.slli(t4, t1, 5);
+        b.add(t3, t4, s1);
+        b.addi(t3, t3, tableOff);    // record address (stride +32)
+        // fields
+        b.st(s0, t3, 0);             // id = txn id
+        b.slli(t5, s0, 1);
+        b.addi(t5, t5, 7);
+        b.st(t5, t3, 8);             // derived key
+        b.ld(t7, s4, prevOff);       // previous record pointer
+        b.st(t7, t3, 16);            // link to predecessor
+        b.add(t8, s0, t1);
+        b.st(t8, t3, 24);            // checksum field
+        b.add(s5, s5, t8);
+        // index append: index[table][count] = record address
+        b.slli(t4, t1, 3);
+        b.add(t6, t4, s2);
+        b.addi(t6, t6, indexOff);
+        b.st(t3, t6, 0);
+        // prev[table] = record; counts[table]++
+        b.st(t3, s4, prevOff);
+        b.addi(t1, t1, 1);
+        b.st(t1, s3, countOff);
+        b.j(afterInsert);
+    }
+
+    b.bind(afterInsert);
+    // Run a lookup every 4th transaction.
+    b.andi(t0, s0, 3);
+    b.li(t1, 3);
+    b.bne(t0, t1, noLookup);
+    b.andi(a0, s0, 3);
+    b.call(lookupFn);
+    b.add(s9, s9, a0);
+    b.addi(s6, s6, 1);
+    b.bind(noLookup);
+    // Reset the database when table 0 fills.
+    b.ld(t2, s3, 0);             // counts[0]
+    b.li(t3, capacity);
+    b.blt(t2, t3, txnLoop);
+    b.j(resetDb);
+
+    // --- lookupFn: a0 = table -> a0 = sum over the last 8 records ---
+    b.bind(lookupFn);
+    b.slli(t0, a0, 3);
+    b.add(t0, t0, s4);
+    b.ld(t1, t0, 0);             // current = prev[table]
+    b.li(t2, 0);                 // sum
+    b.li(t3, 8);                 // remaining hops
+    b.bind(lookupLoop);
+    b.beq(t1, zero, lookupDone);
+    b.beq(t3, zero, lookupDone);
+    b.ld(t4, t1, 8);             // derived key
+    b.add(t2, t2, t4);
+    b.ld(t5, t1, 24);            // checksum field
+    b.add(t2, t2, t5);
+    b.ld(t1, t1, 16);            // follow the predecessor link
+    b.addi(t3, t3, -1);
+    b.j(lookupLoop);
+    b.bind(lookupDone);
+    b.mv(a0, t2);
+    b.ret();
+
+    // --- resetDb: clear counts and prev pointers (delete all records) ---
+    b.bind(resetDb);
+    b.addi(s7, s7, 1);
+    b.li(t0, 0);
+    b.bind(resetLoop);
+    b.slli(t1, t0, 3);
+    b.add(t2, t1, s3);
+    b.st(zero, t2, 0);
+    b.add(t2, t1, s4);
+    b.st(zero, t2, 0);
+    b.addi(t0, t0, 1);
+    b.li(t3, 4);
+    b.blt(t0, t3, resetLoop);
+    b.j(outer);
+
+    Program program = b.build();
+
+    Memory mem;
+    return Workload{"vortex", std::move(program), std::move(mem)};
+}
+
+} // namespace vpsim

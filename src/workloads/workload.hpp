@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The eight mini-benchmarks standing in for SPECint95 (paper Table 3.1).
+ *
+ * The paper drives its simulators from Shade-captured traces of the eight
+ * SPECint95 programs. Those binaries and traces are not redistributable, so
+ * this repository ships eight small but genuine programs for the mini ISA,
+ * one per SPEC program, each capturing the flavour of the original:
+ *
+ *  - go:       game-playing; board scans with branchy positional scoring.
+ *  - m88ksim:  a simulator for a tiny guest CPU (fetch/decode/dispatch).
+ *  - gcc:      tokenizer + symbol table + stack-machine code generation.
+ *  - compress: LZW-style adaptive compression over a synthetic corpus.
+ *  - li:       list/cons-cell interpreter with pointer chasing.
+ *  - ijpeg:    8x8 integer DCT-like transform with quantization.
+ *  - perl:     anagram search via letter-count signatures and hashing.
+ *  - vortex:   object-oriented database transactions over indexed tables.
+ *
+ * Because the VM executes them for real, the traces carry organic value
+ * locality: loop counters and address computations stride; hash values and
+ * pixel data do not. DESIGN.md §2 documents this substitution.
+ */
+
+#ifndef VPSIM_WORKLOADS_WORKLOAD_HPP
+#define VPSIM_WORKLOADS_WORKLOAD_HPP
+
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "vm/memory.hpp"
+#include "vm/program.hpp"
+
+namespace vpsim
+{
+
+/** A ready-to-run benchmark: program image plus initial data memory. */
+struct Workload
+{
+    std::string name;
+    Program program;
+    Memory memory;
+};
+
+/**
+ * Input-set parameters, in the spirit of SPEC's test/train/ref sizes.
+ *
+ * @c scale multiplies the benchmark's data-set size (corpus length,
+ * record capacity, dictionary size, guest iterations, ...); @c seed
+ * perturbs the generated input data. The defaults reproduce the
+ * canonical inputs used by the figure benches exactly.
+ */
+struct WorkloadParams
+{
+    unsigned scale = 1;
+    std::uint64_t seed = 0;
+};
+
+/** @name Individual benchmark builders. */
+/// @{
+Workload buildGo(const WorkloadParams &params = {});
+Workload buildM88ksim(const WorkloadParams &params = {});
+Workload buildGcc(const WorkloadParams &params = {});
+Workload buildCompress(const WorkloadParams &params = {});
+Workload buildLi(const WorkloadParams &params = {});
+Workload buildIjpeg(const WorkloadParams &params = {});
+Workload buildPerl(const WorkloadParams &params = {});
+Workload buildVortex(const WorkloadParams &params = {});
+/// @}
+
+/** Names of all eight benchmarks in the paper's reporting order. */
+const std::vector<std::string> &workloadNames();
+
+/**
+ * One-line description of a benchmark, in the spirit of the paper's
+ * Table 3.1 (which describes the SPECint95 originals).
+ */
+std::string workloadDescription(const std::string &name);
+
+/** Build a benchmark by name; fatal() on unknown names. */
+Workload buildWorkload(const std::string &name,
+                       const WorkloadParams &params = {});
+
+/**
+ * Build the benchmark and capture @p max_insts dynamic instructions.
+ *
+ * This is the standard entry point used by tests, examples, and the
+ * figure benches.
+ */
+std::vector<TraceRecord>
+captureWorkloadTrace(const std::string &name, std::uint64_t max_insts,
+                     const WorkloadParams &params = {});
+
+} // namespace vpsim
+
+#endif // VPSIM_WORKLOADS_WORKLOAD_HPP

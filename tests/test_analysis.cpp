@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the DID and predictability analyses, including an exact
+ * reproduction of the paper's Figure 3.2 worked example.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/did.hpp"
+#include "analysis/predictability.hpp"
+
+namespace vpsim
+{
+namespace
+{
+
+/** Build a synthetic producer/consumer trace record. */
+TraceRecord
+rec(SeqNum seq, RegIndex rd, RegIndex rs1 = invalidReg,
+    RegIndex rs2 = invalidReg, Value result = 0)
+{
+    TraceRecord record;
+    record.seq = seq;
+    record.pc = 0x1000 + seq * instBytes;
+    record.op = rs1 == invalidReg ? OpCode::Addi : OpCode::Add;
+    record.rd = rd;
+    record.rs1 = rs1 == invalidReg ? 0 : rs1;
+    record.rs2 = rs2;
+    record.result = result;
+    return record;
+}
+
+/**
+ * The Figure 3.2 dataflow graph: arcs 1->2 (DID 1), 2->4 (DID 2),
+ * 1->5 (DID 4), 5->6 (DID 1), 3->7 (DID 4), 7->8 (DID 1).
+ */
+std::vector<TraceRecord>
+figure32()
+{
+    return {
+        rec(0, 1),          // inst 1
+        rec(1, 2, 1),       // inst 2 <- 1
+        rec(2, 3),          // inst 3
+        rec(3, 4, 2),       // inst 4 <- 2
+        rec(4, 5, 1),       // inst 5 <- 1
+        rec(5, 6, 5),       // inst 6 <- 5
+        rec(6, 7, 3),       // inst 7 <- 3
+        rec(7, 8, 7),       // inst 8 <- 7
+    };
+}
+
+TEST(Did, Figure32ArcsAndAverage)
+{
+    const DidAnalysis did = analyzeDid(figure32());
+    EXPECT_EQ(did.totalArcs, 6u);
+    // DIDs: 1, 2, 4, 1, 4, 1 -> average 13/6.
+    EXPECT_NEAR(did.averageDid, 13.0 / 6.0, 1e-9);
+    // DID >= 4: the two distance-4 arcs.
+    EXPECT_NEAR(did.fracDidAtLeast4, 2.0 / 6.0, 1e-9);
+}
+
+TEST(Did, Figure32Histogram)
+{
+    const DidAnalysis did = analyzeDid(figure32());
+    const Histogram &hist = did.distribution;
+    EXPECT_EQ(hist.bucketCount(0), 3u) << "three arcs with DID 1";
+    EXPECT_EQ(hist.bucketCount(1), 1u) << "one arc with DID 2";
+    EXPECT_EQ(hist.bucketCount(2), 0u) << "no DID 3 arcs";
+    EXPECT_EQ(hist.bucketCount(3), 2u) << "two arcs in the 4-7 bucket";
+}
+
+TEST(Did, BothSourcesCreateArcs)
+{
+    const std::vector<TraceRecord> trace = {
+        rec(0, 1),
+        rec(1, 2),
+        rec(2, 3, 1, 2),
+    };
+    const DidAnalysis did = analyzeDid(trace);
+    EXPECT_EQ(did.totalArcs, 2u);
+    EXPECT_NEAR(did.averageDid, 1.5, 1e-9);
+}
+
+TEST(Did, RegisterZeroIsNotADependency)
+{
+    const std::vector<TraceRecord> trace = {
+        rec(0, 1),
+        rec(1, 2, 0), // reads r0: no arc
+    };
+    EXPECT_EQ(analyzeDid(trace).totalArcs, 0u);
+}
+
+TEST(Did, RedefinitionCutsOldArcs)
+{
+    const std::vector<TraceRecord> trace = {
+        rec(0, 1),
+        rec(1, 1),       // redefines r1
+        rec(2, 2, 1),    // consumer depends on the RE-definition
+    };
+    const DidAnalysis did = analyzeDid(trace);
+    EXPECT_EQ(did.totalArcs, 1u);
+    EXPECT_NEAR(did.averageDid, 1.0, 1e-9);
+}
+
+TEST(Did, LoopCarriedDependenciesAreIncluded)
+{
+    // A producer consumed once per "iteration" 10 instructions apart:
+    // the DFG must contain the inter-iteration arcs (no basic-block
+    // boundary cuts them).
+    std::vector<TraceRecord> trace;
+    trace.push_back(rec(0, 5));
+    for (SeqNum seq = 1; seq <= 30; ++seq) {
+        if (seq % 10 == 0)
+            trace.push_back(rec(seq, 5, 5)); // r5 = f(r5)
+        else
+            trace.push_back(rec(seq, 6));
+    }
+    const DidAnalysis did = analyzeDid(trace);
+    EXPECT_EQ(did.totalArcs, 3u);
+    EXPECT_NEAR(did.averageDid, 10.0, 1e-9);
+    EXPECT_NEAR(did.fracDidAtLeast4, 1.0, 1e-9);
+}
+
+TEST(Did, StreamingCollectorMatchesBatch)
+{
+    const auto trace = figure32();
+    DidCollector collector;
+    for (const TraceRecord &record : trace)
+        collector.observe(record);
+    const DidAnalysis streamed = collector.finish();
+    const DidAnalysis batch = analyzeDid(trace);
+    EXPECT_EQ(streamed.totalArcs, batch.totalArcs);
+    EXPECT_DOUBLE_EQ(streamed.averageDid, batch.averageDid);
+}
+
+TEST(Did, EmptyTrace)
+{
+    const DidAnalysis did = analyzeDid({});
+    EXPECT_EQ(did.totalArcs, 0u);
+    EXPECT_DOUBLE_EQ(did.averageDid, 0.0);
+}
+
+TEST(Predictability, ConstantProducerBecomesPredictable)
+{
+    // r1 = 42 repeatedly; consumers attach to each instance. The stride
+    // predictor locks on after the second sighting.
+    std::vector<TraceRecord> trace;
+    SeqNum seq = 0;
+    for (int i = 0; i < 10; ++i) {
+        TraceRecord p = rec(seq, 1, invalidReg, invalidReg, 42);
+        p.pc = 0x1000; // same static instruction every time
+        trace.push_back(p);
+        ++seq;
+        TraceRecord c = rec(seq, 2, 1);
+        c.pc = 0x1004;
+        trace.push_back(c);
+        ++seq;
+    }
+    const PredictabilityAnalysis pa = analyzePredictability(trace);
+    EXPECT_EQ(pa.totalArcs, 10u);
+    // First arc: producer unseen -> unpredictable. The rest predictable
+    // with DID 1.
+    EXPECT_NEAR(pa.fracUnpredictable, 0.1, 1e-9);
+    EXPECT_NEAR(pa.fracPredictableDid1, 0.9, 1e-9);
+    EXPECT_NEAR(pa.fracPredictable(), 0.9, 1e-9);
+}
+
+TEST(Predictability, RandomValuesStayUnpredictable)
+{
+    std::vector<TraceRecord> trace;
+    SeqNum seq = 0;
+    Value v = 12345;
+    for (int i = 0; i < 20; ++i) {
+        v = v * 6364136223846793005ull + 1442695040888963407ull;
+        TraceRecord p = rec(seq, 1, invalidReg, invalidReg, v);
+        p.pc = 0x1000;
+        trace.push_back(p);
+        ++seq;
+        TraceRecord c = rec(seq, 2, 1);
+        c.pc = 0x1004;
+        trace.push_back(c);
+        ++seq;
+    }
+    const PredictabilityAnalysis pa = analyzePredictability(trace);
+    EXPECT_GT(pa.fracUnpredictable, 0.9);
+}
+
+TEST(Predictability, DidBucketsSplitCorrectly)
+{
+    // Producer at distance 5 from its consumer: predictable arcs land in
+    // the >= 4 bucket.
+    std::vector<TraceRecord> trace;
+    SeqNum seq = 0;
+    for (int i = 0; i < 10; ++i) {
+        TraceRecord p = rec(seq, 1, invalidReg, invalidReg, 7);
+        p.pc = 0x1000;
+        trace.push_back(p);
+        ++seq;
+        for (int f = 0; f < 4; ++f) {
+            TraceRecord filler = rec(seq, 3);
+            filler.pc = 0x2000 + f * instBytes;
+            trace.push_back(filler);
+            ++seq;
+        }
+        TraceRecord c = rec(seq, 2, 1);
+        c.pc = 0x1004;
+        trace.push_back(c);
+        ++seq;
+    }
+    const PredictabilityAnalysis pa = analyzePredictability(trace);
+    EXPECT_NEAR(pa.fracPredictableDid4Plus, 0.9, 1e-9);
+    EXPECT_DOUBLE_EQ(pa.fracPredictableDid1, 0.0);
+    EXPECT_DOUBLE_EQ(pa.fracPredictableShort(), 0.0);
+}
+
+TEST(Predictability, FractionsSumToOne)
+{
+    const auto trace = figure32();
+    const PredictabilityAnalysis pa = analyzePredictability(trace);
+    EXPECT_NEAR(pa.fracUnpredictable + pa.fracPredictable(), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace vpsim

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the text assembler: syntax coverage, label resolution,
+ * pseudo-ops, error reporting, and end-to-end execution equivalence
+ * with the ProgramBuilder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/assembler.hpp"
+#include "vm/interpreter.hpp"
+#include "vm/program_builder.hpp"
+
+namespace vpsim
+{
+namespace
+{
+
+Value
+runAndRead(const std::string &source, RegIndex result_reg)
+{
+    Program program = assembleProgram(source);
+    Interpreter interp(program, Memory{});
+    const auto result = interp.run(100000);
+    EXPECT_TRUE(result.halted);
+    return interp.reg(result_reg);
+}
+
+TEST(Assembler, SumLoop)
+{
+    const Value sum = runAndRead(R"(
+        # sum 1..10
+                li   s0, 10
+                li   s1, 0
+        loop:
+                add  s1, s1, s0
+                addi s0, s0, -1
+                bne  s0, zero, loop
+                halt
+    )", 13); // s1
+    EXPECT_EQ(sum, 55u);
+}
+
+TEST(Assembler, AllAluMnemonics)
+{
+    const Value v = runAndRead(R"(
+        li t0, 12
+        li t1, 5
+        add  s0, t0, t1   # 17
+        sub  s1, t0, t1   # 7
+        mul  s2, t0, t1   # 60
+        div  s3, t0, t1   # 2
+        rem  s4, t0, t1   # 2
+        and  s5, t0, t1   # 4
+        or   s6, t0, t1   # 13
+        xor  s7, t0, t1   # 9
+        add  a0, s0, s1
+        add  a0, a0, s2
+        add  a0, a0, s3
+        add  a0, a0, s4
+        add  a0, a0, s5
+        add  a0, a0, s6
+        add  a0, a0, s7
+        halt
+    )", 22); // a0
+    EXPECT_EQ(v, 17u + 7 + 60 + 2 + 2 + 4 + 13 + 9);
+}
+
+TEST(Assembler, ImmediateForms)
+{
+    const Value v = runAndRead(R"(
+        li   t0, 0x10      # hex
+        addi t0, t0, -6    # negative
+        slli t0, t0, 2     # 40
+        ori  t0, t0, 1     # 41
+        halt
+    )", 3);
+    EXPECT_EQ(v, 41u);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    const Value v = runAndRead(R"(
+        li  s0, 0x10000
+        li  t0, 1234
+        st  t0, 8(s0)
+        ld  t1, 8(s0)
+        sb  t1, (s0)       # empty offset means 0
+        lbu t2, 0(s0)
+        add a0, t1, t2
+        halt
+    )", 22);
+    EXPECT_EQ(v, 1234u + (1234u & 0xff));
+}
+
+TEST(Assembler, CallRetAndJumpTable)
+{
+    const Value v = runAndRead(R"(
+                j    main
+        double:
+                add  a0, a0, a0
+                ret
+        main:
+                li   a0, 21
+                call double
+                halt
+    )", 22);
+    EXPECT_EQ(v, 42u);
+}
+
+TEST(Assembler, LaAndJr)
+{
+    const Value v = runAndRead(R"(
+        target:
+                j    start
+        finish:
+                li   a0, 7
+                halt
+        start:
+                la   t0, finish
+                jr   t0
+    )", 22);
+    EXPECT_EQ(v, 7u);
+}
+
+TEST(Assembler, MultipleLabelsOneLine)
+{
+    const Value v = runAndRead(R"(
+        a: b:   li s0, 3
+                j done
+        done:   halt
+    )", 12);
+    EXPECT_EQ(v, 3u);
+}
+
+TEST(Assembler, NumericRegisterNames)
+{
+    const Value v = runAndRead(R"(
+        li   r5, 9
+        mv   r6, r5
+        halt
+    )", 6);
+    EXPECT_EQ(v, 9u);
+}
+
+TEST(Assembler, CommentsEverywhere)
+{
+    const Value v = runAndRead(R"(
+        ; full-line comment
+        li s0, 1   # trailing comment
+        # another
+        halt       ; done
+    )", 12);
+    EXPECT_EQ(v, 1u);
+}
+
+TEST(Assembler, MatchesBuilderOutput)
+{
+    // The same loop through both front ends must produce identical
+    // instruction streams.
+    ProgramBuilder b("ref");
+    Label loop = b.newLabel();
+    b.li(12, 4);
+    b.bind(loop);
+    b.addi(13, 13, 2);
+    b.addi(12, 12, -1);
+    b.bne(12, 0, loop);
+    b.halt();
+    Program reference = b.build();
+
+    Program assembled = assembleProgram(R"(
+            li   s0, 4
+        loop:
+            addi s1, s1, 2
+            addi s0, s0, -1
+            bne  s0, zero, loop
+            halt
+    )");
+    ASSERT_EQ(assembled.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(assembled.at(i).disassemble(),
+                  reference.at(i).disassemble())
+            << "at instruction " << i;
+    }
+}
+
+TEST(AssemblerErrors, UnknownMnemonic)
+{
+    EXPECT_EXIT(assembleProgram("frobnicate t0, t1\nhalt\n"),
+                ::testing::ExitedWithCode(1), "line 1.*frobnicate");
+}
+
+TEST(AssemblerErrors, UnknownRegister)
+{
+    EXPECT_EXIT(assembleProgram("li q9, 4\nhalt\n"),
+                ::testing::ExitedWithCode(1), "unknown register");
+}
+
+TEST(AssemblerErrors, UndefinedLabel)
+{
+    EXPECT_EXIT(assembleProgram("j nowhere\nhalt\n"),
+                ::testing::ExitedWithCode(1), "undefined label");
+}
+
+TEST(AssemblerErrors, RedefinedLabel)
+{
+    EXPECT_EXIT(assembleProgram("x: nop\nx: halt\n"),
+                ::testing::ExitedWithCode(1), "redefined");
+}
+
+TEST(AssemblerErrors, WrongOperandCount)
+{
+    EXPECT_EXIT(assembleProgram("add t0, t1\nhalt\n"),
+                ::testing::ExitedWithCode(1), "expects 3 operands");
+}
+
+TEST(AssemblerErrors, BadImmediate)
+{
+    EXPECT_EXIT(assembleProgram("li t0, twelve\nhalt\n"),
+                ::testing::ExitedWithCode(1), "bad immediate");
+}
+
+TEST(AssemblerErrors, BadMemoryOperand)
+{
+    EXPECT_EXIT(assembleProgram("ld t0, t1\nhalt\n"),
+                ::testing::ExitedWithCode(1), "bad memory operand");
+}
+
+TEST(AssemblerErrors, EmptyProgram)
+{
+    EXPECT_EXIT(assembleProgram("# nothing here\n"),
+                ::testing::ExitedWithCode(1), "empty program");
+}
+
+} // namespace
+} // namespace vpsim

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for the branch predictors: the perfect oracle and the 2-level
+ * PAp BTB (allocation, pattern learning, target prediction, replacement,
+ * return address stack).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/branch_predictor.hpp"
+#include "bpred/two_level.hpp"
+
+namespace vpsim
+{
+namespace
+{
+
+/** Build a conditional-branch record. */
+TraceRecord
+branchRec(Addr pc, bool taken, Addr target)
+{
+    TraceRecord rec;
+    rec.pc = pc;
+    rec.op = OpCode::Bne;
+    rec.rs1 = 3;
+    rec.rs2 = 0;
+    rec.taken = taken;
+    rec.nextPc = taken ? target : pc + instBytes;
+    return rec;
+}
+
+/** Build a direct-jump record. */
+TraceRecord
+jumpRec(Addr pc, Addr target, RegIndex rd = 0)
+{
+    TraceRecord rec;
+    rec.pc = pc;
+    rec.op = OpCode::Jal;
+    rec.rd = rd;
+    rec.taken = true;
+    rec.nextPc = target;
+    return rec;
+}
+
+/** Build an indirect-jump record (jalr). */
+TraceRecord
+jalrRec(Addr pc, Addr target, RegIndex rd, RegIndex rs1)
+{
+    TraceRecord rec;
+    rec.pc = pc;
+    rec.op = OpCode::Jalr;
+    rec.rd = rd;
+    rec.rs1 = rs1;
+    rec.taken = true;
+    rec.nextPc = target;
+    return rec;
+}
+
+TEST(PerfectPredictor, EchoesTheTrace)
+{
+    PerfectBranchPredictor oracle;
+    const TraceRecord taken = branchRec(0x100, true, 0x200);
+    const TraceRecord not_taken = branchRec(0x100, false, 0x200);
+    EXPECT_TRUE(BranchPredictor::correct(taken, oracle.predict(taken)));
+    EXPECT_TRUE(
+        BranchPredictor::correct(not_taken, oracle.predict(not_taken)));
+}
+
+TEST(TwoLevelBtb, ColdPredictsNotTaken)
+{
+    TwoLevelPApPredictor bpred;
+    const TraceRecord rec = branchRec(0x100, true, 0x400);
+    const BranchPrediction p = bpred.predict(rec);
+    EXPECT_FALSE(p.btbHit);
+    EXPECT_FALSE(p.taken);
+    EXPECT_FALSE(BranchPredictor::correct(rec, p));
+}
+
+TEST(TwoLevelBtb, LearnsAlwaysTakenBranch)
+{
+    TwoLevelPApPredictor bpred;
+    const TraceRecord rec = branchRec(0x100, true, 0x400);
+    for (int i = 0; i < 6; ++i) {
+        const BranchPrediction p = bpred.predict(rec);
+        bpred.update(rec, p);
+    }
+    const BranchPrediction p = bpred.predict(rec);
+    EXPECT_TRUE(p.btbHit);
+    EXPECT_TRUE(p.taken);
+    EXPECT_EQ(p.target, 0x400u);
+}
+
+TEST(TwoLevelBtb, LearnsAlternatingPattern)
+{
+    // A 2-level predictor with history must learn T,N,T,N perfectly;
+    // a plain 2-bit counter cannot.
+    TwoLevelPApPredictor bpred;
+    unsigned correct_late = 0;
+    for (int i = 0; i < 200; ++i) {
+        const TraceRecord rec = branchRec(0x100, i % 2 == 0, 0x400);
+        const BranchPrediction p = bpred.predict(rec);
+        bpred.update(rec, p);
+        if (i >= 100 && BranchPredictor::correct(rec, p))
+            ++correct_late;
+    }
+    EXPECT_EQ(correct_late, 100u)
+        << "4-bit history must capture a period-2 pattern exactly";
+}
+
+TEST(TwoLevelBtb, LearnsLoopExitPattern)
+{
+    // 7 taken then 1 not-taken (an 8-iteration loop): PAp history of 4
+    // bits can distinguish the all-taken context from the about-to-exit
+    // context only partially; accuracy must still be high.
+    TwoLevelPApPredictor bpred;
+    unsigned correct_late = 0;
+    for (int i = 0; i < 800; ++i) {
+        const TraceRecord rec = branchRec(0x100, i % 8 != 7, 0x400);
+        const BranchPrediction p = bpred.predict(rec);
+        bpred.update(rec, p);
+        if (i >= 400 && BranchPredictor::correct(rec, p))
+            ++correct_late;
+    }
+    EXPECT_GE(correct_late, 300u) << "at least 75% on a loop pattern";
+}
+
+TEST(TwoLevelBtb, PredictsJumpTargets)
+{
+    TwoLevelPApPredictor bpred;
+    const TraceRecord rec = jumpRec(0x100, 0x4000);
+    const BranchPrediction cold = bpred.predict(rec);
+    bpred.update(rec, cold);
+    const BranchPrediction warm = bpred.predict(rec);
+    EXPECT_TRUE(warm.taken);
+    EXPECT_EQ(warm.target, 0x4000u);
+    EXPECT_TRUE(BranchPredictor::correct(rec, warm));
+}
+
+TEST(TwoLevelBtb, IndirectTargetChangesMispredict)
+{
+    TwoLevelPApPredictor bpred;
+    // A jalr that rotates between two targets: the BTB predicts the
+    // last target and is wrong every time the target flips.
+    unsigned wrong = 0;
+    for (int i = 0; i < 20; ++i) {
+        const TraceRecord rec =
+            jalrRec(0x100, i % 2 ? 0x4000 : 0x8000, 0, 5);
+        const BranchPrediction p = bpred.predict(rec);
+        bpred.update(rec, p);
+        if (i >= 2 && !BranchPredictor::correct(rec, p))
+            ++wrong;
+    }
+    EXPECT_EQ(wrong, 18u);
+}
+
+TEST(TwoLevelBtb, ReturnAddressStackPairsCallsAndReturns)
+{
+    TwoLevelPApPredictor bpred;
+    // call from A (link r1), call from B, then the two returns.
+    const TraceRecord call_a = jumpRec(0x100, 0x4000, 1);
+    const TraceRecord call_b = jumpRec(0x4008, 0x5000, 1);
+    const TraceRecord ret_b = jalrRec(0x5010, 0x400c, 0, 1);
+    const TraceRecord ret_a = jalrRec(0x4020, 0x104, 0, 1);
+
+    for (const TraceRecord *rec : {&call_a, &call_b, &ret_b, &ret_a}) {
+        const BranchPrediction p = bpred.predict(*rec);
+        if (rec->op == OpCode::Jalr) {
+            EXPECT_TRUE(BranchPredictor::correct(*rec, p))
+                << "RAS must predict nested returns exactly";
+        }
+        bpred.update(*rec, p);
+    }
+}
+
+TEST(TwoLevelBtb, RecursiveReturnsViaRas)
+{
+    TwoLevelPApPredictor bpred;
+    // Recursive call from one site, depth 8: all returns go to the same
+    // address and must all be predicted by the stack.
+    const TraceRecord call = jumpRec(0x100, 0x100, 1); // self-recursive
+    for (int i = 0; i < 8; ++i) {
+        const BranchPrediction p = bpred.predict(call);
+        bpred.update(call, p);
+    }
+    const TraceRecord ret = jalrRec(0x200, 0x104, 0, 1);
+    unsigned correct = 0;
+    for (int i = 0; i < 8; ++i) {
+        const BranchPrediction p = bpred.predict(ret);
+        bpred.update(ret, p);
+        correct += BranchPredictor::correct(ret, p) ? 1 : 0;
+    }
+    EXPECT_EQ(correct, 8u);
+}
+
+TEST(TwoLevelBtb, NotTakenBranchesAreNotAllocated)
+{
+    TwoLevelPApPredictor bpred;
+    const TraceRecord rec = branchRec(0x100, false, 0x400);
+    for (int i = 0; i < 4; ++i) {
+        const BranchPrediction p = bpred.predict(rec);
+        bpred.update(rec, p);
+        EXPECT_TRUE(BranchPredictor::correct(rec, p))
+            << "not-taken prediction on a BTB miss is correct here";
+    }
+    EXPECT_EQ(bpred.predictions(), 4u);
+    EXPECT_EQ(bpred.correctPredictions(), 4u);
+}
+
+TEST(TwoLevelBtb, SetConflictEvictsLru)
+{
+    TwoLevelConfig config;
+    config.entries = 4; // 2 sets x 2 ways
+    config.ways = 2;
+    TwoLevelPApPredictor bpred(config);
+    // Three taken branches mapping to the same set (stride = numSets *
+    // instBytes = 2 * 4 = 8 bytes).
+    const TraceRecord a = branchRec(0x100, true, 0x400);
+    const TraceRecord b = branchRec(0x108, true, 0x400);
+    const TraceRecord c = branchRec(0x110, true, 0x400);
+    for (const TraceRecord *rec : {&a, &b, &c}) {
+        const BranchPrediction p = bpred.predict(*rec);
+        bpred.update(*rec, p);
+    }
+    // "a" was least recently used and must be gone.
+    EXPECT_FALSE(bpred.predict(a).btbHit);
+    EXPECT_TRUE(bpred.predict(c).btbHit);
+}
+
+TEST(TwoLevelBtb, AccuracyStatistics)
+{
+    TwoLevelPApPredictor bpred;
+    const TraceRecord rec = branchRec(0x100, true, 0x400);
+    // PAp warms one pattern-table counter per distinct history, so an
+    // always-taken branch pays ~6 cold mispredictions before the
+    // history register saturates at 1111.
+    for (int i = 0; i < 40; ++i) {
+        const BranchPrediction p = bpred.predict(rec);
+        bpred.update(rec, p);
+    }
+    EXPECT_EQ(bpred.predictions(), 40u);
+    EXPECT_GT(bpred.accuracy(), 0.75);
+    EXPECT_LT(bpred.accuracy(), 1.0) << "the cold miss counts";
+    bpred.reset();
+    EXPECT_EQ(bpred.predictions(), 0u);
+    EXPECT_DOUBLE_EQ(bpred.accuracy(), 1.0);
+}
+
+TEST(TwoLevelBtb, BadConfigurationDies)
+{
+    TwoLevelConfig config;
+    config.entries = 10;
+    config.ways = 3;
+    EXPECT_EXIT(TwoLevelPApPredictor{config},
+                ::testing::ExitedWithCode(1), "divide evenly");
+}
+
+TEST(TwoLevelBtb, NonControlQueryPanics)
+{
+    TwoLevelPApPredictor bpred;
+    TraceRecord rec;
+    rec.op = OpCode::Add;
+    EXPECT_DEATH(bpred.predict(rec), "non-control");
+}
+
+} // namespace
+} // namespace vpsim

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Unit tests for the common infrastructure: saturating counters,
+ * histograms, RNG, stats groups, table printing, and option parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hpp"
+#include "common/options.hpp"
+#include "common/rng.hpp"
+#include "common/sat_counter.hpp"
+#include "common/stats.hpp"
+#include "common/table_printer.hpp"
+
+namespace vpsim
+{
+namespace
+{
+
+TEST(SatCounter, StartsNotSet)
+{
+    SatCounter counter(2);
+    EXPECT_FALSE(counter.isSet());
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(SatCounter, SetsAtUpperHalf)
+{
+    SatCounter counter(2);
+    counter.increment();
+    EXPECT_FALSE(counter.isSet()) << "value 1 of 0..3 is lower half";
+    counter.increment();
+    EXPECT_TRUE(counter.isSet());
+    counter.increment();
+    EXPECT_TRUE(counter.isSaturated());
+}
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter counter(2);
+    for (int i = 0; i < 10; ++i)
+        counter.increment();
+    EXPECT_EQ(counter.value(), 3u);
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter counter(2);
+    counter.decrement();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(SatCounter, HysteresisAcrossThreshold)
+{
+    SatCounter counter(2, 3);
+    counter.decrement();
+    EXPECT_TRUE(counter.isSet()) << "one miss from saturated stays set";
+    counter.decrement();
+    EXPECT_FALSE(counter.isSet());
+}
+
+TEST(SatCounter, WiderCountersWork)
+{
+    SatCounter counter(4);
+    for (int i = 0; i < 7; ++i)
+        counter.increment();
+    EXPECT_FALSE(counter.isSet());
+    counter.increment();
+    EXPECT_TRUE(counter.isSet());
+    EXPECT_EQ(counter.max(), 15u);
+}
+
+TEST(SatCounter, InitialValueClamped)
+{
+    SatCounter counter(2, 100);
+    EXPECT_EQ(counter.value(), 3u);
+}
+
+TEST(SatCounter, ResetClears)
+{
+    SatCounter counter(2, 3);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+    EXPECT_FALSE(counter.isSet());
+}
+
+class SatCounterWidths : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SatCounterWidths, ThresholdIsHalfRange)
+{
+    const unsigned bits = GetParam();
+    SatCounter counter(bits);
+    const unsigned threshold = 1u << (bits - 1);
+    for (unsigned i = 0; i < threshold - 1; ++i)
+        counter.increment();
+    EXPECT_FALSE(counter.isSet());
+    counter.increment();
+    EXPECT_TRUE(counter.isSet());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatCounterWidths,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(Histogram, BucketsSamples)
+{
+    Histogram hist({1, 2, 3});
+    hist.add(0);
+    hist.add(1);
+    hist.add(2);
+    hist.add(3);
+    hist.add(100);
+    EXPECT_EQ(hist.bucketCount(0), 2u) << "0 and 1 share bucket <=1";
+    EXPECT_EQ(hist.bucketCount(1), 1u);
+    EXPECT_EQ(hist.bucketCount(2), 1u);
+    EXPECT_EQ(hist.bucketCount(3), 1u) << "overflow bucket";
+    EXPECT_EQ(hist.totalSamples(), 5u);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram hist({4});
+    for (int i = 0; i < 3; ++i)
+        hist.add(1);
+    hist.add(10);
+    EXPECT_DOUBLE_EQ(hist.bucketFraction(0), 0.75);
+    EXPECT_DOUBLE_EQ(hist.bucketFraction(1), 0.25);
+}
+
+TEST(Histogram, MeanTracksSamples)
+{
+    Histogram hist({100});
+    hist.add(10);
+    hist.add(20);
+    hist.add(60);
+    EXPECT_DOUBLE_EQ(hist.mean(), 30.0);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram hist({5});
+    hist.add(2, 10);
+    EXPECT_EQ(hist.bucketCount(0), 10u);
+    EXPECT_DOUBLE_EQ(hist.mean(), 2.0);
+}
+
+TEST(Histogram, Labels)
+{
+    Histogram hist({1, 3, 7});
+    EXPECT_EQ(hist.bucketLabel(0), "0-1");
+    EXPECT_EQ(hist.bucketLabel(1), "2-3");
+    EXPECT_EQ(hist.bucketLabel(2), "4-7");
+    EXPECT_EQ(hist.bucketLabel(3), ">=8");
+}
+
+TEST(Histogram, MergeCombines)
+{
+    Histogram a({4});
+    Histogram b({4});
+    a.add(1);
+    b.add(10);
+    a.merge(b);
+    EXPECT_EQ(a.totalSamples(), 2u);
+    EXPECT_EQ(a.bucketCount(1), 1u);
+}
+
+TEST(Histogram, EmptyMeanIsZero)
+{
+    Histogram hist({4});
+    EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.bucketFraction(0), 0.0);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextRange(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.nextChance(1, 4) ? 1 : 0;
+    EXPECT_GT(hits, 2100);
+    EXPECT_LT(hits, 2900);
+}
+
+TEST(Stats, CounterBasics)
+{
+    Counter counter;
+    ++counter;
+    counter += 4;
+    counter.increment();
+    EXPECT_EQ(counter.value(), 6u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Stats, GroupDumpContainsEntries)
+{
+    Counter hits;
+    Counter total;
+    hits += 3;
+    total += 4;
+    StatGroup group("vp");
+    group.addCounter("hits", hits, "correct predictions");
+    group.addRatio("accuracy", hits, total);
+    const std::string dump = group.dump();
+    EXPECT_NE(dump.find("vp.hits"), std::string::npos);
+    EXPECT_NE(dump.find("3"), std::string::npos);
+    EXPECT_NE(dump.find("0.75"), std::string::npos);
+}
+
+TEST(Stats, RatioWithZeroDenominator)
+{
+    Counter n;
+    Counter d;
+    StatGroup group("g");
+    group.addRatio("ratio", n, d);
+    EXPECT_NE(group.dump().find("0.0"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RendersAlignedTable)
+{
+    TablePrinter table("Figure X", {"bench", "a", "b"});
+    table.addRow({"go", "1.0", "2.0"});
+    table.addSeparator();
+    table.addRow({"avg", "1.5", "2.5"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("Figure X"), std::string::npos);
+    EXPECT_NE(out.find("go"), std::string::npos);
+    EXPECT_NE(out.find("avg"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CellFormatters)
+{
+    EXPECT_EQ(TablePrinter::percentCell(0.335), "33.5%");
+    EXPECT_EQ(TablePrinter::percentCell(0.335, 0), "34%");
+    EXPECT_EQ(TablePrinter::numberCell(3.14159, 2), "3.14");
+}
+
+TEST(OptionsTest, DefaultsApply)
+{
+    Options opts;
+    opts.declare("insts", "1000", "instruction budget");
+    const char *argv[] = {"prog"};
+    opts.parse(1, argv, "test");
+    EXPECT_EQ(opts.getInt("insts"), 1000);
+}
+
+TEST(OptionsTest, ParsesBothForms)
+{
+    Options opts;
+    opts.declare("a", "0", "");
+    opts.declare("b", "0", "");
+    const char *argv[] = {"prog", "--a", "5", "--b=7"};
+    opts.parse(4, argv, "test");
+    EXPECT_EQ(opts.getInt("a"), 5);
+    EXPECT_EQ(opts.getInt("b"), 7);
+}
+
+TEST(OptionsTest, ListsAndBools)
+{
+    Options opts;
+    opts.declare("benchmarks", "go,gcc", "");
+    opts.declare("verbose", "false", "");
+    const char *argv[] = {"prog", "--verbose", "true"};
+    opts.parse(3, argv, "test");
+    const auto list = opts.getList("benchmarks");
+    ASSERT_EQ(list.size(), 2u);
+    EXPECT_EQ(list[0], "go");
+    EXPECT_TRUE(opts.getBool("verbose"));
+}
+
+TEST(OptionsTest, UnknownOptionDies)
+{
+    Options opts;
+    opts.declare("a", "0", "");
+    const char *argv[] = {"prog", "--bogus", "1"};
+    EXPECT_EXIT(opts.parse(3, argv, "test"),
+                ::testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(OptionsTest, BadIntegerDies)
+{
+    Options opts;
+    opts.declare("n", "0", "");
+    const char *argv[] = {"prog", "--n", "thirty"};
+    opts.parse(3, argv, "test");
+    EXPECT_EXIT(opts.getInt("n"), ::testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+} // namespace
+} // namespace vpsim

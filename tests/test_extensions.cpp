@@ -1,0 +1,545 @@
+/**
+ * @file
+ * Tests for the library extensions beyond the paper's evaluated
+ * configuration: the FCM predictor ([22]), profile-guided hints ([9]),
+ * the branch address cache front end ([28]), and the instruction cache
+ * model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/branch_predictor.hpp"
+#include "core/pipeline_machine.hpp"
+#include "fetch/branch_address_cache.hpp"
+#include "fetch/icache.hpp"
+#include "fetch/sequential_fetch.hpp"
+#include "predictor/factory.hpp"
+#include "predictor/fcm.hpp"
+#include "predictor/stride.hpp"
+#include "predictor/profile.hpp"
+#include "vm/interpreter.hpp"
+#include "vm/program_builder.hpp"
+#include "vptable/interleaved_table.hpp"
+#include "workloads/regs.hpp"
+#include "workloads/workload.hpp"
+
+namespace vpsim
+{
+namespace
+{
+
+using namespace regs;
+
+constexpr Addr pcA = 0x1000;
+
+unsigned
+sequentialHits(ValuePredictor &predictor, Addr pc,
+               const std::vector<Value> &values)
+{
+    unsigned hits = 0;
+    for (const Value value : values) {
+        const RawPrediction raw = predictor.lookup(pc);
+        const bool hit = raw.hasPrediction && raw.value == value;
+        hits += hit ? 1 : 0;
+        predictor.train(pc, value, hit);
+    }
+    return hits;
+}
+
+// ---------------------------------------------------------------------
+// FCM predictor
+// ---------------------------------------------------------------------
+
+TEST(Fcm, LearnsPeriodicPattern)
+{
+    // A period-3 sequence defeats last-value and stride predictors but
+    // is exactly what a context predictor catches.
+    FcmPredictor fcm(2);
+    std::vector<Value> stream;
+    for (int i = 0; i < 60; ++i)
+        stream.push_back(100 + (i % 3) * 7);
+    const unsigned hits = sequentialHits(fcm, pcA, stream);
+    EXPECT_GT(hits, 45u) << "after warmup every value is in context";
+
+    StridePredictor stride;
+    const unsigned stride_hits = sequentialHits(stride, pcA, stream);
+    EXPECT_GT(hits, stride_hits)
+        << "FCM must beat stride on periodic patterns";
+}
+
+TEST(Fcm, LearnsConstants)
+{
+    FcmPredictor fcm(2);
+    std::vector<Value> stream(20, 42);
+    EXPECT_GE(sequentialHits(fcm, pcA, stream), 17u);
+}
+
+TEST(Fcm, CannotPredictFreshStrides)
+{
+    // A pure counter never repeats a context, so order-2 FCM stays
+    // silent or wrong — the classic FCM weakness stride handles.
+    FcmPredictor fcm(2);
+    std::vector<Value> stream;
+    for (int i = 0; i < 30; ++i)
+        stream.push_back(1000 + i);
+    EXPECT_EQ(sequentialHits(fcm, pcA, stream), 0u);
+}
+
+TEST(Fcm, SeparatesPcs)
+{
+    FcmPredictor fcm(2);
+    sequentialHits(fcm, 0x1000, {1, 2, 1, 2, 1, 2, 1, 2});
+    sequentialHits(fcm, 0x2000, {9, 9, 9, 9});
+    EXPECT_EQ(fcm.tableSize(), 2u);
+}
+
+TEST(Fcm, FactoryBuildsIt)
+{
+    const auto predictor = makePredictor(PredictorKind::Fcm);
+    EXPECT_EQ(predictor->name(), "fcm-order2");
+    EXPECT_EQ(predictorKindFromString("fcm"), PredictorKind::Fcm);
+}
+
+TEST(Fcm, StrideInfoBroadcastsValue)
+{
+    FcmPredictor fcm(2);
+    sequentialHits(fcm, pcA, {5, 6, 5, 6, 5, 6, 5, 6});
+    const StrideInfo info = fcm.strideInfo(pcA);
+    EXPECT_TRUE(info.valid);
+    EXPECT_EQ(info.stride, 0u) << "FCM merges broadcast one value";
+}
+
+// ---------------------------------------------------------------------
+// Profile hints
+// ---------------------------------------------------------------------
+
+/** Synthetic training trace with one constant, one stride, one random
+ *  producer (distinct pcs). */
+std::vector<TraceRecord>
+trainingTrace(int reps = 50)
+{
+    std::vector<TraceRecord> trace;
+    SeqNum seq = 0;
+    Value noise = 7;
+    for (int i = 0; i < reps; ++i) {
+        TraceRecord constant;
+        constant.seq = seq++;
+        constant.pc = 0x1000;
+        constant.op = OpCode::Addi;
+        constant.rd = 1;
+        constant.result = 55;
+        trace.push_back(constant);
+
+        TraceRecord striding = constant;
+        striding.seq = seq++;
+        striding.pc = 0x1004;
+        striding.rd = 2;
+        striding.result = 100 + static_cast<Value>(i) * 16;
+        trace.push_back(striding);
+
+        noise = noise * 6364136223846793005ull + 1442695040888963407ull;
+        TraceRecord random = constant;
+        random.seq = seq++;
+        random.pc = 0x1008;
+        random.rd = 3;
+        random.result = noise;
+        trace.push_back(random);
+    }
+    return trace;
+}
+
+TEST(ProfileHintsTest, ClassifiesByBehaviour)
+{
+    const ProfileHints hints = ProfileHints::profile(trainingTrace());
+    EXPECT_EQ(hints.hintFor(0x1000), ValueHint::LastValue);
+    EXPECT_EQ(hints.hintFor(0x1004), ValueHint::Stride);
+    EXPECT_EQ(hints.hintFor(0x1008), ValueHint::NotPredictable);
+    EXPECT_EQ(hints.hintFor(0x9999), ValueHint::NotPredictable)
+        << "unseen instructions default to not-predictable";
+    EXPECT_EQ(hints.staticInstructions(), 3u);
+    EXPECT_EQ(hints.hintedLastValue(), 1u);
+    EXPECT_EQ(hints.hintedStride(), 1u);
+    EXPECT_EQ(hints.hintedNotPredictable(), 1u);
+}
+
+TEST(ProfileHintsTest, RareInstructionsStayUnhinted)
+{
+    auto trace = trainingTrace(2); // below min_executions
+    const ProfileHints hints = ProfileHints::profile(trace);
+    EXPECT_EQ(hints.hintFor(0x1000), ValueHint::NotPredictable);
+}
+
+TEST(HintedHybrid, FollowsHints)
+{
+    const ProfileHints hints = ProfileHints::profile(trainingTrace());
+    HintedHybridPredictor predictor(hints);
+    // Constant pc: predicted after one sighting (last-value, no
+    // confidence counters in the hinted design).
+    EXPECT_EQ(sequentialHits(predictor, 0x1000, {55, 55, 55, 55}), 3u);
+    // Stride pc.
+    EXPECT_EQ(
+        sequentialHits(predictor, 0x1004, {100, 116, 132, 148}), 2u);
+    // Random pc: suppressed entirely.
+    EXPECT_EQ(sequentialHits(predictor, 0x1008, {1, 2, 3}), 0u);
+    EXPECT_EQ(predictor.suppressedLookups(), 3u);
+}
+
+TEST(HintedHybrid, SuppressionSavesTableBandwidth)
+{
+    const ProfileHints hints = ProfileHints::profile(trainingTrace());
+    VpTableConfig config;
+    config.banks = 1; // every access conflicts
+    config.portsPerBank = 1;
+    config.hints = &hints;
+    InterleavedVpTable table(
+        makeClassifiedPredictor(PredictorKind::Stride), config);
+    // Bundle: predictable-constant + random + stride. The hint filter
+    // removes the random request BEFORE arbitration, so both remaining
+    // requests... still conflict on the single bank, but only one
+    // access is denied instead of two.
+    const auto grants = table.processBundle({0x1000, 0x1008, 0x1004});
+    EXPECT_TRUE(grants[0].granted);
+    EXPECT_FALSE(grants[1].granted) << "hint-filtered: no prediction";
+    EXPECT_FALSE(grants[2].granted) << "bank conflict with 0x1000";
+    EXPECT_EQ(table.hintFilteredRequests(), 1u);
+    EXPECT_EQ(table.deniedAccesses(), 1u)
+        << "without the filter there would be two conflicts";
+}
+
+// ---------------------------------------------------------------------
+// Instruction cache
+// ---------------------------------------------------------------------
+
+TEST(ICache, ColdMissThenHit)
+{
+    InstructionCache icache;
+    EXPECT_FALSE(icache.access(0x1000));
+    EXPECT_TRUE(icache.access(0x1000));
+    EXPECT_TRUE(icache.access(0x1004)) << "same 32-byte line";
+    EXPECT_FALSE(icache.access(0x1020)) << "next line";
+    EXPECT_EQ(icache.misses(), 2u);
+    EXPECT_EQ(icache.accesses(), 4u);
+}
+
+TEST(ICache, LruReplacementWithinSet)
+{
+    ICacheConfig config;
+    config.capacityBytes = 128; // 2 sets x 2 ways x 32B
+    config.lineBytes = 32;
+    config.ways = 2;
+    InstructionCache icache(config);
+    // Three lines mapping to set 0 (line addresses even).
+    icache.access(0x000);
+    icache.access(0x080);
+    icache.access(0x100); // evicts 0x000
+    EXPECT_FALSE(icache.access(0x000));
+    EXPECT_TRUE(icache.access(0x100));
+}
+
+TEST(ICache, TinyCacheThrashesBigLoop)
+{
+    // A loop bigger than the cache must keep missing.
+    ICacheConfig config;
+    config.capacityBytes = 64;
+    config.lineBytes = 32;
+    config.ways = 1;
+    InstructionCache icache(config);
+    for (int pass = 0; pass < 4; ++pass)
+        for (Addr pc = 0; pc < 256; pc += 4)
+            icache.access(pc);
+    EXPECT_LT(icache.hitRate(), 0.95);
+}
+
+TEST(ICache, SequentialFetchStallsOnMisses)
+{
+    // Drive a big-footprint trace through a 64-byte icache: fetch must
+    // take many more cycles than with no icache at all.
+    const auto trace = captureWorkloadTrace("gcc", 5000);
+    PerfectBranchPredictor oracle;
+
+    ICacheConfig tiny;
+    tiny.capacityBytes = 64;
+    tiny.lineBytes = 32;
+    tiny.ways = 1;
+    tiny.missPenalty = 10;
+    InstructionCache icache(tiny);
+    SequentialFetch with_cache(trace, oracle, 0, &icache);
+    SequentialFetch without(trace, oracle, 0);
+
+    const auto drain = [](SequentialFetch &engine) {
+        std::vector<FetchedInst> out;
+        Cycle now = 0;
+        while (!engine.done())
+            engine.fetch(++now, 16, out);
+        return now;
+    };
+    const Cycle cycles_with = drain(with_cache);
+    const Cycle cycles_without = drain(without);
+    EXPECT_GT(cycles_with, cycles_without * 2);
+    EXPECT_LT(icache.hitRate(), 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Branch address cache
+// ---------------------------------------------------------------------
+
+std::vector<TraceRecord>
+loopTrace(int iterations)
+{
+    ProgramBuilder b("loop");
+    Label loop = b.newLabel();
+    b.li(s0, iterations);
+    b.bind(loop);
+    b.addi(s1, s1, 1);
+    b.addi(s0, s0, -1);
+    b.bne(s0, zero, loop);
+    b.halt();
+    Program prog = b.build();
+    std::vector<TraceRecord> trace;
+    Interpreter interp(prog, Memory{});
+    interp.run(0, &trace);
+    return trace;
+}
+
+TEST(BranchAddressCache, WarmBundlesSpanMultipleBlocks)
+{
+    const auto trace = loopTrace(200);
+    PerfectBranchPredictor oracle;
+    BacConfig config;
+    config.maxBlocksPerCycle = 3;
+    // One loop block repeats: its start pc lands in one icache bank, so
+    // consecutive iterations CONFLICT; use a 3-inst loop whose copies
+    // share a bank -> expect conflicts counted but forward progress.
+    BranchAddressCacheFetch engine(trace, oracle, config);
+    std::vector<FetchedInst> out;
+    Cycle now = 0;
+    while (!engine.done() && now < 10000)
+        engine.fetch(++now, 40, out);
+    EXPECT_EQ(out.size(), trace.size());
+    EXPECT_GT(engine.bacHits() + engine.bankConflicts(), 0u);
+}
+
+TEST(BranchAddressCache, HitRateGrowsWarm)
+{
+    // Alternate between two code regions so blocks land in different
+    // banks; after warmup the BAC should serve multi-block bundles.
+    const auto trace = captureWorkloadTrace("gcc", 20000);
+    PerfectBranchPredictor oracle;
+    BranchAddressCacheFetch engine(trace, oracle, {});
+    std::vector<FetchedInst> out;
+    Cycle now = 0;
+    while (!engine.done() && now < 200000)
+        engine.fetch(++now, 40, out);
+    EXPECT_EQ(out.size(), trace.size());
+    EXPECT_GT(engine.hitRate(), 0.5);
+}
+
+TEST(BranchAddressCache, BadGeometryDies)
+{
+    const auto trace = loopTrace(4);
+    PerfectBranchPredictor oracle;
+    BacConfig config;
+    config.entries = 100;
+    EXPECT_EXIT((BranchAddressCacheFetch{trace, oracle, config}),
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+TEST(PipelineIntegration, BacFrontEndRuns)
+{
+    const auto trace = captureWorkloadTrace("m88ksim", 20000);
+    PipelineConfig config;
+    config.frontEnd = FrontEndKind::BranchAddressCache;
+    config.useValuePrediction = true;
+    const PipelineResult result = runPipelineMachine(trace, config);
+    EXPECT_EQ(result.instructions, trace.size());
+    EXPECT_GT(result.bacHitRate, 0.0);
+}
+
+/** A loop whose body is two basic blocks, both ending in taken
+ *  transfers, with start addresses in different icache banks. */
+std::vector<TraceRecord>
+twoBlockLoopTrace(int iterations)
+{
+    ProgramBuilder b("two-block");
+    Label loop = b.newLabel();
+    Label second = b.newLabel();
+    b.li(s0, iterations);
+    b.bind(loop);
+    b.addi(s1, s1, 1);
+    b.addi(s2, s2, 1);
+    b.addi(s3, s3, 1);
+    b.beq(zero, zero, second); // always taken: ends block A
+    for (int i = 0; i < 8; ++i)
+        b.nop(); // dead padding pushes block B into another bank
+    b.bind(second);
+    b.addi(s4, s4, 1);
+    b.addi(s5, s5, 1);
+    b.addi(s0, s0, -1);
+    b.bne(s0, zero, loop); // taken back edge: ends block B
+    b.halt();
+    Program prog = b.build();
+    std::vector<TraceRecord> trace;
+    Interpreter interp(prog, Memory{});
+    interp.run(0, &trace);
+    return trace;
+}
+
+TEST(PipelineIntegration, BacBeatsSingleTakenBranchWithVp)
+{
+    const auto trace = twoBlockLoopTrace(400);
+    PipelineConfig seq;
+    seq.useValuePrediction = true;
+    seq.perfectValuePrediction = true;
+    seq.frontEnd = FrontEndKind::Sequential;
+    seq.maxTakenBranches = 1;
+    PipelineConfig bac = seq;
+    bac.frontEnd = FrontEndKind::BranchAddressCache;
+    const double seq_ipc = runPipelineMachine(trace, seq).ipc;
+    const double bac_ipc = runPipelineMachine(trace, bac).ipc;
+    EXPECT_GT(bac_ipc, seq_ipc)
+        << "multi-block fetch must beat one taken branch per cycle";
+}
+
+TEST(WrongPath, FetchWalksThePredictedPath)
+{
+    // A loop with a cold-BTB mispredicted back edge: once the branch
+    // mispredicts, the engine must emit wrong-path records from the
+    // static image (the fall-through path) until resolution.
+    Workload workload = buildWorkload("gcc");
+    const auto trace = captureWorkloadTrace("gcc", 5000);
+    TwoLevelPApPredictor bpred;
+    SequentialFetch engine(trace, bpred, 0, nullptr, &workload.program);
+
+    std::vector<FetchedInst> out;
+    Cycle now = 0;
+    std::uint64_t wrong_path = 0;
+    SeqNum pending_seq = invalidSeqNum;
+    Cycle resolve_at = 0;
+    while (!engine.done() && now < 100000) {
+        ++now;
+        // Resolve an outstanding misprediction three cycles after it
+        // was fetched (a fake machine), leaving a wrong-path window.
+        if (pending_seq != invalidSeqNum && now >= resolve_at) {
+            engine.branchResolved(pending_seq, now);
+            pending_seq = invalidSeqNum;
+        }
+        const std::size_t before = out.size();
+        engine.fetch(now, 16, out);
+        for (std::size_t i = before; i < out.size(); ++i)
+            wrong_path += out[i].wrongPath ? 1 : 0;
+        if (!out.empty() && out.back().mispredicted &&
+            !out.back().wrongPath && pending_seq == invalidSeqNum) {
+            pending_seq = out.back().record.seq;
+            resolve_at = now + 3;
+        }
+    }
+    EXPECT_GT(wrong_path, 0u);
+    EXPECT_EQ(engine.wrongPathFetched(), wrong_path);
+    // Every correct-path record must still be delivered in order.
+    std::size_t correct = 0;
+    for (const FetchedInst &inst : out) {
+        if (inst.wrongPath)
+            continue;
+        EXPECT_EQ(inst.record.seq, trace[correct].seq);
+        ++correct;
+    }
+    EXPECT_EQ(correct, trace.size());
+}
+
+TEST(WrongPath, PipelineSquashesAndStillCommitsEverything)
+{
+    Workload workload = buildWorkload("perl");
+    const auto trace = captureWorkloadTrace("perl", 30000);
+    PipelineConfig config;
+    config.perfectBranchPredictor = false;
+    config.maxTakenBranches = 4;
+    config.useValuePrediction = true;
+    config.modelWrongPath = true;
+    config.program = &workload.program;
+    const PipelineResult result = runPipelineMachine(trace, config);
+    EXPECT_EQ(result.instructions, trace.size());
+    EXPECT_GT(result.wrongPathFetched, 0u);
+}
+
+TEST(WrongPath, CostsCyclesVersusStallingFetch)
+{
+    // Wrong-path bubbles occupy window slots and pollute the predictor,
+    // so modelling them can only slow the machine down (or tie).
+    Workload workload = buildWorkload("go");
+    const auto trace = captureWorkloadTrace("go", 30000);
+    PipelineConfig config;
+    config.perfectBranchPredictor = false;
+    config.maxTakenBranches = 4;
+    config.useValuePrediction = true;
+    const Cycle stalled = runPipelineMachine(trace, config).cycles;
+    config.modelWrongPath = true;
+    config.program = &workload.program;
+    const Cycle wrong_path = runPipelineMachine(trace, config).cycles;
+    EXPECT_GE(wrong_path, stalled);
+}
+
+TEST(WrongPath, PerfectBpNeverTriggersIt)
+{
+    Workload workload = buildWorkload("li");
+    const auto trace = captureWorkloadTrace("li", 10000);
+    PipelineConfig config;
+    config.perfectBranchPredictor = true;
+    config.modelWrongPath = true;
+    config.program = &workload.program;
+    const PipelineResult result = runPipelineMachine(trace, config);
+    EXPECT_EQ(result.wrongPathFetched, 0u);
+}
+
+TEST(WrongPath, RequiresProgramImage)
+{
+    const auto trace = captureWorkloadTrace("li", 1000);
+    PipelineConfig config;
+    config.modelWrongPath = true; // no program given
+    EXPECT_EXIT(runPipelineMachine(trace, config),
+                ::testing::ExitedWithCode(1), "program image");
+}
+
+TEST(WrongPath, AbandonReleasesInFlightSlots)
+{
+    StridePredictor predictor;
+    predictor.train(0x1000, 10);
+    predictor.train(0x1000, 20);
+    predictor.lookup(0x1000); // in flight: 1 (squashed later)
+    predictor.abandon(0x1000);
+    // After the abandon, a wrong repair should project for 0 in-flight
+    // copies, i.e. behave exactly like the sequential case.
+    predictor.train(0x1000, 30, false);
+    EXPECT_EQ(predictor.lookup(0x1000).value, 40u);
+}
+
+TEST(PipelineIntegration, TinyICacheSlowsTheMachine)
+{
+    const auto trace = captureWorkloadTrace("gcc", 20000);
+    PipelineConfig config;
+    config.maxTakenBranches = 4;
+    const Cycle perfect = runPipelineMachine(trace, config).cycles;
+    config.useInstructionCache = true;
+    config.icacheConfig.capacityBytes = 128;
+    config.icacheConfig.lineBytes = 32;
+    config.icacheConfig.ways = 1;
+    const PipelineResult tiny = runPipelineMachine(trace, config);
+    EXPECT_GT(tiny.cycles, perfect);
+    EXPECT_LT(tiny.icacheHitRate, 1.0);
+}
+
+TEST(PipelineIntegration, BigICacheIsTransparent)
+{
+    const auto trace = captureWorkloadTrace("perl", 20000);
+    PipelineConfig config;
+    config.maxTakenBranches = 4;
+    const Cycle no_cache = runPipelineMachine(trace, config).cycles;
+    config.useInstructionCache = true; // default 16 KiB
+    const PipelineResult cached = runPipelineMachine(trace, config);
+    EXPECT_GT(cached.icacheHitRate, 0.999)
+        << "the mini benchmarks fit a 16 KiB icache";
+    EXPECT_LT(static_cast<double>(cached.cycles),
+              static_cast<double>(no_cache) * 1.05);
+}
+
+} // namespace
+} // namespace vpsim

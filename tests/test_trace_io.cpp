@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the binary trace file format and trace statistics.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_io.hpp"
+#include "trace/trace_stats.hpp"
+#include "workloads/workload.hpp"
+
+namespace vpsim
+{
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    const char *dir = std::getenv("TMPDIR");
+    return std::string(dir ? dir : "/tmp") + "/" + name;
+}
+
+TEST(TraceIo, RoundTripsARealTrace)
+{
+    const auto original = captureWorkloadTrace("compress", 5000);
+    const std::string path = tempPath("vpsim_roundtrip.vptrace");
+    writeTraceFile(path, original);
+    const auto reloaded = readTraceFile(path);
+    ASSERT_EQ(reloaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(reloaded[i].seq, original[i].seq);
+        EXPECT_EQ(reloaded[i].pc, original[i].pc);
+        EXPECT_EQ(reloaded[i].nextPc, original[i].nextPc);
+        EXPECT_EQ(reloaded[i].memAddr, original[i].memAddr);
+        EXPECT_EQ(reloaded[i].result, original[i].result);
+        EXPECT_EQ(reloaded[i].op, original[i].op);
+        EXPECT_EQ(reloaded[i].rd, original[i].rd);
+        EXPECT_EQ(reloaded[i].rs1, original[i].rs1);
+        EXPECT_EQ(reloaded[i].rs2, original[i].rs2);
+        EXPECT_EQ(reloaded[i].taken, original[i].taken);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    const std::string path = tempPath("vpsim_empty.vptrace");
+    writeTraceFile(path, {});
+    EXPECT_TRUE(readTraceFile(path).empty());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileDies)
+{
+    EXPECT_EXIT(readTraceFile(tempPath("vpsim_nonexistent.vptrace")),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceIo, BadMagicDies)
+{
+    const std::string path = tempPath("vpsim_badmagic.vptrace");
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    const char junk[16] = {'J', 'U', 'N', 'K'};
+    std::fwrite(junk, 1, sizeof(junk), file);
+    std::fclose(file);
+    EXPECT_EXIT(readTraceFile(path), ::testing::ExitedWithCode(1),
+                "bad trace file magic");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedFileDies)
+{
+    const std::string path = tempPath("vpsim_trunc.vptrace");
+    const auto trace = captureWorkloadTrace("go", 100);
+    writeTraceFile(path, trace);
+    // Chop the file in half.
+    std::FILE *file = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(file, nullptr);
+    std::fseek(file, 0, SEEK_END);
+    const long size = std::ftell(file);
+    std::fclose(file);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+    EXPECT_EXIT(readTraceFile(path), ::testing::ExitedWithCode(1),
+                "truncated");
+    std::remove(path.c_str());
+}
+
+TEST(TraceStatsTest, CountsAreConsistent)
+{
+    const auto trace = captureWorkloadTrace("gcc", 20000);
+    const TraceStats stats = computeTraceStats(trace);
+    EXPECT_EQ(stats.totalInsts, trace.size());
+    EXPECT_LE(stats.takenCondBranches, stats.condBranches);
+    EXPECT_GT(stats.valueProducers, 0u);
+    const std::uint64_t classified = stats.aluOps + stats.mulDivOps +
+                                     stats.loads + stats.stores +
+                                     stats.condBranches + stats.jumps;
+    EXPECT_LE(classified, stats.totalInsts);
+    EXPECT_GE(classified, stats.totalInsts * 9 / 10)
+        << "nops/halts are rare";
+}
+
+TEST(TraceStatsTest, ReportMentionsName)
+{
+    const auto trace = captureWorkloadTrace("perl", 2000);
+    const TraceStats stats = computeTraceStats(trace);
+    EXPECT_NE(stats.report("perl").find("perl"), std::string::npos);
+}
+
+TEST(SliceTrace, SkipsAndRenumbers)
+{
+    const auto full = captureWorkloadTrace("li", 1000);
+    const auto sliced = sliceTrace(full, 300);
+    ASSERT_EQ(sliced.size(), 700u);
+    for (std::size_t i = 0; i < sliced.size(); ++i) {
+        EXPECT_EQ(sliced[i].seq, i) << "dense renumbering";
+        EXPECT_EQ(sliced[i].pc, full[300 + i].pc);
+        EXPECT_EQ(sliced[i].result, full[300 + i].result);
+    }
+}
+
+TEST(SliceTrace, LengthBounds)
+{
+    const auto full = captureWorkloadTrace("go", 500);
+    EXPECT_EQ(sliceTrace(full, 100, 50).size(), 50u);
+    EXPECT_EQ(sliceTrace(full, 450, 500).size(), 50u)
+        << "length clamps at the end";
+    EXPECT_TRUE(sliceTrace(full, 1000).empty());
+    EXPECT_EQ(sliceTrace(full, 0).size(), full.size());
+}
+
+TEST(SliceTrace, AnalysesRunOnSlices)
+{
+    // A slice must be a valid input for the DID machinery (dense seqs).
+    const auto full = captureWorkloadTrace("perl", 4000);
+    const auto sliced = sliceTrace(full, 1000);
+    for (std::size_t i = 0; i + 1 < sliced.size(); ++i)
+        ASSERT_EQ(sliced[i].nextPc, sliced[i + 1].pc);
+}
+
+TEST(TraceStatsTest, EmptyTrace)
+{
+    const TraceStats stats = computeTraceStats({});
+    EXPECT_EQ(stats.totalInsts, 0u);
+    EXPECT_DOUBLE_EQ(stats.takenRate, 0.0);
+}
+
+} // namespace
+} // namespace vpsim

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the Section 4 hardware: address router (merging, bank
+ * conflicts, priority), value distributor (stride expansion, Figure 4.2)
+ * and the accounting invariants of the interleaved prediction table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/factory.hpp"
+#include "vptable/interleaved_table.hpp"
+
+namespace vpsim
+{
+namespace
+{
+
+/** A table whose classifier is pre-warmed on a stride sequence. */
+std::unique_ptr<InterleavedVpTable>
+warmedTable(const VpTableConfig &config, Addr pc, Value base,
+            Value stride, int warmup = 8)
+{
+    auto table = std::make_unique<InterleavedVpTable>(
+        makeClassifiedPredictor(PredictorKind::Stride), config);
+    Value value = base;
+    for (int i = 0; i < warmup; ++i) {
+        const auto grants = table->processBundle({pc});
+        table->update(pc, grants[0].prediction, value);
+        value += stride;
+    }
+    return table;
+}
+
+TEST(Router, DistinctPcsInDistinctBanksAllGranted)
+{
+    VpTableConfig config;
+    config.banks = 4;
+    auto table = std::make_unique<InterleavedVpTable>(
+        makeClassifiedPredictor(PredictorKind::Stride), config);
+    // pcs map to banks (pc/4) % 4 = 0,1,2,3.
+    const auto grants = table->processBundle({0x0, 0x4, 0x8, 0xc});
+    for (const VpGrant &grant : grants)
+        EXPECT_TRUE(grant.granted);
+    EXPECT_EQ(table->deniedRequests(), 0u);
+    EXPECT_EQ(table->accesses(), 4u);
+}
+
+TEST(Router, BankConflictDeniesLowerPriorityRequest)
+{
+    VpTableConfig config;
+    config.banks = 4;
+    config.portsPerBank = 1;
+    auto table = std::make_unique<InterleavedVpTable>(
+        makeClassifiedPredictor(PredictorKind::Stride), config);
+    // 0x0 and 0x10 both map to bank 0; trace order gives 0x0 priority.
+    const auto grants = table->processBundle({0x0, 0x10});
+    EXPECT_TRUE(grants[0].granted);
+    EXPECT_FALSE(grants[1].granted);
+    EXPECT_EQ(table->deniedAccesses(), 1u);
+    EXPECT_EQ(table->deniedRequests(), 1u);
+}
+
+TEST(Router, ExtraPortsResolveConflicts)
+{
+    VpTableConfig config;
+    config.banks = 4;
+    config.portsPerBank = 2;
+    auto table = std::make_unique<InterleavedVpTable>(
+        makeClassifiedPredictor(PredictorKind::Stride), config);
+    const auto grants = table->processBundle({0x0, 0x10, 0x20});
+    EXPECT_TRUE(grants[0].granted);
+    EXPECT_TRUE(grants[1].granted);
+    EXPECT_FALSE(grants[2].granted) << "third copy exceeds two ports";
+}
+
+TEST(Router, DuplicatePcsAreMergedNotDenied)
+{
+    VpTableConfig config;
+    config.banks = 4;
+    config.portsPerBank = 1;
+    auto table = std::make_unique<InterleavedVpTable>(
+        makeClassifiedPredictor(PredictorKind::Stride), config);
+    // Three copies of one instruction (a loop fetched three times per
+    // cycle): one merged access, not three conflicting ones.
+    const auto grants = table->processBundle({0x0, 0x0, 0x0});
+    EXPECT_TRUE(grants[0].granted);
+    EXPECT_TRUE(grants[1].granted);
+    EXPECT_TRUE(grants[2].granted);
+    EXPECT_FALSE(grants[0].merged) << "lead copy is the real access";
+    EXPECT_TRUE(grants[1].merged);
+    EXPECT_TRUE(grants[2].merged);
+    EXPECT_EQ(table->accesses(), 1u);
+    EXPECT_EQ(table->mergedRequests(), 2u);
+    EXPECT_EQ(table->deniedRequests(), 0u);
+}
+
+TEST(Distributor, ExpandsStrideSequenceForMergedCopies)
+{
+    // Figure 4.2: three iterations of a loop containing "i++" are
+    // fetched together; the distributor must produce X, X+d, X+2d.
+    VpTableConfig config;
+    config.banks = 8;
+    auto table = warmedTable(config, 0x100, 1000, 8);
+    const auto grants = table->processBundle({0x100, 0x100, 0x100});
+    ASSERT_TRUE(grants[0].prediction.predicted);
+    ASSERT_TRUE(grants[1].prediction.predicted);
+    ASSERT_TRUE(grants[2].prediction.predicted);
+    const Value x = grants[0].prediction.value;
+    EXPECT_EQ(grants[1].prediction.value, x + 8);
+    EXPECT_EQ(grants[2].prediction.value, x + 16);
+    EXPECT_EQ(table->distributorAdditions(), 2u)
+        << "two non-lead copies with nonzero stride need additions";
+}
+
+TEST(Distributor, LastValueMergeNeedsNoArithmetic)
+{
+    VpTableConfig config;
+    config.banks = 8;
+    auto table = std::make_unique<InterleavedVpTable>(
+        makeClassifiedPredictor(PredictorKind::LastValue), config);
+    for (int i = 0; i < 8; ++i) {
+        const auto grants = table->processBundle({0x100});
+        table->update(0x100, grants[0].prediction, 77);
+    }
+    const auto grants = table->processBundle({0x100, 0x100, 0x100});
+    EXPECT_EQ(grants[0].prediction.value, 77u);
+    EXPECT_EQ(grants[1].prediction.value, 77u);
+    EXPECT_EQ(grants[2].prediction.value, 77u);
+    EXPECT_EQ(table->distributorAdditions(), 0u)
+        << "the same value is broadcast, no additions (paper §4.2)";
+}
+
+TEST(Distributor, MixedBundleGrantsAndExpands)
+{
+    VpTableConfig config;
+    config.banks = 2;
+    auto table = warmedTable(config, 0x0, 50, 5);
+    // Bundle: two copies of 0x0 (bank 0), one 0x4 (bank 1), one 0x8
+    // (bank 0 -> conflicts with the 0x0 group and is denied).
+    const auto grants = table->processBundle({0x0, 0x0, 0x4, 0x8});
+    EXPECT_TRUE(grants[0].granted);
+    EXPECT_TRUE(grants[1].granted);
+    EXPECT_TRUE(grants[2].granted);
+    EXPECT_FALSE(grants[3].granted);
+    EXPECT_TRUE(grants[1].merged);
+    EXPECT_FALSE(grants[2].merged);
+}
+
+TEST(Accounting, RouterNeverLosesRequests)
+{
+    VpTableConfig config;
+    config.banks = 2;
+    auto table = std::make_unique<InterleavedVpTable>(
+        makeClassifiedPredictor(PredictorKind::Stride), config);
+    std::uint64_t granted = 0;
+    std::uint64_t total = 0;
+    const std::vector<std::vector<Addr>> bundles = {
+        {0x0, 0x0, 0x4, 0x8, 0xc, 0x10},
+        {0x4, 0x4, 0x4},
+        {0x0},
+        {0x8, 0x10, 0x18, 0x20},
+    };
+    for (const auto &bundle : bundles) {
+        const auto grants = table->processBundle(bundle);
+        total += bundle.size();
+        for (const VpGrant &grant : grants)
+            granted += grant.granted ? 1 : 0;
+    }
+    // Conservation: every request is granted or denied, never lost.
+    EXPECT_EQ(table->requests(), total);
+    EXPECT_EQ(granted + table->deniedRequests(), total);
+    // Groups: accesses = distinct pcs per bundle, bounded by requests.
+    EXPECT_LE(table->accesses(), table->requests());
+    EXPECT_EQ(table->mergedRequests(),
+              table->requests() - table->accesses());
+}
+
+TEST(Accounting, SingleInstructionBundleIsOneAccess)
+{
+    auto table = std::make_unique<InterleavedVpTable>(
+        makeClassifiedPredictor(PredictorKind::Stride), VpTableConfig{});
+    table->processBundle({0x40});
+    EXPECT_EQ(table->requests(), 1u);
+    EXPECT_EQ(table->accesses(), 1u);
+    EXPECT_EQ(table->mergedRequests(), 0u);
+    EXPECT_EQ(table->deniedRequests(), 0u);
+}
+
+TEST(Accounting, EmptyBundleIsFree)
+{
+    auto table = std::make_unique<InterleavedVpTable>(
+        makeClassifiedPredictor(PredictorKind::Stride), VpTableConfig{});
+    const auto grants = table->processBundle({});
+    EXPECT_TRUE(grants.empty());
+    EXPECT_EQ(table->requests(), 0u);
+}
+
+TEST(Config, ZeroBanksDies)
+{
+    VpTableConfig config;
+    config.banks = 0;
+    EXPECT_EXIT((InterleavedVpTable{
+                    makeClassifiedPredictor(PredictorKind::Stride),
+                    config}),
+                ::testing::ExitedWithCode(1), "bank count");
+}
+
+/** Property: across random bundles, grants preserve order and size. */
+class RouterProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RouterProperty, GrantVectorMatchesBundle)
+{
+    VpTableConfig config;
+    config.banks = GetParam();
+    auto table = std::make_unique<InterleavedVpTable>(
+        makeClassifiedPredictor(PredictorKind::Stride), config);
+    std::vector<Addr> bundle;
+    for (unsigned i = 0; i < 24; ++i)
+        bundle.push_back((i * 12) % 64 * instBytes);
+    const auto grants = table->processBundle(bundle);
+    ASSERT_EQ(grants.size(), bundle.size());
+    // Duplicate pcs must all share one fate (granted or denied).
+    for (std::size_t i = 0; i < bundle.size(); ++i) {
+        for (std::size_t j = i + 1; j < bundle.size(); ++j) {
+            if (bundle[i] == bundle[j]) {
+                EXPECT_EQ(grants[i].granted, grants[j].granted);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Banks, RouterProperty,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+} // namespace
+} // namespace vpsim
