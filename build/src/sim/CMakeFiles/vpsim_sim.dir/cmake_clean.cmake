@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpsim_sim.dir/experiment.cpp.o"
+  "CMakeFiles/vpsim_sim.dir/experiment.cpp.o.d"
+  "libvpsim_sim.a"
+  "libvpsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

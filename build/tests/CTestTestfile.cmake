@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build/tests/test_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_bpred[1]_include.cmake")
+include("/root/repo/build/tests/test_fetch[1]_include.cmake")
+include("/root/repo/build/tests/test_vptable[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
