@@ -16,7 +16,8 @@
 
 #include "common/table_printer.hpp"
 #include "core/pipeline_machine.hpp"
-#include "sim/experiment.hpp"
+#include "core/speedup.hpp"
+#include "sim/sim_runner.hpp"
 
 namespace
 {
@@ -38,7 +39,8 @@ main(int argc, char **argv)
     declareStandardOptions(options, 150000);
     options.parse(argc, argv,
                   "ablation: fetch mechanisms under value prediction");
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
 
     std::vector<FrontEnd> front_ends;
     for (const unsigned taken : {1u, 2u, 4u, 0u}) {
@@ -68,40 +70,58 @@ main(int argc, char **argv)
         fe.config.frontEnd = FrontEndKind::TraceCache;
         front_ends.push_back(fe);
     }
+    for (FrontEnd &fe : front_ends)
+        fe.config.perfectBranchPredictor = true;
+
+    // One job per (front end, benchmark); each owns the base-IPC,
+    // VP-IPC and gain cells for that pair.
+    const std::size_t n_fes = front_ends.size();
+    std::vector<std::vector<double>> base(
+        n_fes, std::vector<double>(bench.size()));
+    std::vector<std::vector<double>> vp(
+        n_fes, std::vector<double>(bench.size()));
+    std::vector<std::vector<double>> gain(
+        n_fes, std::vector<double>(bench.size()));
+    std::vector<SimJob> batch;
+    for (std::size_t f = 0; f < n_fes; ++f) {
+        for (std::size_t i = 0; i < bench.size(); ++i) {
+            batch.push_back(
+                {front_ends[f].label + ":" + bench.names[i],
+                 [&, f, i] {
+                     PipelineConfig off = front_ends[f].config;
+                     off.useValuePrediction = false;
+                     PipelineConfig on = front_ends[f].config;
+                     on.useValuePrediction = true;
+                     const PipelineResult r_off =
+                         runPipelineMachine(bench.trace(i), off);
+                     const PipelineResult r_on =
+                         runPipelineMachine(bench.trace(i), on);
+                     base[f][i] = r_off.ipc;
+                     vp[f][i] = r_on.ipc;
+                     gain[f][i] = static_cast<double>(r_off.cycles) /
+                             static_cast<double>(r_on.cycles) -
+                         1.0;
+                 }});
+        }
+    }
+    runner.run(std::move(batch));
 
     TablePrinter table(
         "Front-end ablation (perfect branch prediction, averages over "
         "the 8 benchmarks)",
         {"front end", "IPC base", "IPC +VP", "VP speedup"});
-    for (FrontEnd &fe : front_ends) {
-        fe.config.perfectBranchPredictor = true;
-        double base_sum = 0.0;
-        double vp_sum = 0.0;
-        double gain_sum = 0.0;
-        for (std::size_t i = 0; i < bench.size(); ++i) {
-            PipelineConfig off = fe.config;
-            off.useValuePrediction = false;
-            PipelineConfig on = fe.config;
-            on.useValuePrediction = true;
-            const PipelineResult r_off =
-                runPipelineMachine(bench.traces[i], off);
-            const PipelineResult r_on =
-                runPipelineMachine(bench.traces[i], on);
-            base_sum += r_off.ipc;
-            vp_sum += r_on.ipc;
-            gain_sum += static_cast<double>(r_off.cycles) /
-                            static_cast<double>(r_on.cycles) -
-                        1.0;
-        }
-        const double n = static_cast<double>(bench.size());
-        table.addRow({fe.label, TablePrinter::numberCell(base_sum / n),
-                      TablePrinter::numberCell(vp_sum / n),
-                      TablePrinter::percentCell(gain_sum / n)});
+    for (std::size_t f = 0; f < n_fes; ++f) {
+        table.addRow({front_ends[f].label,
+                      TablePrinter::numberCell(arithmeticMean(base[f])),
+                      TablePrinter::numberCell(arithmeticMean(vp[f])),
+                      TablePrinter::percentCell(
+                          arithmeticMean(gain[f]))});
     }
     std::fputs(table.render().c_str(), stdout);
     std::puts("\ntakeaway: each step of front-end bandwidth (1 taken -> "
               "multi-block BAC -> trace cache / unlimited) unlocks more "
               "of the value predictor's latent speedup, the paper's "
               "central claim");
+    runner.reportStats();
     return 0;
 }

@@ -15,8 +15,9 @@
 
 #include "core/ideal_machine.hpp"
 #include "core/pipeline_machine.hpp"
+#include "core/speedup.hpp"
 #include "common/table_printer.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sim_runner.hpp"
 
 int
 main(int argc, char **argv)
@@ -27,7 +28,8 @@ main(int argc, char **argv)
     declareStandardOptions(options, 200000);
     options.parse(argc, argv,
                   "Section 4.2 ablation: predictor kind comparison");
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
 
     const std::vector<std::pair<PredictorKind, std::string>> kinds = {
         {PredictorKind::LastValue, "last-value"},
@@ -37,50 +39,67 @@ main(int argc, char **argv)
         {PredictorKind::Fcm, "fcm (order 2)"},
     };
 
+    // One job per (predictor kind, benchmark); each owns the gain,
+    // accuracy and distributor-adds cells for that pair.
+    std::vector<std::vector<double>> gain(
+        kinds.size(), std::vector<double>(bench.size()));
+    std::vector<std::vector<double>> acc(
+        kinds.size(), std::vector<double>(bench.size()));
+    std::vector<std::vector<double>> adds(
+        kinds.size(), std::vector<double>(bench.size()));
+    std::vector<SimJob> batch;
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+        for (std::size_t i = 0; i < bench.size(); ++i) {
+            batch.push_back(
+                {kinds[k].second + ":" + bench.names[i], [&, k, i] {
+                     const PredictorKind kind = kinds[k].first;
+                     IdealMachineConfig config;
+                     config.fetchRate = 16;
+                     config.predictorKind = kind;
+                     gain[k][i] =
+                         idealVpSpeedup(bench.trace(i), config) - 1.0;
+
+                     IdealMachineConfig probe = config;
+                     probe.useValuePrediction = true;
+                     const IdealMachineResult run =
+                         runIdealMachine(bench.trace(i), probe);
+                     if (run.predictionsMade > 0) {
+                         acc[k][i] =
+                             static_cast<double>(
+                                 run.predictionsCorrect) /
+                             static_cast<double>(run.predictionsMade);
+                     }
+
+                     // Distributor arithmetic behind the banked table.
+                     PipelineConfig pipe;
+                     pipe.frontEnd = FrontEndKind::TraceCache;
+                     pipe.perfectBranchPredictor = true;
+                     pipe.useValuePrediction = true;
+                     pipe.useInterleavedVpTable = true;
+                     pipe.predictorKind = kind;
+                     const PipelineResult pres =
+                         runPipelineMachine(bench.trace(i), pipe);
+                     adds[k][i] =
+                         1000.0 *
+                         static_cast<double>(
+                             pres.vptDistributorAdditions) /
+                         static_cast<double>(pres.instructions);
+                 }});
+        }
+    }
+    runner.run(std::move(batch));
+
     TablePrinter table(
         "Section 4.2 ablation - predictor kinds "
         "(ideal machine BW=16 + banked-table distributor load)",
         {"predictor", "VP speedup", "accuracy",
          "distributor adds/1k insts"});
-
-    for (const auto &[kind, label] : kinds) {
-        double gain_sum = 0.0;
-        double acc_sum = 0.0;
-        double adds_sum = 0.0;
-        for (std::size_t i = 0; i < bench.size(); ++i) {
-            IdealMachineConfig config;
-            config.fetchRate = 16;
-            config.predictorKind = kind;
-            gain_sum += idealVpSpeedup(bench.traces[i], config) - 1.0;
-
-            IdealMachineConfig probe = config;
-            probe.useValuePrediction = true;
-            const IdealMachineResult run =
-                runIdealMachine(bench.traces[i], probe);
-            if (run.predictionsMade > 0) {
-                acc_sum +=
-                    static_cast<double>(run.predictionsCorrect) /
-                    static_cast<double>(run.predictionsMade);
-            }
-
-            // Distributor arithmetic behind the banked table.
-            PipelineConfig pipe;
-            pipe.frontEnd = FrontEndKind::TraceCache;
-            pipe.perfectBranchPredictor = true;
-            pipe.useValuePrediction = true;
-            pipe.useInterleavedVpTable = true;
-            pipe.predictorKind = kind;
-            const PipelineResult pres =
-                runPipelineMachine(bench.traces[i], pipe);
-            adds_sum +=
-                1000.0 *
-                static_cast<double>(pres.vptDistributorAdditions) /
-                static_cast<double>(pres.instructions);
-        }
-        const double n = static_cast<double>(bench.size());
-        table.addRow({label, TablePrinter::percentCell(gain_sum / n),
-                      TablePrinter::percentCell(acc_sum / n),
-                      TablePrinter::numberCell(adds_sum / n, 1)});
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+        table.addRow(
+            {kinds[k].second,
+             TablePrinter::percentCell(arithmeticMean(gain[k])),
+             TablePrinter::percentCell(arithmeticMean(acc[k])),
+             TablePrinter::numberCell(arithmeticMean(adds[k]), 1)});
     }
 
     std::fputs(table.render().c_str(), stdout);
@@ -88,5 +107,6 @@ main(int argc, char **argv)
               "predictor's speedup while cutting the distributor "
               "additions (last-value hits distribute one value with no "
               "arithmetic), as argued in Section 4.2");
+    runner.reportStats();
     return 0;
 }

@@ -13,7 +13,8 @@
 
 #include "common/table_printer.hpp"
 #include "core/ideal_machine.hpp"
-#include "sim/experiment.hpp"
+#include "core/speedup.hpp"
+#include "sim/sim_runner.hpp"
 #include "workloads/workload.hpp"
 
 int
@@ -25,38 +26,63 @@ main(int argc, char **argv)
     declareStandardOptions(options, 150000);
     options.parse(argc, argv,
                   "ablation: input-set robustness of Figure 3.1");
+    SimRunner runner(options);
     const auto insts =
         static_cast<std::uint64_t>(options.getInt("insts"));
     std::vector<std::string> names = options.getList("benchmarks");
     if (names.empty())
         names = workloadNames();
+    validateBenchmarkNames(names);
+
+    struct InputSet
+    {
+        unsigned scale;
+        std::uint64_t seed;
+    };
+    std::vector<InputSet> sets;
+    for (const unsigned scale : {1u, 2u, 4u}) {
+        for (const std::uint64_t seed : {0ull, 99ull})
+            sets.push_back({scale, seed});
+    }
+
+    // One job per (input set, benchmark). Each job captures its own
+    // scaled/reseeded trace through the runner (and hence through the
+    // trace cache, if one is configured) and owns one gain cell.
+    std::vector<std::vector<double>> gain(
+        sets.size(), std::vector<double>(names.size()));
+    std::vector<SimJob> batch;
+    for (std::size_t s = 0; s < sets.size(); ++s) {
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            batch.push_back(
+                {"scale" + std::to_string(sets[s].scale) + "-seed" +
+                     std::to_string(sets[s].seed) + ":" + names[i],
+                 [&, s, i] {
+                     WorkloadParams params;
+                     params.scale = sets[s].scale;
+                     params.seed = sets[s].seed;
+                     const TraceHandle trace =
+                         runner.captureTrace(names[i], insts, 0, params);
+                     IdealMachineConfig config;
+                     config.fetchRate = 16;
+                     gain[s][i] = idealVpSpeedup(*trace, config) - 1.0;
+                 }});
+        }
+    }
+    runner.run(std::move(batch));
 
     TablePrinter table(
         "Input-set robustness - Figure 3.1 BW=16 average VP speedup",
         {"input set", "avg speedup"});
-    for (const unsigned scale : {1u, 2u, 4u}) {
-        for (const std::uint64_t seed : {0ull, 99ull}) {
-            WorkloadParams params;
-            params.scale = scale;
-            params.seed = seed;
-            double gain_sum = 0.0;
-            for (const std::string &name : names) {
-                const auto trace =
-                    captureWorkloadTrace(name, insts, params);
-                IdealMachineConfig config;
-                config.fetchRate = 16;
-                gain_sum += idealVpSpeedup(trace, config) - 1.0;
-            }
-            table.addRow(
-                {"scale " + std::to_string(scale) + ", seed " +
-                     std::to_string(seed),
-                 TablePrinter::percentCell(
-                     gain_sum / static_cast<double>(names.size()))});
-        }
+    for (std::size_t s = 0; s < sets.size(); ++s) {
+        table.addRow({"scale " + std::to_string(sets[s].scale) +
+                          ", seed " + std::to_string(sets[s].seed),
+                      TablePrinter::percentCell(
+                          arithmeticMean(gain[s]))});
     }
     std::fputs(table.render().c_str(), stdout);
     std::puts("\ntakeaway: the bandwidth-dependence of value prediction "
               "survives input scaling and reseeding - it is a property "
               "of the programs' dependence structure");
+    runner.reportStats();
     return 0;
 }

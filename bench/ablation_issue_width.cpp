@@ -14,7 +14,8 @@
 
 #include "common/table_printer.hpp"
 #include "core/pipeline_machine.hpp"
-#include "sim/experiment.hpp"
+#include "core/speedup.hpp"
+#include "sim/sim_runner.hpp"
 
 int
 main(int argc, char **argv)
@@ -25,26 +26,33 @@ main(int argc, char **argv)
     declareStandardOptions(options, 120000);
     options.parse(argc, argv,
                   "ablation: issue width x taken-branch limit");
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
+
+    const std::vector<unsigned> widths = {8, 16, 40};
+    const std::vector<unsigned> takens = {1, 4};
+
+    // Grid rows = (width, taken) pairs, columns = benchmarks; the
+    // per-configuration averages below reduce each row.
+    const auto gains = runner.runGrid(
+        widths.size() * takens.size(), bench.size(),
+        [&](std::size_t row, std::size_t col) {
+            PipelineConfig config;
+            config.issueWidth = widths[row / takens.size()];
+            config.commitWidth = widths[row / takens.size()];
+            config.maxTakenBranches = takens[row % takens.size()];
+            return pipelineVpSpeedup(bench.trace(col), config) - 1.0;
+        });
 
     TablePrinter table(
         "Issue-width x taken-branch ablation (average VP speedup, "
         "perfect branch prediction)",
         {"issue width", "n=1 taken", "n=4 taken"});
-    for (const unsigned width : {8u, 16u, 40u}) {
-        std::vector<std::string> row = {std::to_string(width)};
-        for (const unsigned taken : {1u, 4u}) {
-            double gain_sum = 0.0;
-            for (std::size_t i = 0; i < bench.size(); ++i) {
-                PipelineConfig config;
-                config.issueWidth = width;
-                config.commitWidth = width;
-                config.maxTakenBranches = taken;
-                gain_sum +=
-                    pipelineVpSpeedup(bench.traces[i], config) - 1.0;
-            }
+    for (std::size_t w = 0; w < widths.size(); ++w) {
+        std::vector<std::string> row = {std::to_string(widths[w])};
+        for (std::size_t t = 0; t < takens.size(); ++t) {
             row.push_back(TablePrinter::percentCell(
-                gain_sum / static_cast<double>(bench.size())));
+                arithmeticMean(gains[w * takens.size() + t])));
         }
         table.addRow(row);
     }
@@ -52,5 +60,6 @@ main(int argc, char **argv)
     std::puts("\ntakeaway: fetch bandwidth (taken branches) and machine "
               "width move together; the paper's width-40 machine is "
               "what lets the n=4 fetch rate matter");
+    runner.reportStats();
     return 0;
 }

@@ -18,8 +18,9 @@
 #include "common/table_printer.hpp"
 #include "core/ideal_machine.hpp"
 #include "core/pipeline_machine.hpp"
+#include "predictor/factory.hpp"
 #include "predictor/profile.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sim_runner.hpp"
 #include "vptable/interleaved_table.hpp"
 #include "workloads/workload.hpp"
 
@@ -58,6 +59,16 @@ scorePredictor(ValuePredictor &predictor,
     return score;
 }
 
+/** Per-benchmark measurements, filled by one job each. */
+struct HintRow
+{
+    std::uint64_t producers = 0;
+    PredictorScore hintScore;
+    double hwAccuracy = 0.0;
+    std::uint64_t denialsPlain = 0;
+    std::uint64_t denialsHinted = 0;
+};
+
 } // namespace
 
 int
@@ -70,51 +81,66 @@ main(int argc, char **argv)
     options.parse(argc, argv,
                   "ablation: profile hints for the hybrid predictor "
                   "and the Section 4 router");
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
     const auto train_insts =
         static_cast<std::uint64_t>(options.getInt("train-insts"));
+
+    // One job per benchmark; each captures its own profiling trace
+    // through the runner (cache-aware) and fills one HintRow.
+    std::vector<HintRow> rows(bench.size());
+    std::vector<SimJob> batch;
+    for (std::size_t i = 0; i < bench.size(); ++i) {
+        batch.push_back({"hints:" + bench.names[i], [&, i] {
+            const auto &trace = bench.trace(i);
+            const TraceHandle training = runner.captureTrace(
+                bench.names[i], train_insts, 0, WorkloadParams{});
+            const ProfileHints hints = ProfileHints::profile(*training);
+            HintRow &row = rows[i];
+
+            // (a) prediction behaviour: hinted hybrid vs hardware
+            // classifier.
+            auto hinted = makeHintedHybridPredictor(hints);
+            row.hintScore = scorePredictor(*hinted, trace);
+            auto hw = makeClassifiedPredictor(PredictorKind::Stride);
+            for (const TraceRecord &record : trace) {
+                if (!record.producesValue())
+                    continue;
+                ++row.producers;
+                const ClassifiedPrediction p = hw->predict(record.pc);
+                hw->update(record.pc, p, record.result);
+            }
+            row.hwAccuracy = hw->accuracy();
+
+            // (b) router pressure with few banks, with and without
+            // hints.
+            const auto routerDenials =
+                [&](const ProfileHints *use_hints) {
+                    VpTableConfig config;
+                    config.banks = 2;
+                    config.hints = use_hints;
+                    PipelineConfig pipe;
+                    pipe.frontEnd = FrontEndKind::TraceCache;
+                    pipe.useValuePrediction = true;
+                    pipe.useInterleavedVpTable = true;
+                    pipe.vpTableConfig = config;
+                    const PipelineResult run =
+                        runPipelineMachine(trace, pipe);
+                    return run.vptDeniedRequests;
+                };
+            row.denialsPlain = routerDenials(nullptr);
+            row.denialsHinted = routerDenials(&hints);
+        }});
+    }
+    runner.run(std::move(batch));
 
     TablePrinter table(
         "Profile-hint ablation ([9], Section 4.2)",
         {"benchmark", "hinted pred/inst", "hint accuracy",
          "hw-classifier accuracy", "router denials (no hints)",
          "router denials (hints)"});
-
     for (std::size_t i = 0; i < bench.size(); ++i) {
-        const auto &trace = bench.traces[i];
-        const auto training =
-            captureWorkloadTrace(bench.names[i], train_insts);
-        const ProfileHints hints = ProfileHints::profile(training);
-
-        // (a) prediction behaviour: hinted hybrid vs hardware classifier.
-        HintedHybridPredictor hinted(hints);
-        const PredictorScore hint_score = scorePredictor(hinted, trace);
-        auto hw = makeClassifiedPredictor(PredictorKind::Stride);
-        std::uint64_t producers = 0;
-        for (const TraceRecord &record : trace) {
-            if (!record.producesValue())
-                continue;
-            ++producers;
-            const ClassifiedPrediction p = hw->predict(record.pc);
-            hw->update(record.pc, p, record.result);
-        }
-
-        // (b) router pressure with few banks, with and without hints.
-        const auto routerDenials = [&](const ProfileHints *use_hints) {
-            VpTableConfig config;
-            config.banks = 2;
-            config.hints = use_hints;
-            PipelineConfig pipe;
-            pipe.frontEnd = FrontEndKind::TraceCache;
-            pipe.useValuePrediction = true;
-            pipe.useInterleavedVpTable = true;
-            pipe.vpTableConfig = config;
-            const PipelineResult run = runPipelineMachine(trace, pipe);
-            return run.vptDeniedRequests;
-        };
-        const std::uint64_t denials_plain = routerDenials(nullptr);
-        const std::uint64_t denials_hinted = routerDenials(&hints);
-
+        const HintRow &row = rows[i];
         const auto pct = [](std::uint64_t num, std::uint64_t denom) {
             return TablePrinter::percentCell(
                 denom == 0 ? 0.0
@@ -122,16 +148,17 @@ main(int argc, char **argv)
                                  static_cast<double>(denom));
         };
         table.addRow(
-            {bench.names[i], pct(hint_score.made, producers),
-             pct(hint_score.correct, hint_score.made),
-             TablePrinter::percentCell(hw->accuracy()),
-             std::to_string(denials_plain),
-             std::to_string(denials_hinted)});
+            {bench.names[i], pct(row.hintScore.made, row.producers),
+             pct(row.hintScore.correct, row.hintScore.made),
+             TablePrinter::percentCell(row.hwAccuracy),
+             std::to_string(row.denialsPlain),
+             std::to_string(row.denialsHinted)});
     }
 
     std::fputs(table.render().c_str(), stdout);
     std::puts("\ntakeaway: hints keep accuracy near the hardware "
               "classifier without confidence counters, and cut the "
               "bank-conflict denials the Section 4 router must absorb");
+    runner.reportStats();
     return 0;
 }

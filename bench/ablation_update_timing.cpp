@@ -18,7 +18,8 @@
 
 #include "common/table_printer.hpp"
 #include "core/pipeline_machine.hpp"
-#include "sim/experiment.hpp"
+#include "core/speedup.hpp"
+#include "sim/sim_runner.hpp"
 
 int
 main(int argc, char **argv)
@@ -30,33 +31,52 @@ main(int argc, char **argv)
     options.parse(argc, argv,
                   "ablation: dispatch-time vs retire-time predictor "
                   "update");
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
 
     const std::vector<unsigned> taken_limits = {1, 4, 0};
+
+    // One job per (limit, benchmark, timing); each owns one cell in
+    // the matching dispatch/retire matrix.
+    std::vector<std::vector<double>> dispatch(
+        taken_limits.size(), std::vector<double>(bench.size()));
+    std::vector<std::vector<double>> retire(
+        taken_limits.size(), std::vector<double>(bench.size()));
+    std::vector<SimJob> batch;
+    for (std::size_t l = 0; l < taken_limits.size(); ++l) {
+        for (std::size_t i = 0; i < bench.size(); ++i) {
+            for (const bool at_retire : {false, true}) {
+                batch.push_back(
+                    {"n=" + std::to_string(taken_limits[l]) + ":" +
+                         bench.names[i] +
+                         (at_retire ? ":retire" : ":dispatch"),
+                     [&, l, i, at_retire] {
+                         PipelineConfig config;
+                         config.perfectBranchPredictor = true;
+                         config.maxTakenBranches = taken_limits[l];
+                         config.vpUpdateTiming = at_retire
+                             ? VpUpdateTiming::Retire
+                             : VpUpdateTiming::Dispatch;
+                         (at_retire ? retire : dispatch)[l][i] =
+                             pipelineVpSpeedup(bench.trace(i), config) -
+                             1.0;
+                     }});
+            }
+        }
+    }
+    runner.run(std::move(batch));
+
     TablePrinter table(
         "Predictor update timing (VP speedup, averages over the "
         "benchmarks; perfect branch prediction)",
         {"max taken/cycle", "update at dispatch", "update at retire",
          "gap"});
-
-    for (const unsigned limit : taken_limits) {
-        double dispatch_sum = 0.0;
-        double retire_sum = 0.0;
-        for (std::size_t i = 0; i < bench.size(); ++i) {
-            PipelineConfig config;
-            config.perfectBranchPredictor = true;
-            config.maxTakenBranches = limit;
-            config.vpUpdateTiming = VpUpdateTiming::Dispatch;
-            dispatch_sum +=
-                pipelineVpSpeedup(bench.traces[i], config) - 1.0;
-            config.vpUpdateTiming = VpUpdateTiming::Retire;
-            retire_sum +=
-                pipelineVpSpeedup(bench.traces[i], config) - 1.0;
-        }
-        const double n = static_cast<double>(bench.size());
-        const double dispatch_avg = dispatch_sum / n;
-        const double retire_avg = retire_sum / n;
-        table.addRow({limit == 0 ? "unlimited" : std::to_string(limit),
+    for (std::size_t l = 0; l < taken_limits.size(); ++l) {
+        const double dispatch_avg = arithmeticMean(dispatch[l]);
+        const double retire_avg = arithmeticMean(retire[l]);
+        table.addRow({taken_limits[l] == 0
+                          ? "unlimited"
+                          : std::to_string(taken_limits[l]),
                       TablePrinter::percentCell(dispatch_avg),
                       TablePrinter::percentCell(retire_avg),
                       TablePrinter::percentCell(dispatch_avg -
@@ -69,5 +89,6 @@ main(int argc, char **argv)
               "fetch bandwidth - exactly the regime the paper targets - "
               "so the speculative-update machinery of Sections 3.1/4 is "
               "load-bearing, not an implementation detail");
+    runner.reportStats();
     return 0;
 }

@@ -15,7 +15,7 @@
 #include <cstdio>
 
 #include "core/ideal_machine.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sim_runner.hpp"
 
 int
 main(int argc, char **argv)
@@ -26,7 +26,8 @@ main(int argc, char **argv)
     declareStandardOptions(options, 200000);
     options.parse(argc, argv,
                   "ablation: useful fraction of correct predictions");
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
 
     // Stalling uses per 1000 instructions on the NO-VP machine: the
     // dependences a value predictor could possibly remove. This is the
@@ -38,19 +39,17 @@ main(int argc, char **argv)
     for (const unsigned rate : rates)
         columns.push_back("BW=" + std::to_string(rate));
 
-    std::vector<std::vector<double>> per_k(bench.size());
-    for (std::size_t i = 0; i < bench.size(); ++i) {
-        for (const unsigned rate : rates) {
+    const auto per_k = runner.runGrid(
+        bench.size(), rates.size(),
+        [&](std::size_t row, std::size_t col) {
             IdealMachineConfig config;
-            config.fetchRate = rate;
+            config.fetchRate = rates[col];
             config.useValuePrediction = false;
             const IdealMachineResult run =
-                runIdealMachine(bench.traces[i], config);
-            per_k[i].push_back(
-                1000.0 * static_cast<double>(run.stallingUses) /
-                static_cast<double>(run.instructions));
-        }
-    }
+                runIdealMachine(bench.trace(row), config);
+            return 1000.0 * static_cast<double>(run.stallingUses) /
+                static_cast<double>(run.instructions);
+        });
 
     std::fputs(renderFigureTable(
                    "Stalling operand uses per 1000 instructions "
@@ -68,5 +67,6 @@ main(int argc, char **argv)
               "dependent would otherwise wait; the number of such "
               "stalling dependences - the predictor's addressable "
               "market - is what wide fetch creates");
+    runner.reportStats();
     return 0;
 }

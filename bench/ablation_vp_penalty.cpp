@@ -14,7 +14,8 @@
 
 #include "common/table_printer.hpp"
 #include "core/ideal_machine.hpp"
-#include "sim/experiment.hpp"
+#include "predictor/factory.hpp"
+#include "sim/sim_runner.hpp"
 
 int
 main(int argc, char **argv)
@@ -23,25 +24,28 @@ main(int argc, char **argv)
 
     Options options;
     declareStandardOptions(options, 200000);
+    declarePredictorOption(options);
     options.parse(argc, argv,
                   "ablation: value-misprediction penalty sweep");
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
+    const PredictorKind predictor =
+        predictorKindFromString(options.getString("predictor"));
 
     const std::vector<unsigned> penalties = {0, 1, 2, 4, 8};
     std::vector<std::string> columns;
     for (const unsigned p : penalties)
         columns.push_back("penalty=" + std::to_string(p));
 
-    std::vector<std::vector<double>> gains(bench.size());
-    for (std::size_t i = 0; i < bench.size(); ++i) {
-        for (const unsigned p : penalties) {
+    const auto gains = runner.runGrid(
+        bench.size(), penalties.size(),
+        [&](std::size_t row, std::size_t col) {
             IdealMachineConfig config;
             config.fetchRate = 16;
-            config.vpPenalty = p;
-            gains[i].push_back(
-                idealVpSpeedup(bench.traces[i], config) - 1.0);
-        }
-    }
+            config.vpPenalty = penalties[col];
+            config.predictorKind = predictor;
+            return idealVpSpeedup(bench.trace(row), config) - 1.0;
+        });
 
     std::fputs(renderPercentTable(
                    "VP-penalty ablation - ideal machine at BW=16",
@@ -55,5 +59,6 @@ main(int argc, char **argv)
               "steeply beyond ~4 cycles - squash-style recovery would "
               "forfeit most of the headline gain, so selective reissue "
               "IS load-bearing for aggressive value prediction");
+    runner.reportStats();
     return 0;
 }

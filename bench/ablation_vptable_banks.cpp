@@ -15,8 +15,9 @@
 #include <cstdio>
 
 #include "core/pipeline_machine.hpp"
+#include "core/speedup.hpp"
 #include "common/table_printer.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sim_runner.hpp"
 
 int
 main(int argc, char **argv)
@@ -27,71 +28,87 @@ main(int argc, char **argv)
     declareStandardOptions(options, 150000);
     options.parse(argc, argv,
                   "Section 4 ablation: interleaved VP table banks");
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
 
     const std::vector<unsigned> bank_counts = {1, 2, 4, 8, 16, 32};
+
+    // Jobs: one per (bank count, benchmark) plus one unconstrained
+    // reference job per benchmark; each owns its cells in the four
+    // metric matrices below.
+    std::vector<std::vector<double>> gain(
+        bank_counts.size(), std::vector<double>(bench.size()));
+    std::vector<std::vector<double>> denied(
+        bank_counts.size(), std::vector<double>(bench.size()));
+    std::vector<std::vector<double>> merged(
+        bank_counts.size(), std::vector<double>(bench.size()));
+    std::vector<std::vector<double>> adds(
+        bank_counts.size(), std::vector<double>(bench.size()));
+    std::vector<double> unconstrained(bench.size());
+    std::vector<SimJob> batch;
+    for (std::size_t i = 0; i < bench.size(); ++i) {
+        batch.push_back({"no-limit:" + bench.names[i], [&, i] {
+            PipelineConfig config;
+            config.frontEnd = FrontEndKind::TraceCache;
+            config.perfectBranchPredictor = true;
+            unconstrained[i] =
+                pipelineVpSpeedup(bench.trace(i), config) - 1.0;
+        }});
+    }
+    for (std::size_t b = 0; b < bank_counts.size(); ++b) {
+        for (std::size_t i = 0; i < bench.size(); ++i) {
+            batch.push_back(
+                {std::to_string(bank_counts[b]) + "-banks:" +
+                     bench.names[i],
+                 [&, b, i] {
+                     PipelineConfig config;
+                     config.frontEnd = FrontEndKind::TraceCache;
+                     config.perfectBranchPredictor = true;
+                     config.useInterleavedVpTable = true;
+                     config.vpTableConfig.banks = bank_counts[b];
+                     config.vpTableConfig.portsPerBank = 1;
+                     gain[b][i] =
+                         pipelineVpSpeedup(bench.trace(i), config) - 1.0;
+
+                     PipelineConfig probe = config;
+                     probe.useValuePrediction = true;
+                     const PipelineResult run =
+                         runPipelineMachine(bench.trace(i), probe);
+                     if (run.vptRequests > 0) {
+                         denied[b][i] =
+                             static_cast<double>(run.vptDeniedRequests) /
+                             static_cast<double>(run.vptRequests);
+                         merged[b][i] =
+                             static_cast<double>(run.vptMergedRequests) /
+                             static_cast<double>(run.vptRequests);
+                     }
+                     adds[b][i] =
+                         1000.0 *
+                         static_cast<double>(
+                             run.vptDistributorAdditions) /
+                         static_cast<double>(run.instructions);
+                 }});
+        }
+    }
+    runner.run(std::move(batch));
 
     TablePrinter table(
         "Section 4 ablation - interleaved VP table behind a trace "
         "cache (1 port/bank)",
         {"banks", "VP speedup", "denied reqs", "merged reqs",
          "distributor adds/1k insts"});
-
-    // Reference: unconstrained predictor (no banked table).
-    std::vector<double> unconstrained(bench.size());
-    for (std::size_t i = 0; i < bench.size(); ++i) {
-        PipelineConfig config;
-        config.frontEnd = FrontEndKind::TraceCache;
-        config.perfectBranchPredictor = true;
-        unconstrained[i] = pipelineVpSpeedup(bench.traces[i], config);
-    }
-
-    for (const unsigned banks : bank_counts) {
-        double gain_sum = 0.0;
-        double denied_sum = 0.0;
-        double merged_sum = 0.0;
-        double adds_sum = 0.0;
-        for (std::size_t i = 0; i < bench.size(); ++i) {
-            PipelineConfig config;
-            config.frontEnd = FrontEndKind::TraceCache;
-            config.perfectBranchPredictor = true;
-            config.useInterleavedVpTable = true;
-            config.vpTableConfig.banks = banks;
-            config.vpTableConfig.portsPerBank = 1;
-            const double speedup =
-                pipelineVpSpeedup(bench.traces[i], config);
-            gain_sum += speedup - 1.0;
-
-            PipelineConfig probe = config;
-            probe.useValuePrediction = true;
-            const PipelineResult run =
-                runPipelineMachine(bench.traces[i], probe);
-            if (run.vptRequests > 0) {
-                denied_sum += static_cast<double>(run.vptDeniedRequests) /
-                              static_cast<double>(run.vptRequests);
-                merged_sum += static_cast<double>(run.vptMergedRequests) /
-                              static_cast<double>(run.vptRequests);
-            }
-            adds_sum +=
-                1000.0 *
-                static_cast<double>(run.vptDistributorAdditions) /
-                static_cast<double>(run.instructions);
-        }
-        const double n = static_cast<double>(bench.size());
-        table.addRow({std::to_string(banks),
-                      TablePrinter::percentCell(gain_sum / n),
-                      TablePrinter::percentCell(denied_sum / n),
-                      TablePrinter::percentCell(merged_sum / n),
-                      TablePrinter::numberCell(adds_sum / n, 1)});
+    for (std::size_t b = 0; b < bank_counts.size(); ++b) {
+        table.addRow(
+            {std::to_string(bank_counts[b]),
+             TablePrinter::percentCell(arithmeticMean(gain[b])),
+             TablePrinter::percentCell(arithmeticMean(denied[b])),
+             TablePrinter::percentCell(arithmeticMean(merged[b])),
+             TablePrinter::numberCell(arithmeticMean(adds[b]), 1)});
     }
     table.addSeparator();
-    double unconstrained_gain = 0.0;
-    for (const double s : unconstrained)
-        unconstrained_gain += s - 1.0;
     table.addRow({"no table limit",
                   TablePrinter::percentCell(
-                      unconstrained_gain /
-                      static_cast<double>(bench.size())),
+                      arithmeticMean(unconstrained)),
                   "0.0%", "-", "-"});
 
     std::fputs(table.render().c_str(), stdout);
@@ -99,5 +116,6 @@ main(int argc, char **argv)
               "nearly the unconstrained speedup, supporting the paper's "
               "claim that its scheme makes VP practical at trace-cache "
               "fetch rates");
+    runner.reportStats();
     return 0;
 }

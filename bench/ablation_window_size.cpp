@@ -14,7 +14,8 @@
 #include <cstdio>
 
 #include "core/ideal_machine.hpp"
-#include "sim/experiment.hpp"
+#include "predictor/factory.hpp"
+#include "sim/sim_runner.hpp"
 
 int
 main(int argc, char **argv)
@@ -23,25 +24,28 @@ main(int argc, char **argv)
 
     Options options;
     declareStandardOptions(options, 200000);
+    declarePredictorOption(options);
     options.parse(argc, argv,
                   "ablation: Figure 3.1 vs instruction window size");
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
+    const PredictorKind predictor =
+        predictorKindFromString(options.getString("predictor"));
 
     const std::vector<unsigned> windows = {16, 40, 64, 128, 256};
     std::vector<std::string> columns;
     for (const unsigned window : windows)
         columns.push_back("W=" + std::to_string(window));
 
-    std::vector<std::vector<double>> gains(bench.size());
-    for (std::size_t i = 0; i < bench.size(); ++i) {
-        for (const unsigned window : windows) {
+    const auto gains = runner.runGrid(
+        bench.size(), windows.size(),
+        [&](std::size_t row, std::size_t col) {
             IdealMachineConfig config;
             config.fetchRate = 40;
-            config.windowSize = window;
-            gains[i].push_back(
-                idealVpSpeedup(bench.traces[i], config) - 1.0);
-        }
-    }
+            config.windowSize = windows[col];
+            config.predictorKind = predictor;
+            return idealVpSpeedup(bench.trace(row), config) - 1.0;
+        });
 
     std::fputs(renderPercentTable(
                    "Window-size ablation - VP speedup on the ideal "
@@ -54,5 +58,6 @@ main(int argc, char **argv)
               "baseline and exposes more wrong speculations to the "
               "1-cycle penalty; only the 16 -> 256 average trend is "
               "robustly upward");
+    runner.reportStats();
     return 0;
 }

@@ -16,7 +16,8 @@
 
 #include "common/table_printer.hpp"
 #include "core/pipeline_machine.hpp"
-#include "sim/experiment.hpp"
+#include "core/speedup.hpp"
+#include "sim/sim_runner.hpp"
 #include "workloads/workload.hpp"
 
 int
@@ -28,53 +29,61 @@ main(int argc, char **argv)
     declareStandardOptions(options, 120000);
     options.parse(argc, argv,
                   "ablation: wrong-path fetch vs stall-on-mispredict");
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
     const auto insts =
         static_cast<std::uint64_t>(options.getInt("insts"));
+
+    // One job per benchmark; each rebuilds its workload (for the
+    // wrong-path program image) and owns the three cells of its row.
+    std::vector<double> stall(bench.size());
+    std::vector<double> wrong_path(bench.size());
+    std::vector<double> wp_per_k(bench.size());
+    std::vector<SimJob> batch;
+    for (std::size_t i = 0; i < bench.size(); ++i) {
+        batch.push_back({"wrong-path:" + bench.names[i], [&, i] {
+            Workload workload = buildWorkload(bench.names[i]);
+            PipelineConfig config;
+            config.perfectBranchPredictor = false;
+            config.maxTakenBranches = 4;
+            stall[i] = pipelineVpSpeedup(bench.trace(i), config) - 1.0;
+
+            config.modelWrongPath = true;
+            config.program = &workload.program;
+            wrong_path[i] =
+                pipelineVpSpeedup(bench.trace(i), config) - 1.0;
+
+            PipelineConfig probe = config;
+            probe.useValuePrediction = true;
+            const PipelineResult run =
+                runPipelineMachine(bench.trace(i), probe);
+            wp_per_k[i] = 1000.0 *
+                static_cast<double>(run.wrongPathFetched) /
+                static_cast<double>(insts);
+        }});
+    }
+    runner.run(std::move(batch));
 
     TablePrinter table(
         "Wrong-path ablation - VP speedup with the 2-level BTB, "
         "4 taken branches/cycle",
         {"benchmark", "stall (default)", "wrong-path modelled",
          "wrong-path insts/1k"});
-
-    double stall_sum = 0.0;
-    double wp_sum = 0.0;
     for (std::size_t i = 0; i < bench.size(); ++i) {
-        Workload workload = buildWorkload(bench.names[i]);
-        PipelineConfig config;
-        config.perfectBranchPredictor = false;
-        config.maxTakenBranches = 4;
-        const double stall =
-            pipelineVpSpeedup(bench.traces[i], config) - 1.0;
-
-        config.modelWrongPath = true;
-        config.program = &workload.program;
-        const double wrong_path =
-            pipelineVpSpeedup(bench.traces[i], config) - 1.0;
-
-        PipelineConfig probe = config;
-        probe.useValuePrediction = true;
-        const PipelineResult run =
-            runPipelineMachine(bench.traces[i], probe);
-        const double wp_per_k =
-            1000.0 * static_cast<double>(run.wrongPathFetched) /
-            static_cast<double>(insts);
-
-        stall_sum += stall;
-        wp_sum += wrong_path;
-        table.addRow({bench.names[i], TablePrinter::percentCell(stall),
-                      TablePrinter::percentCell(wrong_path),
-                      TablePrinter::numberCell(wp_per_k, 1)});
+        table.addRow({bench.names[i],
+                      TablePrinter::percentCell(stall[i]),
+                      TablePrinter::percentCell(wrong_path[i]),
+                      TablePrinter::numberCell(wp_per_k[i], 1)});
     }
     table.addSeparator();
-    const double n = static_cast<double>(bench.size());
-    table.addRow({"avg", TablePrinter::percentCell(stall_sum / n),
-                  TablePrinter::percentCell(wp_sum / n), "-"});
+    table.addRow({"avg", TablePrinter::percentCell(arithmeticMean(stall)),
+                  TablePrinter::percentCell(arithmeticMean(wrong_path)),
+                  "-"});
 
     std::fputs(table.render().c_str(), stdout);
     std::puts("\ntakeaway: wrong-path bubbles shave the realistic-BTB "
               "VP speedup further below the ideal-BTB numbers, in the "
               "direction of the paper's ~30% gap");
+    runner.reportStats();
     return 0;
 }

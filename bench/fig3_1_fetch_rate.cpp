@@ -16,7 +16,8 @@
 #include <cstdio>
 
 #include "core/ideal_machine.hpp"
-#include "sim/experiment.hpp"
+#include "predictor/factory.hpp"
+#include "sim/sim_runner.hpp"
 
 int
 main(int argc, char **argv)
@@ -25,25 +26,27 @@ main(int argc, char **argv)
 
     Options options;
     declareStandardOptions(options, 400000);
+    declarePredictorOption(options);
     options.parse(argc, argv,
                   "Figure 3.1: VP speedup vs fetch rate, ideal machine");
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
+    const PredictorKind predictor =
+        predictorKindFromString(options.getString("predictor"));
 
     const std::vector<unsigned> rates = {4, 8, 16, 32, 40};
     std::vector<std::string> columns;
     for (const unsigned rate : rates)
         columns.push_back("BW=" + std::to_string(rate));
 
-    std::vector<std::vector<double>> gains(bench.size());
-    for (std::size_t i = 0; i < bench.size(); ++i) {
-        for (const unsigned rate : rates) {
+    const auto gains = runner.runGrid(
+        bench.size(), rates.size(),
+        [&](std::size_t row, std::size_t col) {
             IdealMachineConfig config;
-            config.fetchRate = rate;
-            const double speedup =
-                idealVpSpeedup(bench.traces[i], config);
-            gains[i].push_back(speedup - 1.0);
-        }
-    }
+            config.fetchRate = rates[col];
+            config.predictorKind = predictor;
+            return idealVpSpeedup(bench.trace(row), config) - 1.0;
+        });
 
     std::fputs(renderPercentTable(
                    "Figure 3.1 - value prediction speedup on the ideal "
@@ -54,5 +57,6 @@ main(int argc, char **argv)
     std::puts("\npaper reference (avg): BW=4 ~0%, BW=8 8%, BW=16 33%, "
               "BW=32 70%, BW=40 80%");
     maybeWriteCsv(options, "fig3.1", bench.names, columns, gains);
+    runner.reportStats();
     return 0;
 }

@@ -14,7 +14,7 @@
 
 #include "analysis/did.hpp"
 #include "common/table_printer.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sim_runner.hpp"
 
 int
 main(int argc, char **argv)
@@ -24,14 +24,25 @@ main(int argc, char **argv)
     Options options;
     declareStandardOptions(options, 1000000);
     options.parse(argc, argv, "Figure 3.3: average DID per benchmark");
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
+
+    // One job per benchmark; each owns its DidAnalysis slot.
+    std::vector<DidAnalysis> dids(bench.size());
+    std::vector<SimJob> batch;
+    for (std::size_t i = 0; i < bench.size(); ++i) {
+        batch.push_back({"did:" + bench.names[i], [&dids, &bench, i] {
+                             dids[i] = analyzeDid(bench.trace(i));
+                         }});
+    }
+    runner.run(std::move(batch));
 
     TablePrinter table(
         "Figure 3.3 - average dynamic instruction distance (DID)",
         {"benchmark", "avg DID", "avg DID (<=256)", "arcs", "DID>=4"});
     std::vector<double> averages;
     for (std::size_t i = 0; i < bench.size(); ++i) {
-        const DidAnalysis did = analyzeDid(bench.traces[i]);
+        const DidAnalysis &did = dids[i];
         averages.push_back(did.averageDidTrimmed);
         table.addRow({bench.names[i],
                       TablePrinter::numberCell(did.averageDid, 1),
@@ -50,5 +61,6 @@ main(int argc, char **argv)
     std::fputs(table.render().c_str(), stdout);
     std::puts("\npaper reference: all benchmarks have average DID > 4 "
               "(the fetch width of 1998-era processors)");
+    runner.reportStats();
     return 0;
 }

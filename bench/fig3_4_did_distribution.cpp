@@ -14,7 +14,7 @@
 #include <cstdio>
 
 #include "analysis/did.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sim_runner.hpp"
 
 int
 main(int argc, char **argv)
@@ -24,7 +24,8 @@ main(int argc, char **argv)
     Options options;
     declareStandardOptions(options, 1000000);
     options.parse(argc, argv, "Figure 3.4: DID distribution histograms");
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
 
     // Column labels come from the histogram's own bucket bounds.
     const Histogram prototype{didHistogramBounds()};
@@ -32,14 +33,23 @@ main(int argc, char **argv)
     for (std::size_t bucket = 0; bucket < prototype.numBuckets(); ++bucket)
         columns.push_back("DID " + prototype.bucketLabel(bucket));
 
+    // One job per benchmark: a single DFG walk fills the whole row.
     std::vector<std::vector<double>> cells(bench.size());
+    std::vector<SimJob> batch;
     for (std::size_t i = 0; i < bench.size(); ++i) {
-        const DidAnalysis did = analyzeDid(bench.traces[i]);
-        for (std::size_t bucket = 0;
-             bucket < did.distribution.numBuckets(); ++bucket) {
-            cells[i].push_back(did.distribution.bucketFraction(bucket));
-        }
+        batch.push_back({"did:" + bench.names[i], [&cells, &bench, i] {
+                             const DidAnalysis did =
+                                 analyzeDid(bench.trace(i));
+                             for (std::size_t bucket = 0;
+                                  bucket < did.distribution.numBuckets();
+                                  ++bucket) {
+                                 cells[i].push_back(
+                                     did.distribution.bucketFraction(
+                                         bucket));
+                             }
+                         }});
     }
+    runner.run(std::move(batch));
 
     std::fputs(renderPercentTable(
                    "Figure 3.4 - distribution of dependencies by DID",
@@ -49,5 +59,6 @@ main(int argc, char **argv)
     std::puts("\npaper reference: ~60% of dependencies (avg) have "
               "DID >= 4");
     maybeWriteCsv(options, "fig3.4", bench.names, columns, cells);
+    runner.reportStats();
     return 0;
 }

@@ -16,7 +16,7 @@
 #include <cstdio>
 
 #include "analysis/predictability.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sim_runner.hpp"
 
 int
 main(int argc, char **argv)
@@ -27,20 +27,29 @@ main(int argc, char **argv)
     declareStandardOptions(options, 1000000);
     options.parse(argc, argv,
                   "Figure 3.5: predictability x DID distribution");
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
 
     const std::vector<std::string> columns = {
         "unpredictable", "pred DID=1", "pred DID=2", "pred DID=3",
         "pred DID>=4",
     };
+    // One job per benchmark: a single analysis pass fills the row.
     std::vector<std::vector<double>> cells(bench.size());
+    std::vector<SimJob> batch;
     for (std::size_t i = 0; i < bench.size(); ++i) {
-        const PredictabilityAnalysis pa =
-            analyzePredictability(bench.traces[i]);
-        cells[i] = {pa.fracUnpredictable, pa.fracPredictableDid1,
-                    pa.fracPredictableDid2, pa.fracPredictableDid3,
-                    pa.fracPredictableDid4Plus};
+        batch.push_back(
+            {"predictability:" + bench.names[i], [&cells, &bench, i] {
+                 const PredictabilityAnalysis pa =
+                     analyzePredictability(bench.trace(i));
+                 cells[i] = {pa.fracUnpredictable,
+                             pa.fracPredictableDid1,
+                             pa.fracPredictableDid2,
+                             pa.fracPredictableDid3,
+                             pa.fracPredictableDid4Plus};
+             }});
     }
+    runner.run(std::move(batch));
 
     std::fputs(renderPercentTable(
                    "Figure 3.5 - dependencies by value predictability "
@@ -51,5 +60,6 @@ main(int argc, char **argv)
     std::puts("\npaper reference: ~23% (avg) predictable with DID < 4; "
               "m88ksim ~40% and vortex >55% predictable with DID >= 4");
     maybeWriteCsv(options, "fig3.5", bench.names, columns, cells);
+    runner.reportStats();
     return 0;
 }

@@ -15,7 +15,7 @@
 #include <cstdio>
 
 #include "core/pipeline_machine.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sim_runner.hpp"
 
 int
 main(int argc, char **argv)
@@ -27,24 +27,22 @@ main(int argc, char **argv)
     options.parse(argc, argv,
                   "Figure 5.1: VP speedup vs taken branches/cycle, "
                   "perfect branch prediction");
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
 
     const std::vector<unsigned> taken_limits = {1, 2, 3, 4, 0};
     std::vector<std::string> columns = {"n=1", "n=2", "n=3", "n=4",
                                         "unlimited"};
 
-    std::vector<std::vector<double>> gains(bench.size());
-    for (std::size_t i = 0; i < bench.size(); ++i) {
-        for (const unsigned limit : taken_limits) {
+    const auto gains = runner.runGrid(
+        bench.size(), taken_limits.size(),
+        [&](std::size_t row, std::size_t col) {
             PipelineConfig config;
             config.frontEnd = FrontEndKind::Sequential;
-            config.maxTakenBranches = limit;
+            config.maxTakenBranches = taken_limits[col];
             config.perfectBranchPredictor = true;
-            const double speedup =
-                pipelineVpSpeedup(bench.traces[i], config);
-            gains[i].push_back(speedup - 1.0);
-        }
-    }
+            return pipelineVpSpeedup(bench.trace(row), config) - 1.0;
+        });
 
     std::fputs(renderPercentTable(
                    "Figure 5.1 - VP speedup vs max taken branches per "
@@ -54,5 +52,6 @@ main(int argc, char **argv)
                stdout);
     std::puts("\npaper reference (avg): ~3% at n=1, ~50% at n=4");
     maybeWriteCsv(options, "fig5.1", bench.names, columns, gains);
+    runner.reportStats();
     return 0;
 }

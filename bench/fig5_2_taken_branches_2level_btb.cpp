@@ -16,7 +16,7 @@
 
 #include "core/pipeline_machine.hpp"
 #include "core/speedup.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sim_runner.hpp"
 
 int
 main(int argc, char **argv)
@@ -28,32 +28,42 @@ main(int argc, char **argv)
     options.parse(argc, argv,
                   "Figure 5.2: VP speedup vs taken branches/cycle, "
                   "2-level PAp BTB");
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
 
     const std::vector<unsigned> taken_limits = {1, 2, 3, 4, 0};
     std::vector<std::string> columns = {"n=1", "n=2", "n=3", "n=4",
                                         "unlimited"};
 
-    std::vector<std::vector<double>> gains(bench.size());
-    std::vector<double> accuracies;
+    // Each (benchmark, limit) job owns one gains cell; the n=4 jobs
+    // additionally own that benchmark's BTB-accuracy slot.
+    std::vector<std::vector<double>> gains(
+        bench.size(), std::vector<double>(taken_limits.size()));
+    std::vector<double> accuracies(bench.size());
+    std::vector<SimJob> batch;
     for (std::size_t i = 0; i < bench.size(); ++i) {
-        for (const unsigned limit : taken_limits) {
-            PipelineConfig config;
-            config.frontEnd = FrontEndKind::Sequential;
-            config.maxTakenBranches = limit;
-            config.perfectBranchPredictor = false;
-            const double speedup =
-                pipelineVpSpeedup(bench.traces[i], config);
-            gains[i].push_back(speedup - 1.0);
-            if (limit == 4) {
-                PipelineConfig probe = config;
-                probe.useValuePrediction = true;
-                accuracies.push_back(
-                    runPipelineMachine(bench.traces[i], probe)
-                        .branchAccuracy);
-            }
+        for (std::size_t col = 0; col < taken_limits.size(); ++col) {
+            const unsigned limit = taken_limits[col];
+            batch.push_back(
+                {bench.names[i] + ":n=" + std::to_string(limit),
+                 [&, i, col, limit] {
+                     PipelineConfig config;
+                     config.frontEnd = FrontEndKind::Sequential;
+                     config.maxTakenBranches = limit;
+                     config.perfectBranchPredictor = false;
+                     gains[i][col] =
+                         pipelineVpSpeedup(bench.trace(i), config) - 1.0;
+                     if (limit == 4) {
+                         PipelineConfig probe = config;
+                         probe.useValuePrediction = true;
+                         accuracies[i] =
+                             runPipelineMachine(bench.trace(i), probe)
+                                 .branchAccuracy;
+                     }
+                 }});
         }
     }
+    runner.run(std::move(batch));
 
     std::fputs(renderPercentTable(
                    "Figure 5.2 - VP speedup vs max taken branches per "
@@ -68,5 +78,6 @@ main(int argc, char **argv)
     std::puts("paper reference (avg): ~3% at n=1, ~20% at n=4 "
               "(~30% below the ideal-BTB speedup)");
     maybeWriteCsv(options, "fig5.2", bench.names, columns, gains);
+    runner.reportStats();
     return 0;
 }

@@ -15,7 +15,7 @@
 #include <cstdio>
 
 #include "core/pipeline_machine.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sim_runner.hpp"
 
 int
 main(int argc, char **argv)
@@ -26,27 +26,36 @@ main(int argc, char **argv)
     declareStandardOptions(options, 200000);
     options.parse(argc, argv,
                   "Figure 5.3: VP speedup with a trace cache");
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
 
     const std::vector<std::string> columns = {"TC+2levelBTB",
                                               "TC+idealBTB"};
-    std::vector<std::vector<double>> gains(bench.size());
-    std::vector<std::vector<double>> hit_rates(bench.size());
+    // Each (benchmark, BTB) job owns one gains and one hit-rate cell.
+    std::vector<std::vector<double>> gains(bench.size(),
+                                           std::vector<double>(2));
+    std::vector<std::vector<double>> hit_rates(bench.size(),
+                                               std::vector<double>(2));
+    std::vector<SimJob> batch;
     for (std::size_t i = 0; i < bench.size(); ++i) {
-        for (const bool ideal : {false, true}) {
-            PipelineConfig config;
-            config.frontEnd = FrontEndKind::TraceCache;
-            config.perfectBranchPredictor = ideal;
-            const double speedup =
-                pipelineVpSpeedup(bench.traces[i], config);
-            gains[i].push_back(speedup - 1.0);
+        for (std::size_t col = 0; col < 2; ++col) {
+            batch.push_back(
+                {bench.names[i] + ":" + columns[col], [&, i, col] {
+                     PipelineConfig config;
+                     config.frontEnd = FrontEndKind::TraceCache;
+                     config.perfectBranchPredictor = col == 1;
+                     gains[i][col] =
+                         pipelineVpSpeedup(bench.trace(i), config) - 1.0;
 
-            PipelineConfig probe = config;
-            probe.useValuePrediction = true;
-            hit_rates[i].push_back(
-                runPipelineMachine(bench.traces[i], probe).tcHitRate);
+                     PipelineConfig probe = config;
+                     probe.useValuePrediction = true;
+                     hit_rates[i][col] =
+                         runPipelineMachine(bench.trace(i), probe)
+                             .tcHitRate;
+                 }});
         }
     }
+    runner.run(std::move(batch));
 
     std::fputs(renderPercentTable(
                    "Figure 5.3 - VP speedup with a trace cache "
@@ -61,5 +70,6 @@ main(int argc, char **argv)
                stdout);
     std::puts("\npaper reference (avg): >10% with the 2-level BTB, "
               "<40% with an ideal BTB");
+    runner.reportStats();
     return 0;
 }

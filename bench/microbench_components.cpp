@@ -2,17 +2,24 @@
  * @file
  * Component micro-benchmarks (google-benchmark): raw throughput of the
  * predictors, the branch predictor, the trace interpreter, the DID
- * collector, and both machine models. These guard against performance
- * regressions that would make the figure sweeps impractically slow.
+ * collector, both machine models, and the experiment runtime (thread
+ * pool scheduling overhead, trace-cache round trips). These guard
+ * against performance regressions that would make the figure sweeps
+ * impractically slow.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <filesystem>
+
 #include "analysis/did.hpp"
 #include "bpred/two_level.hpp"
+#include "common/thread_pool.hpp"
 #include "core/ideal_machine.hpp"
 #include "core/pipeline_machine.hpp"
 #include "predictor/factory.hpp"
+#include "trace/trace_cache_store.hpp"
 #include "workloads/workload.hpp"
 
 namespace
@@ -139,6 +146,54 @@ BM_PipelineTraceCache(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations() * trace.size()));
 }
 
+void
+BM_ThreadPoolSubmitWait(benchmark::State &state)
+{
+    // Scheduling overhead per (trivial) task: dominated by queue and
+    // wakeup costs, the fixed tax every SimJob pays.
+    ThreadPool pool(static_cast<unsigned>(state.range(0)));
+    constexpr int tasksPerBatch = 256;
+    for (auto _ : state) {
+        std::atomic<int> done{0};
+        for (int i = 0; i < tasksPerBatch; ++i) {
+            pool.submit([&done] {
+                done.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+        pool.wait();
+        benchmark::DoNotOptimize(done.load());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * tasksPerBatch);
+}
+
+void
+BM_TraceCacheRoundTrip(benchmark::State &state)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+        "vpsim-microbench-cache";
+    std::filesystem::remove_all(dir);
+    TraceCacheStore cache(dir.string());
+    TraceCacheKey key;
+    key.workload = "m88ksim";
+    key.insts = 100000;
+    const Status stored = cache.store(key, sharedTrace());
+    if (!stored.isOk())
+        state.SkipWithError(stored.message().c_str());
+    for (auto _ : state) {
+        std::vector<TraceRecord> loaded;
+        Status error = Status::ok();
+        const bool hit = cache.tryLoad(key, &loaded, &error);
+        benchmark::DoNotOptimize(hit);
+        benchmark::DoNotOptimize(loaded.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * sharedTrace().size()));
+    std::filesystem::remove_all(dir);
+}
+
+BENCHMARK(BM_ThreadPoolSubmitWait)->Arg(1)->Arg(4);
+BENCHMARK(BM_TraceCacheRoundTrip);
 BENCHMARK(BM_LastValuePredictor);
 BENCHMARK(BM_StridePredictor);
 BENCHMARK(BM_HybridPredictor);

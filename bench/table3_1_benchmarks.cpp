@@ -12,7 +12,7 @@
 #include <cstdio>
 
 #include "common/table_printer.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sim_runner.hpp"
 #include "trace/trace_stats.hpp"
 #include "workloads/workload.hpp"
 
@@ -26,14 +26,25 @@ main(int argc, char **argv)
     options.parse(argc, argv,
                   "Table 3.1: the benchmark suite and its trace "
                   "characteristics");
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
+
+    std::vector<TraceStats> all_stats(bench.size());
+    std::vector<SimJob> batch;
+    for (std::size_t i = 0; i < bench.size(); ++i) {
+        batch.push_back(
+            {"stats:" + bench.names[i], [&all_stats, &bench, i] {
+                 all_stats[i] = computeTraceStats(bench.trace(i));
+             }});
+    }
+    runner.run(std::move(batch));
 
     TablePrinter table(
         "Table 3.1 - benchmark suite (mini stand-ins for SPECint95)",
         {"benchmark", "static pcs", "avg BB", "branches", "loads+stores",
          "taken/inst"});
     for (std::size_t i = 0; i < bench.size(); ++i) {
-        const TraceStats stats = computeTraceStats(bench.traces[i]);
+        const TraceStats &stats = all_stats[i];
         const double denom = static_cast<double>(stats.totalInsts);
         table.addRow(
             {bench.names[i], std::to_string(stats.distinctPcs),
@@ -52,5 +63,6 @@ main(int argc, char **argv)
         std::printf("  %-9s %s\n", name.c_str(),
                     workloadDescription(name).c_str());
     }
+    runner.reportStats();
     return 0;
 }

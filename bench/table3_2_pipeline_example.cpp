@@ -14,6 +14,7 @@
 
 #include "core/ideal_machine.hpp"
 #include "common/table_printer.hpp"
+#include "sim/sim_runner.hpp"
 
 namespace
 {
@@ -55,22 +56,36 @@ figure32Trace()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vpsim;
 
+    Options options;
+    declareRunnerOptions(options);
+    options.parse(argc, argv,
+                  "Table 3.2: the Figure 3.2 worked example on a "
+                  "4-wide machine");
+    SimRunner runner(options);
+
     const auto trace = figure32Trace();
 
-    IdealMachineConfig config;
-    config.fetchRate = 4;
-    config.useValuePrediction = true;
-    config.perfectValuePrediction = true;
-
-    const IdealMachineResult with_vp =
-        runIdealMachine(trace, config, true);
-    config.useValuePrediction = false;
-    const IdealMachineResult without_vp =
-        runIdealMachine(trace, config, true);
+    // The two machine runs (perfect VP on / off) are the worked
+    // example's only simulation points; run them as a 2-job batch.
+    IdealMachineResult with_vp, without_vp;
+    runner.run(
+        {{"perfect-vp", [&trace, &with_vp] {
+              IdealMachineConfig config;
+              config.fetchRate = 4;
+              config.useValuePrediction = true;
+              config.perfectValuePrediction = true;
+              with_vp = runIdealMachine(trace, config, true);
+          }},
+         {"no-vp", [&trace, &without_vp] {
+              IdealMachineConfig config;
+              config.fetchRate = 4;
+              config.useValuePrediction = false;
+              without_vp = runIdealMachine(trace, config, true);
+          }}});
 
     TablePrinter table(
         "Table 3.2 - Figure 3.2's DFG on a 4-wide machine "
@@ -90,5 +105,6 @@ main()
                 "(paper: 1-4 execute in cycle 3, 5-8 in cycle 4)\n",
                 static_cast<unsigned long long>(with_vp.cycles),
                 static_cast<unsigned long long>(without_vp.cycles));
+    runner.reportStats();
     return 0;
 }

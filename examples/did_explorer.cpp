@@ -19,7 +19,7 @@
 #include "analysis/predictability.hpp"
 #include "common/options.hpp"
 #include "common/table_printer.hpp"
-#include "predictor/stride.hpp"
+#include "predictor/factory.hpp"
 #include "workloads/workload.hpp"
 
 int
@@ -76,16 +76,17 @@ main(int argc, char **argv)
         std::uint64_t correct = 0;
     };
     std::map<Addr, PcStats> per_pc;
-    StridePredictor predictor;
+    const auto predictor = makePredictor(PredictorKind::Stride);
     for (const TraceRecord &rec : trace) {
         if (!rec.producesValue())
             continue;
         PcStats &stats = per_pc[rec.pc];
         ++stats.executions;
-        const RawPrediction raw = predictor.lookup(rec.pc);
-        if (raw.hasPrediction && raw.value == rec.result)
+        const RawPrediction raw = predictor->lookup(rec.pc);
+        const bool hit = raw.hasPrediction && raw.value == rec.result;
+        if (hit)
             ++stats.correct;
-        predictor.train(rec.pc, rec.result);
+        predictor->train(rec.pc, rec.result, hit);
     }
     std::vector<std::pair<Addr, PcStats>> hot(per_pc.begin(),
                                               per_pc.end());

@@ -15,6 +15,11 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure | tee "$out/tests.txt"
 
+# Shared trace cache: the workload captures happen once, not once per
+# bench binary (see docs/RUNNING.md).
+cache="$out/trace-cache"
+mkdir -p "$cache"
+
 for bench in build/bench/*; do
     [ -f "$bench" ] && [ -x "$bench" ] || continue
     name="$(basename "$bench")"
@@ -23,7 +28,8 @@ for bench in build/bench/*; do
         "$bench" > "$out/$name.txt" 2>&1
     else
         # Some binaries (the worked-example tables) take no options.
-        "$bench" --csv "$out/figures.csv" "$@" > "$out/$name.txt" 2>&1 ||
+        "$bench" --csv "$out/figures.csv" --trace-cache-dir "$cache" \
+                "$@" > "$out/$name.txt" 2>&1 ||
             "$bench" > "$out/$name.txt" 2>&1
     fi
 done

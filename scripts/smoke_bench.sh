@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Smoke-test every bench binary: run each with a tiny instruction count
+# serially, then again with --jobs 4 against a shared trace cache, and
+# require the two stdouts to be byte-identical (the SimRunner
+# determinism contract). Wired into ctest as `bench_smoke`.
+#
+# Usage: scripts/smoke_bench.sh [build-dir]
+set -euo pipefail
+
+build="${1:-build}"
+[ -d "$build/bench" ] || { echo "no bench dir under '$build'" >&2; exit 1; }
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/vpsim-smoke.XXXXXX")"
+trap 'rm -rf "$work"' EXIT
+cache="$work/trace-cache"
+
+args=(--insts 2000 --benchmarks go,compress,m88ksim)
+failed=0
+
+for bench in "$build"/bench/*; do
+    [ -f "$bench" ] && [ -x "$bench" ] || continue
+    name="$(basename "$bench")"
+    case "$name" in
+        *.cmake|CMakeFiles|Makefile) continue ;;
+        microbench_components)
+            # google-benchmark binary: just prove it starts and lists.
+            echo "== $name (--benchmark_list_tests)"
+            "$bench" --benchmark_list_tests=true > /dev/null ||
+                { echo "FAIL: $name" >&2; failed=1; }
+            continue ;;
+        table3_2_pipeline_example)
+            # Fixed 8-instruction worked example: no --insts/--benchmarks.
+            echo "== $name"
+            "$bench" --jobs 1 > "$work/$name.serial" 2> /dev/null ||
+                { echo "FAIL: $name (serial)" >&2; failed=1; continue; }
+            "$bench" --jobs 4 > "$work/$name.parallel" 2> /dev/null ||
+                { echo "FAIL: $name (--jobs 4)" >&2; failed=1; continue; }
+            ;;
+        *)
+            echo "== $name"
+            "$bench" "${args[@]}" --jobs 1 --trace-cache-dir "$cache" \
+                > "$work/$name.serial" 2> /dev/null ||
+                { echo "FAIL: $name (serial)" >&2; failed=1; continue; }
+            "$bench" "${args[@]}" --jobs 4 --trace-cache-dir "$cache" \
+                > "$work/$name.parallel" 2> /dev/null ||
+                { echo "FAIL: $name (--jobs 4)" >&2; failed=1; continue; }
+            ;;
+    esac
+    if ! cmp -s "$work/$name.serial" "$work/$name.parallel"; then
+        echo "FAIL: $name stdout differs between --jobs 1 and --jobs 4" >&2
+        diff "$work/$name.serial" "$work/$name.parallel" | head -20 >&2
+        failed=1
+    fi
+done
+
+if [ "$failed" -ne 0 ]; then
+    echo "bench smoke test FAILED" >&2
+    exit 1
+fi
+echo "bench smoke test OK (all benches deterministic across job counts)"

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Recoverable-error reporting for library code.
+ *
+ * fatal() and panic() (logging.hpp) terminate the process, which is right
+ * for bench mains but wrong for layers whose callers can recover — a
+ * corrupt trace-cache entry should be recaptured, not kill an hour-long
+ * sweep. Such functions return a Status instead; the caller decides
+ * whether to retry, warn, or escalate to fatal().
+ */
+
+#ifndef VPSIM_COMMON_STATUS_HPP
+#define VPSIM_COMMON_STATUS_HPP
+
+#include <string>
+#include <utility>
+
+namespace vpsim
+{
+
+/** Success, or an error with a human-readable message. */
+class Status
+{
+  public:
+    /** Success value. */
+    static Status ok() { return Status(); }
+
+    /** Failure with @p message (should name the offending file/input). */
+    static Status error(std::string message)
+    {
+        Status status;
+        status.failed = true;
+        status.text = std::move(message);
+        return status;
+    }
+
+    bool isOk() const { return !failed; }
+
+    /** The error message; empty for ok(). */
+    const std::string &message() const { return text; }
+
+  private:
+    Status() = default;
+
+    bool failed = false;
+    std::string text;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_COMMON_STATUS_HPP

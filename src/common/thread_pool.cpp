@@ -1,0 +1,125 @@
+#include "common/thread_pool.hpp"
+
+namespace vpsim
+{
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned thread_count)
+{
+    if (thread_count == 0)
+        thread_count = defaultThreadCount();
+    workers.reserve(thread_count);
+    for (unsigned i = 0; i < thread_count; ++i)
+        workers.push_back(std::make_unique<Worker>());
+    threads.reserve(thread_count);
+    for (unsigned i = 0; i < thread_count; ++i)
+        threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(poolMutex);
+        allDone.wait(lock, [this] { return pending == 0; });
+        stopping = true;
+    }
+    workAvailable.notify_all();
+    for (std::thread &thread : threads)
+        thread.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    std::size_t target;
+    {
+        std::unique_lock<std::mutex> lock(poolMutex);
+        target = nextWorker;
+        nextWorker = (nextWorker + 1) % workers.size();
+        ++pending;
+        ++queued;
+    }
+    {
+        std::unique_lock<std::mutex> lock(workers[target]->mutex);
+        workers[target]->queue.push_back(std::move(task));
+    }
+    workAvailable.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(poolMutex);
+    allDone.wait(lock, [this] { return pending == 0; });
+    if (firstError) {
+        const std::exception_ptr error = firstError;
+        firstError = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+bool
+ThreadPool::tryRun(std::size_t index)
+{
+    Task task;
+    // Own queue first (front: submission order), then steal from the
+    // back of a peer's queue, scanning from the next worker onward so
+    // thieves spread out instead of all hitting worker 0.
+    for (std::size_t i = 0; i < workers.size() && !task; ++i) {
+        const std::size_t victim = (index + i) % workers.size();
+        Worker &worker = *workers[victim];
+        std::unique_lock<std::mutex> lock(worker.mutex);
+        if (worker.queue.empty())
+            continue;
+        if (victim == index) {
+            task = std::move(worker.queue.front());
+            worker.queue.pop_front();
+        } else {
+            task = std::move(worker.queue.back());
+            worker.queue.pop_back();
+        }
+    }
+    if (!task)
+        return false;
+
+    {
+        std::unique_lock<std::mutex> lock(poolMutex);
+        --queued;
+    }
+    try {
+        task();
+    } catch (...) {
+        std::unique_lock<std::mutex> lock(poolMutex);
+        if (!firstError)
+            firstError = std::current_exception();
+    }
+    {
+        std::unique_lock<std::mutex> lock(poolMutex);
+        if (--pending == 0)
+            allDone.notify_all();
+    }
+    return true;
+}
+
+void
+ThreadPool::workerLoop(std::size_t index)
+{
+    for (;;) {
+        if (tryRun(index))
+            continue;
+        std::unique_lock<std::mutex> lock(poolMutex);
+        workAvailable.wait(lock,
+                           [this] { return stopping || queued > 0; });
+        if (stopping && queued == 0)
+            return;
+    }
+}
+
+} // namespace vpsim

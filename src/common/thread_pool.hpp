@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Work-stealing thread pool for the experiment runtime.
+ *
+ * Simulation points in a figure sweep are pure functions of immutable
+ * traces, so they parallelize trivially; what the pool provides is the
+ * scheduling: one deque per worker, round-robin submission, owners pop
+ * their own deque FIFO and idle workers steal from the back of their
+ * peers' deques. Tasks may throw — the first exception is captured and
+ * rethrown from wait(), after every queued task has drained.
+ *
+ * A single-threaded pool (threads == 1) executes tasks in exact
+ * submission order, which keeps `--jobs 1` runs trivially serial.
+ */
+
+#ifndef VPSIM_COMMON_THREAD_POOL_HPP
+#define VPSIM_COMMON_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vpsim
+{
+
+/** Fixed-size pool executing void() tasks with work stealing. */
+class ThreadPool
+{
+  public:
+    /** One schedulable unit of work. */
+    using Task = std::function<void()>;
+
+    /** Hardware concurrency, clamped to at least 1. */
+    static unsigned defaultThreadCount();
+
+    /**
+     * Start the workers.
+     *
+     * @param threads Worker count; 0 means defaultThreadCount().
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains outstanding tasks (exceptions discarded), then joins. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(threads.size());
+    }
+
+    /** Enqueue @p task; returns immediately. */
+    void submit(Task task);
+
+    /**
+     * Block until every submitted task has finished.
+     *
+     * If any task threw, the first captured exception is rethrown here
+     * (subsequent tasks still ran to completion first).
+     */
+    void wait();
+
+  private:
+    /** Per-worker deque; owner pops the front, thieves take the back. */
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<Task> queue;
+    };
+
+    void workerLoop(std::size_t index);
+    bool tryRun(std::size_t index);
+
+    std::vector<std::unique_ptr<Worker>> workers;
+    std::vector<std::thread> threads;
+
+    std::mutex poolMutex;
+    std::condition_variable workAvailable;
+    std::condition_variable allDone;
+    /** Tasks submitted but not yet finished (queued or running). */
+    std::size_t pending = 0;
+    /** Tasks sitting in some queue, not yet claimed by a worker. */
+    std::size_t queued = 0;
+    std::size_t nextWorker = 0;
+    bool stopping = false;
+    std::exception_ptr firstError;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_COMMON_THREAD_POOL_HPP

@@ -4,6 +4,7 @@
 #include "predictor/fcm.hpp"
 #include "predictor/hybrid.hpp"
 #include "predictor/last_value.hpp"
+#include "predictor/profile.hpp"
 #include "predictor/stride.hpp"
 #include "predictor/two_delta.hpp"
 
@@ -54,6 +55,15 @@ makeClassifiedPredictor(PredictorKind kind, std::size_t capacity,
     return std::make_unique<ClassifiedPredictor>(
         makePredictor(kind, capacity), counter_bits, capacity,
         miss_policy);
+}
+
+std::unique_ptr<ValuePredictor>
+makeHintedHybridPredictor(const ProfileHints &hints,
+                          std::size_t last_capacity,
+                          std::size_t stride_capacity)
+{
+    return std::make_unique<HintedHybridPredictor>(hints, last_capacity,
+                                                   stride_capacity);
 }
 
 } // namespace vpsim

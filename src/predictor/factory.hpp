@@ -42,6 +42,19 @@ makeClassifiedPredictor(PredictorKind kind, std::size_t capacity = 0,
                         unsigned counter_bits = 2,
                         MissPolicy miss_policy = MissPolicy::Reset);
 
+class ProfileHints;
+
+/**
+ * Construct the §4.2 profile-hinted hybrid (last-value + stride tables
+ * gated by compiler hints instead of confidence counters).
+ *
+ * @param hints The profile; the caller keeps it alive.
+ */
+std::unique_ptr<ValuePredictor>
+makeHintedHybridPredictor(const ProfileHints &hints,
+                          std::size_t last_capacity = 0,
+                          std::size_t stride_capacity = 1024);
+
 } // namespace vpsim
 
 #endif // VPSIM_PREDICTOR_FACTORY_HPP

@@ -1,14 +1,30 @@
 #include "sim/experiment.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/logging.hpp"
 #include "core/speedup.hpp"
+#include "sim/sim_runner.hpp"
 #include "trace/trace_stats.hpp"
 #include "workloads/workload.hpp"
 
 namespace vpsim
 {
+
+void
+declareRunnerOptions(Options &options)
+{
+    options.declare("jobs", "0",
+                    "worker threads for the simulation grid "
+                    "(0 = hardware concurrency; 1 = serial)");
+    options.declare("trace-cache-dir", "",
+                    "cache captured workload traces in this directory "
+                    "(reused across bench binaries and runs)");
+    options.declare("stats", "0",
+                    "dump the experiment runtime's stats registry to "
+                    "stderr");
+}
 
 void
 declareStandardOptions(Options &options, std::uint64_t default_insts)
@@ -27,6 +43,31 @@ declareStandardOptions(Options &options, std::uint64_t default_insts)
     options.declare("skip", "0",
                     "warm-up instructions to execute and discard before "
                     "the measured window");
+    declareRunnerOptions(options);
+}
+
+void
+declarePredictorOption(Options &options,
+                       const std::string &default_kind)
+{
+    options.declare("predictor", default_kind,
+                    "value predictor kind: last-value / stride / "
+                    "2-delta / hybrid / fcm");
+}
+
+void
+validateBenchmarkNames(const std::vector<std::string> &names)
+{
+    const std::vector<std::string> &valid = workloadNames();
+    for (const std::string &name : names) {
+        if (std::find(valid.begin(), valid.end(), name) != valid.end())
+            continue;
+        std::string message =
+            "unknown benchmark '" + name + "'; valid names:";
+        for (const std::string &known : valid)
+            message += " " + known;
+        fatal(message);
+    }
 }
 
 BenchmarkTraces
@@ -35,26 +76,8 @@ captureBenchmarks(const Options &options)
     const std::uint64_t insts =
         static_cast<std::uint64_t>(options.getInt("insts"));
     fatalIf(insts == 0, "--insts must be positive");
-
-    std::vector<std::string> names = options.getList("benchmarks");
-    if (names.empty())
-        names = workloadNames();
-
-    WorkloadParams params;
-    params.scale = static_cast<unsigned>(options.getInt("scale"));
-    params.seed = static_cast<std::uint64_t>(options.getInt("seed"));
-    const auto skip =
-        static_cast<std::uint64_t>(options.getInt("skip"));
-
-    BenchmarkTraces result;
-    for (const std::string &name : names) {
-        result.names.push_back(name);
-        auto trace = captureWorkloadTrace(name, insts + skip, params);
-        if (skip > 0)
-            trace = sliceTrace(trace, skip);
-        result.traces.push_back(std::move(trace));
-    }
-    return result;
+    SimRunner runner(options);
+    return runner.captureBenchmarks();
 }
 
 std::string

@@ -1,8 +1,12 @@
 /**
  * @file
- * Shared plumbing for the figure-regeneration benches: trace capture for
- * a benchmark set, standard command-line options, and the per-benchmark +
+ * Shared plumbing for the figure-regeneration benches: captured-trace
+ * handles, standard command-line options, and the per-benchmark +
  * average table layout the paper's figures use.
+ *
+ * The execution engine itself — the job grid, the thread pool, the
+ * on-disk trace cache — lives in sim_runner.hpp; this header carries
+ * the data types and formatting helpers shared by every bench.
  */
 
 #ifndef VPSIM_SIM_EXPERIMENT_HPP
@@ -10,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,18 +25,44 @@
 namespace vpsim
 {
 
-/** Captured traces for a set of benchmarks. */
+/** An immutable captured trace, shareable across concurrent jobs. */
+using TraceHandle = std::shared_ptr<const std::vector<TraceRecord>>;
+
+/**
+ * Captured traces for a set of benchmarks.
+ *
+ * Traces are held by shared handle so a grid of simulation jobs can run
+ * against them concurrently without copying; nothing may mutate a trace
+ * after capture.
+ */
 struct BenchmarkTraces
 {
     std::vector<std::string> names;
-    std::vector<std::vector<TraceRecord>> traces;
+    std::vector<TraceHandle> traces;
 
     std::size_t size() const { return names.size(); }
+
+    /** The records of benchmark @p index. */
+    const std::vector<TraceRecord> &trace(std::size_t index) const
+    {
+        return *traces[index];
+    }
 };
 
 /**
- * Declare the options every figure bench shares:
- * --insts (trace length per benchmark) and --benchmarks (subset filter).
+ * Declare the experiment-runtime options every SimRunner user shares:
+ * --jobs (worker threads), --trace-cache-dir (on-disk capture cache)
+ * and --stats (dump the runtime's counters to stderr).
+ *
+ * declareStandardOptions() calls this; benches with no benchmark
+ * capture of their own (worked examples) can call it directly.
+ */
+void declareRunnerOptions(Options &options);
+
+/**
+ * Declare the options every figure bench shares: --insts (trace length
+ * per benchmark), --benchmarks (subset filter), --csv, --scale, --seed,
+ * --skip, plus the runner options above.
  *
  * @param default_insts Default per-benchmark trace length; figure benches
  *        choose a length that keeps a full sweep under ~1 minute.
@@ -40,7 +71,25 @@ void declareStandardOptions(Options &options,
                             std::uint64_t default_insts);
 
 /**
+ * Declare --predictor for benches whose machine configuration exposes
+ * the predictor kind; parse with predictorKindFromString().
+ */
+void declarePredictorOption(Options &options,
+                            const std::string &default_kind = "stride");
+
+/**
+ * Validate @p names against the workload registry; fatal() with the
+ * full list of valid names on any unknown entry.
+ */
+void validateBenchmarkNames(const std::vector<std::string> &names);
+
+/**
  * Capture traces for the requested benchmarks (per the parsed options).
+ *
+ * Convenience wrapper that builds a SimRunner internally; benches that
+ * also run a job grid should construct the SimRunner themselves and use
+ * SimRunner::captureBenchmarks() so capture and simulation share one
+ * pool and one cache.
  */
 BenchmarkTraces captureBenchmarks(const Options &options);
 

@@ -1,0 +1,204 @@
+#include "sim/sim_runner.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace vpsim
+{
+
+namespace
+{
+
+std::uint64_t
+microsSince(std::chrono::steady_clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+unsigned
+resolveJobCount(const Options &options)
+{
+    const std::int64_t jobs = options.getInt("jobs");
+    fatalIf(jobs < 0, "--jobs must be >= 0 (0 = hardware concurrency)");
+    return jobs == 0 ? ThreadPool::defaultThreadCount()
+                     : static_cast<unsigned>(jobs);
+}
+
+} // namespace
+
+SimRunner::SimRunner(const Options &options_in)
+    : options(options_in), pool(resolveJobCount(options_in))
+{
+    const std::string cache_dir = options.getString("trace-cache-dir");
+    if (!cache_dir.empty())
+        cache = std::make_unique<TraceCacheStore>(cache_dir);
+}
+
+SimRunner::~SimRunner() = default;
+
+void
+SimRunner::run(std::vector<SimJob> batch)
+{
+    const auto wall_start = std::chrono::steady_clock::now();
+    for (SimJob &job : batch) {
+        pool.submit([this, job = std::move(job)] {
+            const auto start = std::chrono::steady_clock::now();
+            job.execute();
+            jobMicros += microsSince(start);
+            ++jobsRun;
+        });
+    }
+    pool.wait();
+    wallMicros += microsSince(wall_start);
+}
+
+std::vector<std::vector<double>>
+SimRunner::runGrid(
+    std::size_t rows, std::size_t cols,
+    const std::function<double(std::size_t, std::size_t)> &cell)
+{
+    std::vector<std::vector<double>> cells(
+        rows, std::vector<double>(cols, 0.0));
+    std::vector<SimJob> batch;
+    batch.reserve(rows * cols);
+    for (std::size_t row = 0; row < rows; ++row) {
+        for (std::size_t col = 0; col < cols; ++col) {
+            batch.push_back(
+                {"cell[" + std::to_string(row) + "][" +
+                     std::to_string(col) + "]",
+                 [&cells, &cell, row, col] {
+                     cells[row][col] = cell(row, col);
+                 }});
+        }
+    }
+    run(std::move(batch));
+    return cells;
+}
+
+TraceHandle
+SimRunner::captureTrace(const std::string &name, std::uint64_t insts,
+                        std::uint64_t skip,
+                        const WorkloadParams &params)
+{
+    fatalIf(insts == 0, "--insts must be positive");
+    const TraceCacheKey key{name, insts, skip, params.scale,
+                            params.seed, traceFormatVersion};
+    if (cache) {
+        std::vector<TraceRecord> records;
+        Status error = Status::ok();
+        if (cache->tryLoad(key, &records, &error)) {
+            return std::make_shared<const std::vector<TraceRecord>>(
+                std::move(records));
+        }
+        if (!error.isOk())
+            warn(error.message() + "; recapturing");
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    auto trace = captureWorkloadTrace(name, insts + skip, params);
+    if (skip > 0)
+        trace = sliceTrace(trace, skip);
+    captureMicros += microsSince(start);
+    ++capturesRun;
+
+    if (cache) {
+        const Status stored = cache->store(key, trace);
+        if (!stored.isOk())
+            warn(stored.message());
+    }
+    return std::make_shared<const std::vector<TraceRecord>>(
+        std::move(trace));
+}
+
+BenchmarkTraces
+SimRunner::captureBenchmarks()
+{
+    const std::uint64_t insts =
+        static_cast<std::uint64_t>(options.getInt("insts"));
+    std::vector<std::string> names = options.getList("benchmarks");
+    if (names.empty())
+        names = workloadNames();
+    validateBenchmarkNames(names);
+
+    WorkloadParams params;
+    params.scale = static_cast<unsigned>(options.getInt("scale"));
+    params.seed = static_cast<std::uint64_t>(options.getInt("seed"));
+    const auto skip =
+        static_cast<std::uint64_t>(options.getInt("skip"));
+
+    BenchmarkTraces result;
+    result.names = names;
+    result.traces.resize(names.size());
+    std::vector<SimJob> batch;
+    batch.reserve(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        batch.push_back(
+            {"capture:" + names[i], [this, &result, &names, i, insts,
+                                     skip, params] {
+                 result.traces[i] =
+                     captureTrace(names[i], insts, skip, params);
+             }});
+    }
+    run(std::move(batch));
+    return result;
+}
+
+void
+SimRunner::reportStats() const
+{
+    std::fprintf(stderr,
+                 "sim: %llu jobs on %u threads, wall %.0f ms, "
+                 "job cpu %.0f ms (%llu VM captures, %.0f ms)\n",
+                 static_cast<unsigned long long>(jobsRun.load()),
+                 pool.threadCount(),
+                 static_cast<double>(wallMicros.load()) / 1000.0,
+                 static_cast<double>(jobMicros.load()) / 1000.0,
+                 static_cast<unsigned long long>(capturesRun.load()),
+                 static_cast<double>(captureMicros.load()) / 1000.0);
+    if (cache) {
+        std::fprintf(
+            stderr, "trace cache: %llu hits, %llu misses (%s)\n",
+            static_cast<unsigned long long>(cache->hits()),
+            static_cast<unsigned long long>(cache->misses()),
+            cache->directory().c_str());
+    }
+    if (!options.getBool("stats"))
+        return;
+
+    // Publish through the stats registry for uniform tooling.
+    Counter jobs_counter, job_micros, wall, captures, capture_time;
+    Counter cache_hits, cache_lookups;
+    jobs_counter += jobsRun.load();
+    job_micros += jobMicros.load();
+    wall += wallMicros.load();
+    captures += capturesRun.load();
+    capture_time += captureMicros.load();
+    StatGroup group("sim_runner");
+    group.addCounter("jobs", jobs_counter, "simulation jobs executed");
+    group.addCounter("job_micros", job_micros,
+                     "summed per-job wall clock (us)");
+    group.addCounter("wall_micros", wall,
+                     "end-to-end batch wall clock (us)");
+    group.addCounter("vm_captures", captures,
+                     "workload traces captured by the VM");
+    group.addCounter("vm_capture_micros", capture_time,
+                     "wall clock spent capturing traces (us)");
+    if (cache) {
+        cache_hits += cache->hits();
+        cache_lookups += cache->hits() + cache->misses();
+        group.addCounter("trace_cache_hits", cache_hits,
+                         "captures served from the on-disk cache");
+        group.addRatio("trace_cache_hit_rate", cache_hits,
+                       cache_lookups, "hits / lookups");
+    }
+    std::fputs(group.dump().c_str(), stderr);
+}
+
+} // namespace vpsim

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The experiment runtime: a job-scheduling driver for figure sweeps.
+ *
+ * Every figure/ablation bench is a grid of independent simulation
+ * points — (benchmark × configuration) closures, each a pure function
+ * of an immutable trace returning one numeric cell. SimRunner executes
+ * such grids on a work-stealing thread pool (--jobs, default: hardware
+ * concurrency) with deterministic cell placement: each job writes only
+ * its own preassigned slot, so parallel output is bit-identical to
+ * `--jobs 1`.
+ *
+ * Trace capture goes through the same pool and, when --trace-cache-dir
+ * is given, through an on-disk TraceCacheStore, so the eight workload
+ * traces are captured once per machine instead of once per bench
+ * binary. Wall-clock and cache hit/miss statistics are published
+ * through the stats registry (reportStats()).
+ *
+ * Typical bench structure:
+ *
+ *   Options options;
+ *   declareStandardOptions(options, 200000);
+ *   options.parse(argc, argv, "...");
+ *   SimRunner runner(options);
+ *   const BenchmarkTraces bench = runner.captureBenchmarks();
+ *   const auto cells = runner.runGrid(bench.size(), configs.size(),
+ *       [&](std::size_t row, std::size_t col) {
+ *           return simulate(bench.trace(row), configs[col]);
+ *       });
+ *   ... render cells ...
+ *   runner.reportStats();
+ */
+
+#ifndef VPSIM_SIM_SIM_RUNNER_HPP
+#define VPSIM_SIM_SIM_RUNNER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/experiment.hpp"
+#include "trace/trace_cache_store.hpp"
+#include "workloads/workload.hpp"
+
+namespace vpsim
+{
+
+/**
+ * One schedulable simulation point.
+ *
+ * The closure must be a pure function of state owned or shared-const
+ * before run() is called, and must write only to slots no other job
+ * writes — that is what makes parallel execution deterministic.
+ */
+struct SimJob
+{
+    /** Shown in error messages and per-job stats. */
+    std::string label;
+    std::function<void()> execute;
+};
+
+/** Executes SimJob grids on a shared thread pool with a trace cache. */
+class SimRunner
+{
+  public:
+    /**
+     * @param options Parsed options; reads --jobs and --trace-cache-dir
+     *        (declared by declareRunnerOptions()). The runner keeps a
+     *        reference, so @p options must outlive it.
+     */
+    explicit SimRunner(const Options &options);
+    ~SimRunner();
+
+    SimRunner(const SimRunner &) = delete;
+    SimRunner &operator=(const SimRunner &) = delete;
+
+    /** Worker threads executing jobs (the resolved --jobs value). */
+    unsigned jobs() const { return pool.threadCount(); }
+
+    /** Non-null when --trace-cache-dir was given. */
+    const TraceCacheStore *traceCache() const { return cache.get(); }
+
+    /**
+     * Run @p batch to completion on the pool.
+     *
+     * Jobs start in declaration order (round-robin across workers) and
+     * may finish in any order; determinism comes from each job owning
+     * its output slots. The first exception thrown by a job is rethrown
+     * here after the batch drains.
+     */
+    void run(std::vector<SimJob> batch);
+
+    /**
+     * Declare-and-run a dense rows × cols grid.
+     *
+     * @param cell Invoked once per (row, col), possibly concurrently;
+     *        must be pure (see SimJob).
+     * @return cells[row][col] — identical for any --jobs value.
+     */
+    std::vector<std::vector<double>> runGrid(
+        std::size_t rows, std::size_t cols,
+        const std::function<double(std::size_t row, std::size_t col)>
+            &cell);
+
+    /**
+     * Capture traces for the benchmarks requested by the options
+     * (--benchmarks/--insts/--scale/--seed/--skip), in parallel, through
+     * the trace cache when one is configured. Unknown benchmark names
+     * are fatal, with the list of valid names.
+     */
+    BenchmarkTraces captureBenchmarks();
+
+    /**
+     * Capture (or load from the cache) a single trace. Safe to call
+     * from inside a running job: the capture executes on the calling
+     * thread, not the pool.
+     */
+    TraceHandle captureTrace(const std::string &name,
+                             std::uint64_t insts, std::uint64_t skip,
+                             const WorkloadParams &params);
+
+    /**
+     * Print the runtime's summary to stderr: jobs run, threads, wall
+     * and cpu time, and trace-cache hits/misses when a cache is
+     * configured. With --stats, additionally dump the full stats
+     * registry group. stdout is never touched, so tables and --csv
+     * stay byte-identical across --jobs values.
+     */
+    void reportStats() const;
+
+  private:
+    const Options &options;
+    ThreadPool pool;
+    std::unique_ptr<TraceCacheStore> cache;
+
+    std::atomic<std::uint64_t> jobsRun{0};
+    std::atomic<std::uint64_t> jobMicros{0};
+    std::atomic<std::uint64_t> wallMicros{0};
+    std::atomic<std::uint64_t> capturesRun{0};
+    std::atomic<std::uint64_t> captureMicros{0};
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_SIM_RUNNER_HPP

@@ -1,0 +1,84 @@
+#include "trace/trace_cache_store.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "common/logging.hpp"
+
+namespace vpsim
+{
+
+TraceCacheStore::TraceCacheStore(std::string cache_dir)
+    : dir(std::move(cache_dir))
+{
+    fatalIf(dir.empty(), "trace cache directory must not be empty");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    fatalIf(static_cast<bool>(ec),
+            "cannot create trace cache directory " + dir + ": " +
+                ec.message());
+}
+
+std::string
+TraceCacheStore::pathFor(const TraceCacheKey &key) const
+{
+    // Workload names are registry identifiers ([a-z0-9]+), so embedding
+    // them in the file name is safe and keeps entries human-readable.
+    return dir + "/" + key.workload + "-i" + std::to_string(key.insts) +
+           "-k" + std::to_string(key.skip) + "-s" +
+           std::to_string(key.scale) + "-d" + std::to_string(key.seed) +
+           "-v" + std::to_string(key.formatVersion) + ".vptrace";
+}
+
+bool
+TraceCacheStore::tryLoad(const TraceCacheKey &key,
+                         std::vector<TraceRecord> *out,
+                         Status *error) const
+{
+    panicIf(out == nullptr || error == nullptr,
+            "tryLoad needs output parameters");
+    *error = Status::ok();
+    const std::string path = pathFor(key);
+    if (!std::filesystem::exists(path)) {
+        ++missCount;
+        return false;
+    }
+    const Status read = readTrace(path, out);
+    if (!read.isOk()) {
+        *error = Status::error("unusable trace cache entry: " +
+                               read.message());
+        ++missCount;
+        return false;
+    }
+    ++hitCount;
+    return true;
+}
+
+Status
+TraceCacheStore::store(const TraceCacheKey &key,
+                       const std::vector<TraceRecord> &records) const
+{
+    const std::string path = pathFor(key);
+    // Unique temporary per process: concurrent bench processes sharing
+    // the cache dir race benignly (last rename wins, both files valid).
+    const std::string temp =
+        path + ".tmp." + std::to_string(::getpid());
+    const Status written = writeTrace(temp, records);
+    if (!written.isOk()) {
+        std::remove(temp.c_str());
+        return written;
+    }
+    std::error_code ec;
+    std::filesystem::rename(temp, path, ec);
+    if (ec) {
+        std::remove(temp.c_str());
+        return Status::error("cannot publish trace cache entry " + path +
+                             ": " + ec.message());
+    }
+    return Status::ok();
+}
+
+} // namespace vpsim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * On-disk cache of captured workload traces.
+ *
+ * Capturing the eight workload traces dominates the start-up time of
+ * every figure bench, and each bench binary used to redo it. The cache
+ * stores each capture once per machine, in the versioned binary trace
+ * format (trace_io.hpp), keyed by everything that determines the
+ * capture's content: (workload, insts, skip, scale, seed,
+ * format-version). The key is encoded in the file name, so any change
+ * to a parameter — or a bump of traceFormatVersion — misses cleanly and
+ * old entries are simply never read again.
+ *
+ * Concurrency: entries are written to a temporary name and renamed into
+ * place, so concurrent jobs (or concurrent bench processes sharing a
+ * --trace-cache-dir) never observe partial files. Corrupt or truncated
+ * entries are rejected by the trace reader and reported to the caller,
+ * which recaptures and overwrites.
+ */
+
+#ifndef VPSIM_TRACE_TRACE_CACHE_STORE_HPP
+#define VPSIM_TRACE_TRACE_CACHE_STORE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "trace/record.hpp"
+#include "trace/trace_io.hpp"
+
+namespace vpsim
+{
+
+/** Everything that determines a captured trace's content. */
+struct TraceCacheKey
+{
+    std::string workload;
+    /** Measured-window length (after warm-up exclusion). */
+    std::uint64_t insts = 0;
+    /** Warm-up instructions executed and discarded before the window. */
+    std::uint64_t skip = 0;
+    unsigned scale = 1;
+    std::uint64_t seed = 0;
+    std::uint32_t formatVersion = traceFormatVersion;
+};
+
+/** A directory of cached trace captures, one file per key. */
+class TraceCacheStore
+{
+  public:
+    /**
+     * @param cache_dir Directory for entries; created (with parents)
+     *        if it does not exist. fatal() if creation fails.
+     */
+    explicit TraceCacheStore(std::string cache_dir);
+
+    const std::string &directory() const { return dir; }
+
+    /** The entry file an exact @p key match would live in. */
+    std::string pathFor(const TraceCacheKey &key) const;
+
+    /**
+     * Look up @p key.
+     *
+     * @param out Replaced with the cached records on a hit.
+     * @param error Set when an entry exists but cannot be read (corrupt,
+     *        truncated, wrong version); such entries count as misses and
+     *        the message names the offending file.
+     * @return true on a hit.
+     */
+    bool tryLoad(const TraceCacheKey &key, std::vector<TraceRecord> *out,
+                 Status *error) const;
+
+    /** Store @p records under @p key (atomic rename into place). */
+    Status store(const TraceCacheKey &key,
+                 const std::vector<TraceRecord> &records) const;
+
+    /** @name Hit/miss counters (cumulative over this store's lifetime). */
+    /// @{
+    std::uint64_t hits() const { return hitCount.load(); }
+    std::uint64_t misses() const { return missCount.load(); }
+    /// @}
+
+  private:
+    std::string dir;
+    mutable std::atomic<std::uint64_t> hitCount{0};
+    mutable std::atomic<std::uint64_t> missCount{0};
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_TRACE_TRACE_CACHE_STORE_HPP

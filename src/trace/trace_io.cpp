@@ -44,20 +44,23 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 } // namespace
 
-void
-writeTraceFile(const std::string &path,
-               const std::vector<TraceRecord> &records)
+Status
+writeTrace(const std::string &path,
+           const std::vector<TraceRecord> &records)
 {
     FilePtr file(std::fopen(path.c_str(), "wb"));
-    fatalIf(!file, "cannot open trace file for writing: " + path);
+    if (!file)
+        return Status::error("cannot open trace file for writing: " +
+                             path);
 
     unsigned char header[16] = {};
     std::memcpy(header, traceMagic, 4);
     packU64(header + 8, records.size());
     header[4] = static_cast<unsigned char>(traceFormatVersion);
-    fatalIf(std::fwrite(header, 1, sizeof(header), file.get()) !=
-                sizeof(header),
-            "short write on trace header: " + path);
+    if (std::fwrite(header, 1, sizeof(header), file.get()) !=
+        sizeof(header)) {
+        return Status::error("short write on trace header: " + path);
+    }
 
     std::vector<unsigned char> buffer(packedRecordBytes);
     for (const TraceRecord &rec : records) {
@@ -72,35 +75,45 @@ writeTraceFile(const std::string &path,
         *p++ = rec.rs1;
         *p++ = rec.rs2;
         *p++ = rec.taken ? 1 : 0;
-        fatalIf(std::fwrite(buffer.data(), 1, buffer.size(), file.get()) !=
-                    buffer.size(),
-                "short write on trace record: " + path);
+        if (std::fwrite(buffer.data(), 1, buffer.size(), file.get()) !=
+            buffer.size()) {
+            return Status::error("short write on trace record: " + path);
+        }
     }
+    if (std::fflush(file.get()) != 0 || std::ferror(file.get()))
+        return Status::error("I/O error writing trace file: " + path);
+    return Status::ok();
 }
 
-std::vector<TraceRecord>
-readTraceFile(const std::string &path)
+Status
+readTrace(const std::string &path, std::vector<TraceRecord> *out)
 {
+    panicIf(out == nullptr, "readTrace needs an output vector");
+    out->clear();
+
     FilePtr file(std::fopen(path.c_str(), "rb"));
-    fatalIf(!file, "cannot open trace file for reading: " + path);
+    if (!file)
+        return Status::error("cannot open trace file for reading: " +
+                             path);
 
     unsigned char header[16];
-    fatalIf(std::fread(header, 1, sizeof(header), file.get()) !=
-                sizeof(header),
-            "short read on trace header: " + path);
-    fatalIf(std::memcmp(header, traceMagic, 4) != 0,
-            "bad trace file magic: " + path);
-    fatalIf(header[4] != traceFormatVersion,
-            "unsupported trace file version in " + path);
+    if (std::fread(header, 1, sizeof(header), file.get()) !=
+        sizeof(header)) {
+        return Status::error("short read on trace header: " + path);
+    }
+    if (std::memcmp(header, traceMagic, 4) != 0)
+        return Status::error("bad trace file magic: " + path);
+    if (header[4] != traceFormatVersion)
+        return Status::error("unsupported trace file version in " + path);
     const std::uint64_t count = unpackU64(header + 8);
 
-    std::vector<TraceRecord> records;
-    records.reserve(count);
+    out->reserve(count);
     std::vector<unsigned char> buffer(packedRecordBytes);
     for (std::uint64_t i = 0; i < count; ++i) {
-        fatalIf(std::fread(buffer.data(), 1, buffer.size(), file.get()) !=
-                    buffer.size(),
-                "truncated trace file: " + path);
+        if (std::fread(buffer.data(), 1, buffer.size(), file.get()) !=
+            buffer.size()) {
+            return Status::error("truncated trace file: " + path);
+        }
         const unsigned char *p = buffer.data();
         TraceRecord rec;
         rec.seq = unpackU64(p); p += 8;
@@ -108,15 +121,38 @@ readTraceFile(const std::string &path)
         rec.nextPc = unpackU64(p); p += 8;
         rec.memAddr = unpackU64(p); p += 8;
         rec.result = unpackU64(p); p += 8;
-        fatalIf(*p >= static_cast<unsigned char>(OpCode::NumOpCodes),
-                "corrupt opcode in trace file: " + path);
+        if (*p >= static_cast<unsigned char>(OpCode::NumOpCodes))
+            return Status::error("corrupt opcode in trace file: " + path);
         rec.op = static_cast<OpCode>(*p); ++p;
         rec.rd = *p++;
         rec.rs1 = *p++;
         rec.rs2 = *p++;
         rec.taken = *p != 0;
-        records.push_back(rec);
+        out->push_back(rec);
     }
+    // A well-formed file ends exactly after the declared records; bytes
+    // beyond that mean the header lied (e.g. two writers raced).
+    if (std::fgetc(file.get()) != EOF)
+        return Status::error("trailing bytes after " +
+                             std::to_string(count) +
+                             " records in trace file: " + path);
+    return Status::ok();
+}
+
+void
+writeTraceFile(const std::string &path,
+               const std::vector<TraceRecord> &records)
+{
+    const Status status = writeTrace(path, records);
+    fatalIf(!status.isOk(), status.message());
+}
+
+std::vector<TraceRecord>
+readTraceFile(const std::string &path)
+{
+    std::vector<TraceRecord> records;
+    const Status status = readTrace(path, &records);
+    fatalIf(!status.isOk(), status.message());
     return records;
 }
 

@@ -6,6 +6,12 @@
  * followed by packed little-endian records. This lets users capture a
  * workload trace once and re-run experiments against the file, mirroring
  * how the paper's authors drove their simulator from Shade trace files.
+ *
+ * The Status-returning readTrace()/writeTrace() are the primary API:
+ * short, corrupt, or over-long files are reported (with the offending
+ * path) instead of killing the process, so callers like the trace cache
+ * can fall back to recapturing. The fatal() wrappers remain for tools
+ * where dying with the message is the right behaviour.
  */
 
 #ifndef VPSIM_TRACE_TRACE_IO_HPP
@@ -14,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "trace/record.hpp"
 
 namespace vpsim
@@ -25,16 +32,29 @@ inline constexpr std::uint32_t traceFormatVersion = 1;
 /**
  * Write @p records to @p path in the binary trace format.
  *
- * Calls fatal() on I/O failure.
+ * @return ok, or an error naming the path on I/O failure (the file may
+ *         be left partially written; callers wanting atomicity should
+ *         write to a temporary name and rename).
  */
+Status writeTrace(const std::string &path,
+                  const std::vector<TraceRecord> &records);
+
+/**
+ * Read a binary trace file written by writeTrace().
+ *
+ * @param out Replaced with the file's records on success; unspecified
+ *        contents on error.
+ * @return ok, or an error naming the path on I/O failure, bad magic,
+ *         version mismatch, truncation, corrupt records, or trailing
+ *         garbage after the declared record count.
+ */
+Status readTrace(const std::string &path, std::vector<TraceRecord> *out);
+
+/** writeTrace() wrapper that fatal()s on error. */
 void writeTraceFile(const std::string &path,
                     const std::vector<TraceRecord> &records);
 
-/**
- * Read a binary trace file written by writeTraceFile().
- *
- * Calls fatal() on I/O failure, bad magic, or version mismatch.
- */
+/** readTrace() wrapper that fatal()s on error. */
 std::vector<TraceRecord> readTraceFile(const std::string &path);
 
 } // namespace vpsim

@@ -1,8 +1,9 @@
 /**
  * @file
  * Tests for the experiment harness: standard options, trace capture
- * (benchmark subsets, scale/seed/skip), figure-table rendering, and the
- * CSV exporter.
+ * (benchmark subsets, scale/seed/skip), figure-table rendering, the
+ * CSV exporter, benchmark-name validation, and SimRunner's deterministic
+ * parallel grid execution.
  */
 
 #include <cstdio>
@@ -12,7 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "core/ideal_machine.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sim_runner.hpp"
 
 namespace vpsim
 {
@@ -29,24 +30,39 @@ parsedOptions(std::vector<const char *> args)
     return options;
 }
 
+BenchmarkTraces
+capture(const Options &options)
+{
+    SimRunner runner(options);
+    return runner.captureBenchmarks();
+}
+
 TEST(Harness, DefaultsCaptureAllEight)
 {
     const Options options = parsedOptions({});
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    const BenchmarkTraces bench = capture(options);
     EXPECT_EQ(bench.size(), 8u);
-    for (const auto &trace : bench.traces)
-        EXPECT_EQ(trace.size(), 5000u);
+    for (std::size_t i = 0; i < bench.size(); ++i)
+        EXPECT_EQ(bench.trace(i).size(), 5000u);
 }
 
 TEST(Harness, BenchmarkSubsetFilter)
 {
     const Options options =
         parsedOptions({"--benchmarks", "go,vortex", "--insts", "2000"});
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    const BenchmarkTraces bench = capture(options);
     ASSERT_EQ(bench.size(), 2u);
     EXPECT_EQ(bench.names[0], "go");
     EXPECT_EQ(bench.names[1], "vortex");
-    EXPECT_EQ(bench.traces[0].size(), 2000u);
+    EXPECT_EQ(bench.trace(0).size(), 2000u);
+}
+
+TEST(Harness, UnknownBenchmarkNameDies)
+{
+    const Options options =
+        parsedOptions({"--benchmarks", "go,notabench"});
+    EXPECT_DEATH(capture(options), "unknown benchmark 'notabench'");
+    EXPECT_DEATH(capture(options), "valid names");
 }
 
 TEST(Harness, SkipDropsWarmup)
@@ -54,15 +70,15 @@ TEST(Harness, SkipDropsWarmup)
     const Options plain = parsedOptions({"--insts", "3000"});
     const Options skipped =
         parsedOptions({"--insts", "3000", "--skip", "1000"});
-    const auto full = captureBenchmarks(plain);
-    const auto warm = captureBenchmarks(skipped);
-    ASSERT_EQ(warm.traces[0].size(), 3000u)
+    const auto full = capture(plain);
+    const auto warm = capture(skipped);
+    ASSERT_EQ(warm.trace(0).size(), 3000u)
         << "--insts counts the measured window, not the warmup";
     // The warm trace must be the tail of a longer run: its first record
     // differs from the cold trace's first record in general, and its
     // seqs are renumbered densely.
-    EXPECT_EQ(warm.traces[0][0].seq, 0u);
-    EXPECT_EQ(warm.traces[0][2999].seq, 2999u);
+    EXPECT_EQ(warm.trace(0)[0].seq, 0u);
+    EXPECT_EQ(warm.trace(0)[2999].seq, 2999u);
 }
 
 TEST(Harness, ScaleAndSeedReachTheWorkloads)
@@ -72,12 +88,23 @@ TEST(Harness, ScaleAndSeedReachTheWorkloads)
                        "--benchmarks", "compress"});
     const Options plain =
         parsedOptions({"--insts", "3000", "--benchmarks", "compress"});
-    const auto a = captureBenchmarks(seeded);
-    const auto b = captureBenchmarks(plain);
+    const auto a = capture(seeded);
+    const auto b = capture(plain);
     bool differs = false;
     for (std::size_t i = 0; i < 3000 && !differs; ++i)
-        differs = a.traces[0][i].result != b.traces[0][i].result;
+        differs = a.trace(0)[i].result != b.trace(0)[i].result;
     EXPECT_TRUE(differs);
+}
+
+TEST(Harness, TraceHandlesShareStorage)
+{
+    // BenchmarkTraces hands out shared_ptr handles; copying the struct
+    // must not copy the (large) trace storage.
+    const Options options =
+        parsedOptions({"--insts", "2000", "--benchmarks", "go"});
+    const BenchmarkTraces bench = capture(options);
+    const BenchmarkTraces copy = bench;
+    EXPECT_EQ(&copy.trace(0), &bench.trace(0));
 }
 
 TEST(Harness, FigureTableHasAverageRow)
@@ -121,14 +148,70 @@ TEST(Harness, StallingUsesGrowWithBandwidth)
     // bandwidth exposes at least as many stalling dependences.
     const Options options =
         parsedOptions({"--insts", "20000", "--benchmarks", "m88ksim"});
-    const BenchmarkTraces bench = captureBenchmarks(options);
+    const BenchmarkTraces bench = capture(options);
     IdealMachineConfig narrow;
     narrow.fetchRate = 4;
     IdealMachineConfig wide;
     wide.fetchRate = 40;
-    const auto r_narrow = runIdealMachine(bench.traces[0], narrow);
-    const auto r_wide = runIdealMachine(bench.traces[0], wide);
+    const auto r_narrow = runIdealMachine(bench.trace(0), narrow);
+    const auto r_wide = runIdealMachine(bench.trace(0), wide);
     EXPECT_GT(r_wide.stallingUses, r_narrow.stallingUses);
+}
+
+/** Figure 3.1-shaped grid under a given --jobs count. */
+std::vector<std::vector<double>>
+fig31Grid(const char *jobs)
+{
+    const Options options = parsedOptions(
+        {"--insts", "4000", "--benchmarks", "go,compress,m88ksim",
+         "--jobs", jobs});
+    SimRunner runner(options);
+    const BenchmarkTraces bench = runner.captureBenchmarks();
+    const std::vector<unsigned> rates = {4, 8, 16};
+    return runner.runGrid(bench.size(), rates.size(),
+                          [&](std::size_t row, std::size_t col) {
+                              IdealMachineConfig config;
+                              config.fetchRate = rates[col];
+                              return idealVpSpeedup(bench.trace(row),
+                                                    config);
+                          });
+}
+
+TEST(SimRunner, GridIsDeterministicAcrossJobCounts)
+{
+    // The acceptance property of the parallel runtime: cell placement is
+    // preassigned, so the grid is bit-identical for any worker count.
+    const auto serial = fig31Grid("1");
+    const auto parallel = fig31Grid("8");
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t r = 0; r < serial.size(); ++r) {
+        ASSERT_EQ(serial[r].size(), parallel[r].size());
+        for (std::size_t c = 0; c < serial[r].size(); ++c)
+            EXPECT_EQ(serial[r][c], parallel[r][c])
+                << "cell (" << r << "," << c << ")";
+    }
+}
+
+TEST(SimRunner, RunGridShapesOutput)
+{
+    const Options options = parsedOptions({"--jobs", "2"});
+    SimRunner runner(options);
+    const auto cells = runner.runGrid(
+        3, 2, [](std::size_t row, std::size_t col) {
+            return static_cast<double>(10 * row + col);
+        });
+    ASSERT_EQ(cells.size(), 3u);
+    for (std::size_t r = 0; r < 3; ++r) {
+        ASSERT_EQ(cells[r].size(), 2u);
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_EQ(cells[r][c], static_cast<double>(10 * r + c));
+    }
+}
+
+TEST(SimRunner, NegativeJobsDies)
+{
+    const Options options = parsedOptions({"--jobs", "-3"});
+    EXPECT_DEATH(SimRunner runner(options), "jobs");
 }
 
 } // namespace

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the work-stealing thread pool behind SimRunner: completion
+ * of every submitted task, FIFO ordering on a single-threaded pool,
+ * exception propagation through wait(), reuse across batches, and the
+ * jobs=1 degenerate case.
+ */
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+
+namespace vpsim
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    constexpr int tasks = 500;
+    for (int i = 0; i < tasks; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), tasks);
+}
+
+TEST(ThreadPool, SingleThreadPreservesSubmissionOrder)
+{
+    // With one worker there is a single deque and the owner pops from
+    // the front, so execution is FIFO. Parallel pools only promise
+    // completion, not order.
+    ThreadPool pool(1);
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&order, i] { order.push_back(i); });
+    pool.wait();
+    ASSERT_EQ(order.size(), 50u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> survivors{0};
+    pool.submit([] { throw std::runtime_error("boom"); });
+    for (int i = 0; i < 20; ++i)
+        pool.submit([&survivors] { ++survivors; });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The batch still drains: one failure must not wedge the pool.
+    EXPECT_EQ(survivors.load(), 20);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndPoolRemainsUsable)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("first batch"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+
+    // A later batch on the same pool runs clean.
+    std::atomic<int> count{0};
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&count] { ++count; });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ZeroRequestsHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), ThreadPool::defaultThreadCount());
+    EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    pool.wait();
+}
+
+TEST(ThreadPool, ManyWorkersAllParticipateInCompletion)
+{
+    // Tasks recording their executor must account for every submission
+    // exactly once (no drops, no double-runs under stealing).
+    ThreadPool pool(8);
+    constexpr int tasks = 2000;
+    std::vector<std::atomic<int>> ran(tasks);
+    for (auto &flag : ran)
+        flag.store(0);
+    for (int i = 0; i < tasks; ++i)
+        pool.submit([&ran, i] { ++ran[static_cast<std::size_t>(i)]; });
+    pool.wait();
+    for (int i = 0; i < tasks; ++i)
+        EXPECT_EQ(ran[static_cast<std::size_t>(i)].load(), 1)
+            << "task " << i;
+}
+
+} // namespace
+} // namespace vpsim

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the on-disk trace cache: hit/miss behaviour, key
+ * sensitivity (any parameter or format-version change must change the
+ * entry path), corrupt-entry rejection with a useful error, and the
+ * atomic store-then-reload round trip.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_cache_store.hpp"
+#include "workloads/workload.hpp"
+
+namespace vpsim
+{
+namespace
+{
+
+class TraceCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir = std::filesystem::temp_directory_path() /
+            ("vpsim_cache_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+        std::filesystem::remove_all(dir);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir); }
+
+    TraceCacheKey keyFor(const std::string &workload, std::uint64_t insts)
+    {
+        TraceCacheKey key;
+        key.workload = workload;
+        key.insts = insts;
+        return key;
+    }
+
+    std::filesystem::path dir;
+};
+
+TEST_F(TraceCacheTest, MissThenStoreThenHit)
+{
+    TraceCacheStore cache(dir.string());
+    const auto trace = captureWorkloadTrace("go", 1000);
+    const TraceCacheKey key = keyFor("go", 1000);
+
+    std::vector<TraceRecord> out;
+    Status error = Status::ok();
+    EXPECT_FALSE(cache.tryLoad(key, &out, &error));
+    EXPECT_TRUE(error.isOk()) << "a plain miss is not an error";
+    EXPECT_EQ(cache.misses(), 1u);
+
+    ASSERT_TRUE(cache.store(key, trace).isOk());
+    ASSERT_TRUE(cache.tryLoad(key, &out, &error));
+    EXPECT_TRUE(error.isOk());
+    EXPECT_EQ(cache.hits(), 1u);
+    ASSERT_EQ(out.size(), trace.size());
+    EXPECT_EQ(out.back().result, trace.back().result);
+}
+
+TEST_F(TraceCacheTest, EveryKeyFieldChangesThePath)
+{
+    TraceCacheStore cache(dir.string());
+    const TraceCacheKey base = keyFor("go", 1000);
+    const std::string base_path = cache.pathFor(base);
+
+    TraceCacheKey k = base;
+    k.workload = "gcc";
+    EXPECT_NE(cache.pathFor(k), base_path);
+    k = base;
+    k.insts = 2000;
+    EXPECT_NE(cache.pathFor(k), base_path);
+    k = base;
+    k.skip = 100;
+    EXPECT_NE(cache.pathFor(k), base_path);
+    k = base;
+    k.scale = 2;
+    EXPECT_NE(cache.pathFor(k), base_path);
+    k = base;
+    k.seed = 7;
+    EXPECT_NE(cache.pathFor(k), base_path);
+    k = base;
+    k.formatVersion = base.formatVersion + 1;
+    EXPECT_NE(cache.pathFor(k), base_path)
+        << "format bumps must invalidate old entries";
+}
+
+TEST_F(TraceCacheTest, ScaleAndSeedMismatchMiss)
+{
+    TraceCacheStore cache(dir.string());
+    const auto trace = captureWorkloadTrace("compress", 500);
+    TraceCacheKey key = keyFor("compress", 500);
+    key.scale = 2;
+    key.seed = 42;
+    ASSERT_TRUE(cache.store(key, trace).isOk());
+
+    std::vector<TraceRecord> out;
+    Status error = Status::ok();
+    TraceCacheKey other = key;
+    other.scale = 4;
+    EXPECT_FALSE(cache.tryLoad(other, &out, &error));
+    other = key;
+    other.seed = 43;
+    EXPECT_FALSE(cache.tryLoad(other, &out, &error));
+    EXPECT_TRUE(cache.tryLoad(key, &out, &error));
+}
+
+TEST_F(TraceCacheTest, CorruptEntryIsAMissWithAnError)
+{
+    TraceCacheStore cache(dir.string());
+    const TraceCacheKey key = keyFor("go", 300);
+    const auto trace = captureWorkloadTrace("go", 300);
+    ASSERT_TRUE(cache.store(key, trace).isOk());
+
+    // Clobber the entry with garbage shorter than a header.
+    const std::string path = cache.pathFor(key);
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    std::fputs("not a trace", file);
+    std::fclose(file);
+
+    std::vector<TraceRecord> out;
+    Status error = Status::ok();
+    EXPECT_FALSE(cache.tryLoad(key, &out, &error));
+    EXPECT_FALSE(error.isOk());
+    EXPECT_NE(error.message().find(path), std::string::npos)
+        << "error must name the bad cache file: " << error.message();
+    EXPECT_EQ(cache.misses(), 1u);
+
+    // The canonical recovery: recapture and overwrite in place.
+    ASSERT_TRUE(cache.store(key, trace).isOk());
+    error = Status::ok();
+    EXPECT_TRUE(cache.tryLoad(key, &out, &error));
+    EXPECT_TRUE(error.isOk());
+}
+
+TEST_F(TraceCacheTest, EntriesLiveInsideTheDirectory)
+{
+    TraceCacheStore cache(dir.string());
+    const std::string path = cache.pathFor(keyFor("vortex", 1234));
+    EXPECT_EQ(path.rfind(dir.string(), 0), 0u)
+        << path << " not under " << dir;
+    EXPECT_NE(path.find("vortex"), std::string::npos)
+        << "entry names should be human-readable";
+}
+
+} // namespace
+} // namespace vpsim

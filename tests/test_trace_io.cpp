@@ -90,6 +90,63 @@ TEST(TraceIo, TruncatedFileDies)
     std::remove(path.c_str());
 }
 
+TEST(TraceIo, StatusApiRoundTrips)
+{
+    const auto original = captureWorkloadTrace("go", 2000);
+    const std::string path = tempPath("vpsim_status_roundtrip.vptrace");
+    const Status written = writeTrace(path, original);
+    ASSERT_TRUE(written.isOk()) << written.message();
+    std::vector<TraceRecord> reloaded;
+    const Status read = readTrace(path, &reloaded);
+    ASSERT_TRUE(read.isOk()) << read.message();
+    ASSERT_EQ(reloaded.size(), original.size());
+    EXPECT_EQ(reloaded.back().pc, original.back().pc);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, StatusApiNamesTheMissingFile)
+{
+    const std::string path = tempPath("vpsim_status_missing.vptrace");
+    std::vector<TraceRecord> out;
+    const Status read = readTrace(path, &out);
+    ASSERT_FALSE(read.isOk());
+    EXPECT_NE(read.message().find(path), std::string::npos)
+        << "error must name the offending file: " << read.message();
+}
+
+TEST(TraceIo, StatusApiRejectsTrailingBytes)
+{
+    const std::string path = tempPath("vpsim_status_trailing.vptrace");
+    const auto trace = captureWorkloadTrace("go", 100);
+    ASSERT_TRUE(writeTrace(path, trace).isOk());
+    std::FILE *file = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(file, nullptr);
+    const char junk = 'X';
+    std::fwrite(&junk, 1, 1, file);
+    std::fclose(file);
+    std::vector<TraceRecord> out;
+    const Status read = readTrace(path, &out);
+    ASSERT_FALSE(read.isOk());
+    EXPECT_NE(read.message().find("trailing"), std::string::npos)
+        << read.message();
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, StatusApiRejectsBadMagic)
+{
+    const std::string path = tempPath("vpsim_status_badmagic.vptrace");
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    const char junk[16] = {'J', 'U', 'N', 'K'};
+    std::fwrite(junk, 1, sizeof(junk), file);
+    std::fclose(file);
+    std::vector<TraceRecord> out;
+    const Status read = readTrace(path, &out);
+    ASSERT_FALSE(read.isOk());
+    EXPECT_NE(read.message().find("magic"), std::string::npos);
+    std::remove(path.c_str());
+}
+
 TEST(TraceStatsTest, CountsAreConsistent)
 {
     const auto trace = captureWorkloadTrace("gcc", 20000);
