@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Fault-injection soak: drive one figure bench through the deterministic
+# fault injector and require that no injected fault ever changes stdout.
+#
+#   1. golden:     clean serial run, no cache — the reference bytes.
+#   2. faulted:    torn cache write + transient read EIO, --jobs 4.
+#   3. poisoned:   re-run against the cache the torn write corrupted;
+#                  the checksum footer must quarantine + recapture.
+#   4. interrupt:  injected SIGINT mid-sweep with --checkpoint; the run
+#                  must exit 130 and leave a checkpoint file.
+#   5. resume:     --resume completes the sweep from that checkpoint.
+#
+# Every completed run's stdout must be byte-identical to the golden run
+# (faults and recovery live on stderr only). Wired into ctest as
+# `fault_soak`.
+#
+# Usage: scripts/fault_soak.sh [build-dir]
+set -euo pipefail
+
+build="${1:-build}"
+bench="$build/bench/fig3_1_fetch_rate"
+[ -x "$bench" ] || { echo "no bench binary at '$bench'" >&2; exit 1; }
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/vpsim-soak.XXXXXX")"
+trap 'rm -rf "$work"' EXIT
+cache="$work/trace-cache"
+ckpt="$work/grid.ckpt"
+
+args=(--insts 2000 --benchmarks go,compress)
+failed=0
+
+check_golden() {
+    local label="$1" out="$2"
+    if ! cmp -s "$work/golden" "$out"; then
+        echo "FAIL: $label stdout differs from the golden run" >&2
+        diff "$work/golden" "$out" | head -20 >&2
+        failed=1
+    else
+        echo "ok: $label stdout is byte-identical"
+    fi
+}
+
+echo "== golden (clean, serial, uncached)"
+"$bench" "${args[@]}" --jobs 1 > "$work/golden" 2> /dev/null
+
+echo "== faulted (torn write + ENOSPC + transient read EIO, --jobs 4)"
+"$bench" "${args[@]}" --jobs 4 --trace-cache-dir "$cache" \
+    --fault-inject "write:3:torn,write:9:enospc,read:2:eio,seed:42" \
+    > "$work/faulted" 2> "$work/faulted.err" ||
+    { echo "FAIL: faulted run crashed" >&2; cat "$work/faulted.err" >&2;
+      exit 1; }
+check_golden "faulted" "$work/faulted"
+
+echo "== poisoned cache (quarantine + recapture)"
+"$bench" "${args[@]}" --jobs 1 --trace-cache-dir "$cache" \
+    > "$work/poisoned" 2> "$work/poisoned.err" ||
+    { echo "FAIL: poisoned-cache run crashed" >&2;
+      cat "$work/poisoned.err" >&2; exit 1; }
+check_golden "poisoned cache" "$work/poisoned"
+if ls "$cache"/.corrupt-* > /dev/null 2>&1; then
+    echo "ok: corrupt entry quarantined"
+fi
+
+echo "== interrupted (injected SIGINT mid-sweep, --checkpoint)"
+status=0
+"$bench" "${args[@]}" --jobs 1 --checkpoint "$ckpt" \
+    --fault-inject "job:4:sigint" \
+    > /dev/null 2> "$work/interrupt.err" || status=$?
+if [ "$status" -ne 130 ]; then
+    echo "FAIL: interrupted run exited $status, want 130" >&2
+    cat "$work/interrupt.err" >&2
+    failed=1
+fi
+if [ ! -f "$ckpt" ]; then
+    echo "FAIL: interrupted run left no checkpoint at $ckpt" >&2
+    failed=1
+else
+    echo "ok: interrupted run exited 130 and checkpointed"
+fi
+
+echo "== resume (finish the interrupted sweep)"
+"$bench" "${args[@]}" --jobs 1 --checkpoint "$ckpt" --resume 1 \
+    > "$work/resumed" 2> "$work/resumed.err" ||
+    { echo "FAIL: resumed run crashed" >&2; cat "$work/resumed.err" >&2;
+      exit 1; }
+check_golden "resumed" "$work/resumed"
+if ! grep -q "resumed" "$work/resumed.err"; then
+    echo "FAIL: resumed run did not reload any checkpointed cells" >&2
+    cat "$work/resumed.err" >&2
+    failed=1
+fi
+
+if [ "$failed" -ne 0 ]; then
+    echo "fault soak FAILED" >&2
+    exit 1
+fi
+echo "fault soak OK (faults never changed stdout; interrupt + resume works)"

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * File I/O layer with deterministic fault injection.
+ *
+ * Every byte the trace pipeline moves to or from disk goes through
+ * io::File, which consults a process-global FaultInjector before each
+ * operation. In production the injector is inactive and the layer is a
+ * thin RAII wrapper over std::FILE; under `--fault-inject` it fails the
+ * Nth read/write/open with a chosen errno, tears a write short, raises
+ * a signal, or throws — so every failure path of the trace cache and
+ * the experiment runtime is exercisable in deterministic tests instead
+ * of waiting for a full disk at minute forty of a sweep.
+ *
+ * Error messages carry strerror(errno) detail and a StatusCode from the
+ * taxonomy in status.hpp (kIo for transient failures worth retrying,
+ * kCorrupt for short files) so callers can branch on failure class.
+ */
+
+#ifndef VPSIM_COMMON_IO_HPP
+#define VPSIM_COMMON_IO_HPP
+
+#include <cstdio>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace vpsim
+{
+namespace io
+{
+
+/** What an injected fault does to the operation it fires on. */
+enum class FaultKind
+{
+    None,   ///< No fault; operation proceeds normally.
+    Eio,    ///< Fail with EIO ("Input/output error").
+    Enospc, ///< Fail with ENOSPC ("No space left on device").
+    Torn,   ///< Write only a prefix of the bytes, then report success.
+    Sigint, ///< raise(SIGINT) — simulates Ctrl-C at this exact point.
+    Throw,  ///< Throw std::runtime_error — simulates a crashing job.
+};
+
+/**
+ * Deterministic, seeded fault injector.
+ *
+ * Configured from a spec string of comma-separated clauses:
+ *
+ *   <op>:<n>:<kind>    fire <kind> on the n-th (1-based) <op>
+ *   seed:<n>           seed the RNG used for torn-write cut points
+ *
+ * where <op> is one of open, read, write, flush, rename, remove, job
+ * and <kind> is eio, enospc, torn, sigint, throw. Example:
+ *
+ *   --fault-inject write:3:torn,write:7:enospc,read:2:eio,job:5:sigint
+ *
+ * Operation counters are global to the process and thread-safe, so the
+ * n-th write is the n-th write the whole run performs, wherever it
+ * comes from. Each clause fires exactly once.
+ */
+class FaultInjector
+{
+  public:
+    /** Parse @p spec (empty deactivates). fatal() on malformed spec. */
+    void configure(const std::string &spec);
+
+    /** True when any clause is armed (fired clauses stay configured). */
+    bool active() const { return isActive; }
+
+    /**
+     * Record one occurrence of @p op and return the fault to apply, if
+     * a clause matches this occurrence. Inactive injectors return None
+     * without taking the lock.
+     */
+    FaultKind next(const char *op);
+
+    /** Seeded cut point in [0, size) for a torn write of @p size bytes. */
+    std::uint64_t tornCut(std::uint64_t size);
+
+  private:
+    struct Clause
+    {
+        std::string op;
+        std::uint64_t index = 0;
+        FaultKind kind = FaultKind::None;
+        bool fired = false;
+    };
+
+    mutable std::mutex mutex;
+    std::vector<Clause> clauses;
+    std::map<std::string, std::uint64_t> counts;
+    Rng rng;
+    bool isActive = false;
+};
+
+/** The process-global injector consulted by every io::File operation. */
+FaultInjector &faultInjector();
+
+/** Shorthand: configure the global injector (fatal on bad spec). */
+void configureFaultInjection(const std::string &spec);
+
+/**
+ * RAII file handle; all operations are full-or-error and routed
+ * through the global FaultInjector.
+ */
+class File
+{
+  public:
+    File() = default;
+    ~File() { close(); }
+
+    File(const File &) = delete;
+    File &operator=(const File &) = delete;
+
+    /** Open @p file_path for binary reading. */
+    Status openForRead(const std::string &file_path);
+
+    /** Open (create/truncate) @p file_path for binary writing. */
+    Status openForWrite(const std::string &file_path);
+
+    bool isOpen() const { return file != nullptr; }
+
+    const std::string &path() const { return filePath; }
+
+    /**
+     * Read exactly @p size bytes into @p buffer.
+     *
+     * @return kIo on a read error, kCorrupt("unexpected end of file")
+     *         when the file ends early — short files are data
+     *         corruption from the caller's point of view.
+     */
+    Status readExact(void *buffer, std::size_t size);
+
+    /** Write all @p size bytes of @p buffer (kIo on failure). */
+    Status writeAll(const void *buffer, std::size_t size);
+
+    /** Flush buffered writes to the OS (kIo on failure). */
+    Status flush();
+
+    /** True when the read position is at end of file. */
+    bool atEof();
+
+    /** Close the handle (idempotent; errors ignored). */
+    void close();
+
+  private:
+    std::FILE *file = nullptr;
+    std::string filePath;
+};
+
+/** std::remove with a Status and strerror detail. */
+Status removeFile(const std::string &path);
+
+/** std::rename with a Status and strerror detail (injectable). */
+Status renameFile(const std::string &from, const std::string &to);
+
+} // namespace io
+} // namespace vpsim
+
+#endif // VPSIM_COMMON_IO_HPP

@@ -105,6 +105,21 @@ Options::getBool(const std::string &name) const
     fatal("option --" + name + " expects a boolean, got '" + text + "'");
 }
 
+std::string
+Options::fingerprint(const std::vector<std::string> &exclude) const
+{
+    std::string out;
+    for (const auto &[name, decl] : decls) {
+        bool skip = false;
+        for (const std::string &excluded : exclude)
+            skip = skip || excluded == name;
+        if (skip)
+            continue;
+        out += name + "=" + getString(name) + ";";
+    }
+    return out;
+}
+
 std::vector<std::string>
 Options::getList(const std::string &name) const
 {

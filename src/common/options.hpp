@@ -55,6 +55,16 @@ class Options
     /** Comma-separated list value. Empty string yields an empty list. */
     std::vector<std::string> getList(const std::string &name) const;
 
+    /**
+     * Canonical "name=value;" string over every declared option (with
+     * defaults applied), sorted by name, minus the names in @p exclude.
+     * Two runs with the same fingerprint request the same experiment;
+     * the grid checkpoint (sim_runner.hpp) keys cells by its hash so
+     * --resume never reuses cells from a differently-configured sweep.
+     */
+    std::string fingerprint(
+        const std::vector<std::string> &exclude = {}) const;
+
   private:
     struct Decl
     {

@@ -7,6 +7,11 @@
  * corrupt trace-cache entry should be recaptured, not kill an hour-long
  * sweep. Such functions return a Status instead; the caller decides
  * whether to retry, warn, or escalate to fatal().
+ *
+ * Every error carries a StatusCode so callers can branch on the *class*
+ * of failure without parsing message text: transient I/O errors are
+ * retried, corrupt data is quarantined and regenerated, cancellation
+ * unwinds quietly.
  */
 
 #ifndef VPSIM_COMMON_STATUS_HPP
@@ -18,23 +23,48 @@
 namespace vpsim
 {
 
-/** Success, or an error with a human-readable message. */
+/** Failure taxonomy: what kind of error, hence what recovery applies. */
+enum class StatusCode
+{
+    kOk,       ///< No error.
+    kIo,       ///< I/O failure (possibly transient: retry may succeed).
+    kCorrupt,  ///< Data failed validation (checksum, magic, truncation).
+    kCanceled, ///< Operation abandoned (signal, shutdown).
+    kTimeout,  ///< Operation exceeded its deadline.
+};
+
+/** Human-readable name of @p code ("ok", "io", "corrupt", ...). */
+const char *statusCodeName(StatusCode code);
+
+/** Success, or a coded error with a human-readable message. */
 class Status
 {
   public:
     /** Success value. */
     static Status ok() { return Status(); }
 
-    /** Failure with @p message (should name the offending file/input). */
+    /**
+     * Failure with @p message (should name the offending file/input).
+     * Defaults to kIo, the most common recoverable class.
+     */
     static Status error(std::string message)
     {
+        return error(StatusCode::kIo, std::move(message));
+    }
+
+    /** Failure of class @p code with @p message. */
+    static Status error(StatusCode code, std::string message)
+    {
         Status status;
-        status.failed = true;
+        status.errorCode = code;
         status.text = std::move(message);
         return status;
     }
 
-    bool isOk() const { return !failed; }
+    bool isOk() const { return errorCode == StatusCode::kOk; }
+
+    /** The failure class; kOk for ok(). */
+    StatusCode code() const { return errorCode; }
 
     /** The error message; empty for ok(). */
     const std::string &message() const { return text; }
@@ -42,9 +72,22 @@ class Status
   private:
     Status() = default;
 
-    bool failed = false;
+    StatusCode errorCode = StatusCode::kOk;
     std::string text;
 };
+
+inline const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "ok";
+      case StatusCode::kIo: return "io";
+      case StatusCode::kCorrupt: return "corrupt";
+      case StatusCode::kCanceled: return "canceled";
+      case StatusCode::kTimeout: return "timeout";
+    }
+    return "unknown";
+}
 
 } // namespace vpsim
 

@@ -65,8 +65,12 @@ TraceCacheFetch::fetch(Cycle now, unsigned max_insts,
         ++numHits;
         // Deliver the stored path, truncating where the actual path
         // diverges from the line (partial hit) or at a misprediction.
+        // Snapshot the path first: the fill unit can overwrite this
+        // very line mid-delivery (hardware reads the whole line at hit
+        // time), and assigning line.path would invalidate iterators.
+        const std::vector<Addr> path = line.path;
         unsigned delivered = 0;
-        for (const Addr expected_pc : line.path) {
+        for (const Addr expected_pc : path) {
             if (delivered >= max_insts || done())
                 break;
             const TraceRecord &record = trace[cursor];

@@ -24,6 +24,19 @@ declareRunnerOptions(Options &options)
     options.declare("stats", "0",
                     "dump the experiment runtime's stats registry to "
                     "stderr");
+    options.declare("keep-going", "0",
+                    "record failing jobs (cells become NaN) and finish "
+                    "the sweep instead of aborting on the first error");
+    options.declare("checkpoint", "",
+                    "flush finished grid cells to this file when the "
+                    "sweep is interrupted (SIGINT/SIGTERM)");
+    options.declare("resume", "0",
+                    "reload finished cells from the --checkpoint file "
+                    "so an interrupted sweep continues");
+    options.declare("fault-inject", "",
+                    "deterministic I/O fault spec, e.g. "
+                    "write:3:torn,read:2:eio,job:5:sigint "
+                    "(testing only; results stay byte-identical)");
 }
 
 void

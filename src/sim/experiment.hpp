@@ -51,8 +51,12 @@ struct BenchmarkTraces
 
 /**
  * Declare the experiment-runtime options every SimRunner user shares:
- * --jobs (worker threads), --trace-cache-dir (on-disk capture cache)
- * and --stats (dump the runtime's counters to stderr).
+ * --jobs (worker threads), --trace-cache-dir (on-disk capture cache),
+ * --stats (dump the runtime's counters to stderr), and the
+ * fault-tolerance flags --keep-going (isolate failing jobs as NaN
+ * cells), --checkpoint / --resume (survive SIGINT/SIGTERM and continue
+ * an interrupted sweep), and --fault-inject (arm the deterministic I/O
+ * fault injector for soak tests).
  *
  * declareStandardOptions() calls this; benches with no benchmark
  * capture of their own (worked examples) can call it directly.

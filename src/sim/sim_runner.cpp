@@ -1,8 +1,18 @@
 #include "sim/sim_runner.hpp"
 
-#include <chrono>
-#include <cstdio>
+#include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/io.hpp"
 #include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "trace/trace_stats.hpp"
@@ -31,17 +41,130 @@ resolveJobCount(const Options &options)
                      : static_cast<unsigned>(jobs);
 }
 
+/** FNV-1a 64-bit over @p text, folded with @p seed. */
+std::uint64_t
+fnv1a(const std::string &text, std::uint64_t seed = 0)
+{
+    std::uint64_t hash = 14695981039346656037ull ^ seed;
+    for (const char ch : text) {
+        hash ^= static_cast<unsigned char>(ch);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+/**
+ * The signal last caught by the cooperative handler (0 = none). Global
+ * because signal handlers cannot carry state; consumed by the runner
+ * that notices it after its batch drains.
+ */
+std::atomic<int> g_caughtSignal{0};
+
+extern "C" void
+simRunnerSignalHandler(int signal_number)
+{
+    // First signal: request a cooperative drain (async-signal-safe:
+    // just an atomic store). Second signal: the user really means it.
+    if (g_caughtSignal.exchange(signal_number) != 0)
+        std::_Exit(128 + signal_number);
+}
+
+constexpr char checkpointMagic[] = "vpsim-grid-checkpoint 1";
+
+/**
+ * Load a checkpoint file into key -> cell-value-bits. A missing file
+ * is a fresh start; a malformed one is ignored with a warning (the
+ * sweep recomputes, which is always safe).
+ */
+std::unordered_map<std::uint64_t, std::uint64_t>
+loadCheckpoint(const std::string &path)
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> cells;
+    std::ifstream in(path);
+    if (!in)
+        return cells;
+    std::string magic;
+    std::getline(in, magic);
+    if (magic != checkpointMagic) {
+        warn("ignoring malformed checkpoint file " + path);
+        return cells;
+    }
+    std::uint64_t key = 0;
+    std::uint64_t value_bits = 0;
+    while (in >> std::hex >> key >> value_bits)
+        cells[key] = value_bits;
+    return cells;
+}
+
+std::uint64_t
+doubleToBits(double value)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+double
+bitsToDouble(std::uint64_t bits)
+{
+    double value = 0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
 } // namespace
 
 SimRunner::SimRunner(const Options &options_in)
     : options(options_in), pool(resolveJobCount(options_in))
 {
+    io::configureFaultInjection(options.getString("fault-inject"));
+    keepGoing = options.getBool("keep-going");
+    checkpointPath = options.getString("checkpoint");
+    resumeRequested = options.getBool("resume");
+    fatalIf(resumeRequested && checkpointPath.empty(),
+            "--resume requires --checkpoint FILE");
+
+    // Checkpoint cells are keyed by everything that determines results
+    // (insts, benchmarks, seed, ...) but not by how the run executes
+    // (--jobs, cache dir, fault spec): a resumed run may use different
+    // parallelism, and a differently-configured sweep never matches.
+    configHash = fnv1a(options.fingerprint(
+        {"jobs", "trace-cache-dir", "stats", "keep-going", "checkpoint",
+         "resume", "fault-inject"}));
+
     const std::string cache_dir = options.getString("trace-cache-dir");
-    if (!cache_dir.empty())
+    if (!cache_dir.empty()) {
         cache = std::make_unique<TraceCacheStore>(cache_dir);
+        if (!cache->status().isOk()) {
+            warn("trace cache disabled; capturing uncached: " +
+                 cache->status().message());
+            cache.reset();
+        }
+    }
+
+    previousSigint = std::signal(SIGINT, simRunnerSignalHandler);
+    previousSigterm = std::signal(SIGTERM, simRunnerSignalHandler);
 }
 
-SimRunner::~SimRunner() = default;
+SimRunner::~SimRunner()
+{
+    if (previousSigint != SIG_ERR)
+        std::signal(SIGINT, previousSigint);
+    if (previousSigterm != SIG_ERR)
+        std::signal(SIGTERM, previousSigterm);
+}
+
+void
+SimRunner::recordFailure(const std::string &label,
+                         const std::string &error)
+{
+    {
+        std::lock_guard<std::mutex> lock(failuresMutex);
+        jobFailures.push_back({label, error});
+    }
+    warn("job '" + label + "' failed: " + error +
+         " (--keep-going: its cells stay NaN)");
+}
 
 void
 SimRunner::run(std::vector<SimJob> batch)
@@ -49,14 +172,49 @@ SimRunner::run(std::vector<SimJob> batch)
     const auto wall_start = std::chrono::steady_clock::now();
     for (SimJob &job : batch) {
         pool.submit([this, job = std::move(job)] {
+            if (g_caughtSignal.load(std::memory_order_relaxed) != 0)
+                return; // cooperative drain: skip still-queued work
+            const io::FaultKind fault = io::faultInjector().next("job");
+            if (fault == io::FaultKind::Sigint) {
+                std::raise(SIGINT);
+                return;
+            }
             const auto start = std::chrono::steady_clock::now();
-            job.execute();
+            try {
+                if (fault != io::FaultKind::None)
+                    throw std::runtime_error("injected fault: job " +
+                                             job.label);
+                job.execute();
+            } catch (const std::exception &e) {
+                if (!keepGoing)
+                    throw;
+                recordFailure(job.label, e.what());
+                return;
+            } catch (...) {
+                if (!keepGoing)
+                    throw;
+                recordFailure(job.label, "unknown exception");
+                return;
+            }
             jobMicros += microsSince(start);
             ++jobsRun;
         });
     }
     pool.wait();
     wallMicros += microsSince(wall_start);
+
+    const int signal_number = g_caughtSignal.load();
+    if (signal_number != 0)
+        exitOnSignal(signal_number);
+}
+
+std::uint64_t
+SimRunner::cellKey(std::uint64_t grid, std::size_t row,
+                   std::size_t col) const
+{
+    return fnv1a("g" + std::to_string(grid) + "r" + std::to_string(row) +
+                     "c" + std::to_string(col),
+                 configHash);
 }
 
 std::vector<std::vector<double>>
@@ -64,22 +222,123 @@ SimRunner::runGrid(
     std::size_t rows, std::size_t cols,
     const std::function<double(std::size_t, std::size_t)> &cell)
 {
+    const std::uint64_t grid_id = ++gridOrdinal;
+    // NaN until a job writes the cell: failed (--keep-going) and
+    // signal-skipped cells are visibly absent, never silently zero.
     std::vector<std::vector<double>> cells(
-        rows, std::vector<double>(cols, 0.0));
+        rows, std::vector<double>(
+                  cols, std::numeric_limits<double>::quiet_NaN()));
+
+    GridState grid;
+    grid.rows = rows;
+    grid.cols = cols;
+    grid.cells = &cells;
+    grid.keys.resize(rows * cols);
+    grid.done = std::make_unique<std::atomic<bool>[]>(rows * cols);
+    for (std::size_t idx = 0; idx < rows * cols; ++idx) {
+        grid.keys[idx] = cellKey(grid_id, idx / cols, idx % cols);
+        grid.done[idx].store(false, std::memory_order_relaxed);
+    }
+
+    std::size_t resumed = 0;
+    if (resumeRequested) {
+        const auto saved = loadCheckpoint(checkpointPath);
+        for (std::size_t idx = 0; idx < rows * cols; ++idx) {
+            const auto it = saved.find(grid.keys[idx]);
+            if (it == saved.end())
+                continue;
+            cells[idx / cols][idx % cols] = bitsToDouble(it->second);
+            grid.done[idx].store(true, std::memory_order_relaxed);
+            ++resumed;
+        }
+        if (resumed > 0) {
+            std::fprintf(stderr,
+                         "sim: resumed %zu of %zu cells from %s\n",
+                         resumed, rows * cols, checkpointPath.c_str());
+        }
+    }
+    resumedCellCount += resumed;
+
     std::vector<SimJob> batch;
-    batch.reserve(rows * cols);
+    batch.reserve(rows * cols - resumed);
     for (std::size_t row = 0; row < rows; ++row) {
         for (std::size_t col = 0; col < cols; ++col) {
+            const std::size_t idx = row * cols + col;
+            if (grid.done[idx].load(std::memory_order_relaxed))
+                continue;
             batch.push_back(
                 {"cell[" + std::to_string(row) + "][" +
                      std::to_string(col) + "]",
-                 [&cells, &cell, row, col] {
+                 [&cells, &cell, &grid, idx, row, col] {
                      cells[row][col] = cell(row, col);
+                     grid.done[idx].store(true,
+                                          std::memory_order_release);
                  }});
         }
     }
+    activeGrid = &grid;
     run(std::move(batch));
+    activeGrid = nullptr;
     return cells;
+}
+
+void
+SimRunner::flushCheckpoint() const
+{
+    // Deliberately bypasses the fault injector: the checkpoint is the
+    // recovery mechanism itself, and injected faults are meant for the
+    // pipeline under test, not for the lifeboat.
+    const std::string temp =
+        checkpointPath + ".tmp." + std::to_string(::getpid());
+    std::FILE *file = std::fopen(temp.c_str(), "w");
+    if (!file) {
+        warn("cannot write checkpoint " + checkpointPath + ": " +
+             std::strerror(errno));
+        return;
+    }
+    std::fprintf(file, "%s\n", checkpointMagic);
+    const GridState &grid = *activeGrid;
+    for (std::size_t idx = 0; idx < grid.rows * grid.cols; ++idx) {
+        if (!grid.done[idx].load(std::memory_order_acquire))
+            continue;
+        const double value =
+            (*grid.cells)[idx / grid.cols][idx % grid.cols];
+        std::fprintf(file, "%016llx %016llx\n",
+                     static_cast<unsigned long long>(grid.keys[idx]),
+                     static_cast<unsigned long long>(
+                         doubleToBits(value)));
+    }
+    const bool write_ok = std::fflush(file) == 0 && !std::ferror(file);
+    std::fclose(file);
+    if (!write_ok || std::rename(temp.c_str(), checkpointPath.c_str())) {
+        std::remove(temp.c_str());
+        warn("cannot publish checkpoint " + checkpointPath + ": " +
+             std::strerror(errno));
+    }
+}
+
+void
+SimRunner::exitOnSignal(int signal_number)
+{
+    if (activeGrid != nullptr && !checkpointPath.empty()) {
+        std::size_t done_cells = 0;
+        const std::size_t total =
+            activeGrid->rows * activeGrid->cols;
+        for (std::size_t idx = 0; idx < total; ++idx)
+            done_cells += activeGrid->done[idx].load() ? 1 : 0;
+        flushCheckpoint();
+        std::fprintf(stderr,
+                     "sim: interrupted by signal %d; %zu of %zu cells "
+                     "checkpointed to %s (rerun with --resume 1)\n",
+                     signal_number, done_cells, total,
+                     checkpointPath.c_str());
+    } else {
+        std::fprintf(stderr,
+                     "sim: interrupted by signal %d; no --checkpoint "
+                     "file configured, progress discarded\n",
+                     signal_number);
+    }
+    std::exit(128 + signal_number);
 }
 
 TraceHandle
@@ -90,7 +349,8 @@ SimRunner::captureTrace(const std::string &name, std::uint64_t insts,
     fatalIf(insts == 0, "--insts must be positive");
     const TraceCacheKey key{name, insts, skip, params.scale,
                             params.seed, traceFormatVersion};
-    if (cache) {
+    const bool use_cache = cache && !cacheDegraded.load();
+    if (use_cache) {
         std::vector<TraceRecord> records;
         Status error = Status::ok();
         if (cache->tryLoad(key, &records, &error)) {
@@ -108,10 +368,16 @@ SimRunner::captureTrace(const std::string &name, std::uint64_t insts,
     captureMicros += microsSince(start);
     ++capturesRun;
 
-    if (cache) {
+    if (use_cache) {
         const Status stored = cache->store(key, trace);
-        if (!stored.isOk())
-            warn(stored.message());
+        // A store that still fails after the cache's own retries is
+        // treated as persistent (disk full, dir deleted): degrade to
+        // in-memory capture once, with one warning, instead of paying
+        // the retry cost and a warning per capture.
+        if (!stored.isOk() && !cacheDegraded.exchange(true)) {
+            warn("trace cache degraded to in-memory capture: " +
+                 stored.message());
+        }
     }
     return std::make_shared<const std::vector<TraceRecord>>(
         std::move(trace));
@@ -169,12 +435,28 @@ SimRunner::reportStats() const
             static_cast<unsigned long long>(cache->misses()),
             cache->directory().c_str());
     }
+    if (resumedCellCount > 0) {
+        std::fprintf(stderr,
+                     "sim: %llu cells served from checkpoint %s\n",
+                     static_cast<unsigned long long>(resumedCellCount),
+                     checkpointPath.c_str());
+    }
+    if (!jobFailures.empty()) {
+        std::fprintf(stderr,
+                     "sim: %zu job(s) FAILED under --keep-going "
+                     "(cells recorded as NaN):\n",
+                     jobFailures.size());
+        for (const JobFailure &failure : jobFailures) {
+            std::fprintf(stderr, "  %s: %s\n", failure.label.c_str(),
+                         failure.error.c_str());
+        }
+    }
     if (!options.getBool("stats"))
         return;
 
     // Publish through the stats registry for uniform tooling.
     Counter jobs_counter, job_micros, wall, captures, capture_time;
-    Counter cache_hits, cache_lookups;
+    Counter cache_hits, cache_lookups, failed_jobs, resumed;
     jobs_counter += jobsRun.load();
     job_micros += jobMicros.load();
     wall += wallMicros.load();
@@ -190,6 +472,12 @@ SimRunner::reportStats() const
                      "workload traces captured by the VM");
     group.addCounter("vm_capture_micros", capture_time,
                      "wall clock spent capturing traces (us)");
+    failed_jobs += jobFailures.size();
+    group.addCounter("failed_jobs", failed_jobs,
+                     "jobs that threw under --keep-going");
+    resumed += resumedCellCount;
+    group.addCounter("resumed_cells", resumed,
+                     "grid cells reloaded from the checkpoint");
     if (cache) {
         cache_hits += cache->hits();
         cache_lookups += cache->hits() + cache->misses();

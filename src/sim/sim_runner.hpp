@@ -1,6 +1,7 @@
 /**
  * @file
- * The experiment runtime: a job-scheduling driver for figure sweeps.
+ * The experiment runtime: a fault-tolerant job-scheduling driver for
+ * figure sweeps.
  *
  * Every figure/ablation bench is a grid of independent simulation
  * points — (benchmark × configuration) closures, each a pure function
@@ -13,8 +14,24 @@
  * Trace capture goes through the same pool and, when --trace-cache-dir
  * is given, through an on-disk TraceCacheStore, so the eight workload
  * traces are captured once per machine instead of once per bench
- * binary. Wall-clock and cache hit/miss statistics are published
+ * binary. Corrupt cache entries are quarantined and recaptured; an
+ * unusable cache directory degrades the run to uncached in-memory
+ * capture with a one-line warning — faults never change results, only
+ * wall clock. Wall-clock and cache hit/miss statistics are published
  * through the stats registry (reportStats()).
+ *
+ * Failure isolation (long campaigns must survive, not restart):
+ *  - `--keep-going`: a throwing job is recorded as a per-job failure
+ *    and its cells stay NaN; the batch completes and the failure list
+ *    is reported instead of aborting the sweep.
+ *  - SIGINT/SIGTERM are handled cooperatively: in-flight jobs drain,
+ *    queued jobs are skipped, the grid's finished cells are flushed to
+ *    the `--checkpoint` file, and the process exits 128+signal.
+ *  - `--resume`: finished cells (keyed by a hash of the experiment
+ *    fingerprint + grid + row/col) are reloaded from the checkpoint
+ *    file, so an interrupted sweep continues instead of restarting.
+ *  - `--fault-inject`: arms the deterministic fault injector
+ *    (common/io.hpp) for soak-testing all of the above.
  *
  * Typical bench structure:
  *
@@ -38,6 +55,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -64,14 +82,24 @@ struct SimJob
     std::function<void()> execute;
 };
 
+/** One job that threw under --keep-going. */
+struct JobFailure
+{
+    std::string label;
+    std::string error;
+};
+
 /** Executes SimJob grids on a shared thread pool with a trace cache. */
 class SimRunner
 {
   public:
     /**
-     * @param options Parsed options; reads --jobs and --trace-cache-dir
+     * @param options Parsed options; reads --jobs, --trace-cache-dir,
+     *        --keep-going, --checkpoint, --resume and --fault-inject
      *        (declared by declareRunnerOptions()). The runner keeps a
-     *        reference, so @p options must outlive it.
+     *        reference, so @p options must outlive it. Installs
+     *        cooperative SIGINT/SIGTERM handlers (restored by the
+     *        destructor).
      */
     explicit SimRunner(const Options &options);
     ~SimRunner();
@@ -82,7 +110,7 @@ class SimRunner
     /** Worker threads executing jobs (the resolved --jobs value). */
     unsigned jobs() const { return pool.threadCount(); }
 
-    /** Non-null when --trace-cache-dir was given. */
+    /** Non-null when --trace-cache-dir was given and the dir is usable. */
     const TraceCacheStore *traceCache() const { return cache.get(); }
 
     /**
@@ -90,13 +118,20 @@ class SimRunner
      *
      * Jobs start in declaration order (round-robin across workers) and
      * may finish in any order; determinism comes from each job owning
-     * its output slots. The first exception thrown by a job is rethrown
-     * here after the batch drains.
+     * its output slots. Without --keep-going the first exception thrown
+     * by a job is rethrown here after the batch drains; with it, the
+     * failure is recorded (failures()) and the batch completes. If a
+     * SIGINT/SIGTERM arrived, queued jobs are skipped, the active
+     * grid's checkpoint is flushed, and the process exits 128+signal.
      */
     void run(std::vector<SimJob> batch);
 
     /**
      * Declare-and-run a dense rows × cols grid.
+     *
+     * Cells start as NaN; a job that fails under --keep-going leaves
+     * NaN in its cell. With --resume, cells recorded in the
+     * --checkpoint file are loaded and their jobs never run.
      *
      * @param cell Invoked once per (row, col), possibly concurrently;
      *        must be pure (see SimJob).
@@ -124,25 +159,71 @@ class SimRunner
                              std::uint64_t insts, std::uint64_t skip,
                              const WorkloadParams &params);
 
+    /** Jobs that threw under --keep-going (read after run() returns). */
+    const std::vector<JobFailure> &failures() const
+    {
+        return jobFailures;
+    }
+
+    /** Grid cells served from the checkpoint file by --resume. */
+    std::uint64_t resumedCells() const { return resumedCellCount; }
+
     /**
      * Print the runtime's summary to stderr: jobs run, threads, wall
-     * and cpu time, and trace-cache hits/misses when a cache is
-     * configured. With --stats, additionally dump the full stats
+     * and cpu time, trace-cache hits/misses when a cache is
+     * configured, and the per-job failure report when --keep-going
+     * recorded any. With --stats, additionally dump the full stats
      * registry group. stdout is never touched, so tables and --csv
      * stay byte-identical across --jobs values.
      */
     void reportStats() const;
 
   private:
+    /** Per-grid checkpoint bookkeeping, alive during runGrid()'s run(). */
+    struct GridState
+    {
+        std::size_t rows = 0;
+        std::size_t cols = 0;
+        std::vector<std::uint64_t> keys;
+        std::vector<std::vector<double>> *cells = nullptr;
+        std::unique_ptr<std::atomic<bool>[]> done;
+    };
+
+    std::uint64_t cellKey(std::uint64_t grid, std::size_t row,
+                          std::size_t col) const;
+    void flushCheckpoint() const;
+    [[noreturn]] void exitOnSignal(int signal_number);
+    void recordFailure(const std::string &label,
+                       const std::string &error);
+
     const Options &options;
     ThreadPool pool;
     std::unique_ptr<TraceCacheStore> cache;
+
+    bool keepGoing = false;
+    std::string checkpointPath;
+    bool resumeRequested = false;
+    /** Hash of the experiment-defining options (checkpoint keying). */
+    std::uint64_t configHash = 0;
+    std::uint64_t gridOrdinal = 0;
+    GridState *activeGrid = nullptr;
+    std::uint64_t resumedCellCount = 0;
+
+    std::mutex failuresMutex;
+    std::vector<JobFailure> jobFailures;
+
+    /** One-shot latch for the cache-degradation warning. */
+    std::atomic<bool> cacheDegraded{false};
 
     std::atomic<std::uint64_t> jobsRun{0};
     std::atomic<std::uint64_t> jobMicros{0};
     std::atomic<std::uint64_t> wallMicros{0};
     std::atomic<std::uint64_t> capturesRun{0};
     std::atomic<std::uint64_t> captureMicros{0};
+
+    /** Previous signal dispositions, restored on destruction. */
+    void (*previousSigint)(int) = nullptr;
+    void (*previousSigterm)(int) = nullptr;
 };
 
 } // namespace vpsim

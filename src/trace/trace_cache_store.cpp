@@ -2,24 +2,106 @@
 
 #include <unistd.h>
 
-#include <cstdio>
 #include <filesystem>
 #include <system_error>
+#include <thread>
 
+#include "common/io.hpp"
 #include "common/logging.hpp"
 
 namespace vpsim
 {
 
-TraceCacheStore::TraceCacheStore(std::string cache_dir)
+namespace
+{
+
+/** Bounded retry for transient (kIo) failures: attempts and backoff. */
+constexpr int maxIoAttempts = 3;
+constexpr std::chrono::milliseconds ioBackoffStep{2};
+
+/** True when @p filename looks like a store temporary (`*.tmp.<pid>`). */
+bool
+isTemporaryName(const std::string &filename)
+{
+    return filename.find(".tmp.") != std::string::npos;
+}
+
+void
+backoff(int attempt)
+{
+    // Linear backoff is plenty: the goal is to ride out transient
+    // contention, not to implement a distributed system.
+    std::this_thread::sleep_for(ioBackoffStep * attempt);
+}
+
+} // namespace
+
+TraceCacheStore::TraceCacheStore(std::string cache_dir,
+                                 std::chrono::seconds tmp_reap_age)
     : dir(std::move(cache_dir))
 {
     fatalIf(dir.empty(), "trace cache directory must not be empty");
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
-    fatalIf(static_cast<bool>(ec),
-            "cannot create trace cache directory " + dir + ": " +
-                ec.message());
+    if (ec) {
+        creationStatus = Status::error(
+            StatusCode::kIo, "cannot create trace cache directory " +
+                                 dir + ": " + ec.message());
+        return;
+    }
+
+    reapOrphanedTemporaries(tmp_reap_age);
+
+    // Probe writability now, through the injectable io layer, so an
+    // unwritable or full cache directory degrades the whole run to
+    // uncached capture up front instead of failing every store.
+    const std::string probe =
+        dir + "/.probe.tmp." + std::to_string(::getpid());
+    io::File file;
+    Status probed = file.openForWrite(probe);
+    if (probed.isOk())
+        probed = file.writeAll("vpsim", 5);
+    file.close();
+    std::filesystem::remove(probe, ec);
+    if (!probed.isOk()) {
+        creationStatus = Status::error(
+            probed.code(), "trace cache directory " + dir +
+                               " is not writable: " + probed.message());
+    }
+}
+
+void
+TraceCacheStore::reapOrphanedTemporaries(std::chrono::seconds tmp_reap_age)
+{
+    // A temporary older than the threshold belongs to a process that
+    // died mid-store (a live writer renames within seconds); left
+    // alone they accumulate forever. Errors are ignored: reaping is
+    // best-effort hygiene, and a concurrent reaper may win the race.
+    std::error_code ec;
+    const auto now = std::filesystem::file_time_type::clock::now();
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (ec)
+            break;
+        if (!entry.is_regular_file(ec))
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (!isTemporaryName(name))
+            continue;
+        const auto mtime = entry.last_write_time(ec);
+        if (ec) {
+            ec.clear();
+            continue;
+        }
+        if (now - mtime < tmp_reap_age)
+            continue;
+        if (std::filesystem::remove(entry.path(), ec) && !ec) {
+            ++reapedCount;
+            warn("reaped orphaned trace cache temporary " +
+                 entry.path().string());
+        }
+        ec.clear();
+    }
 }
 
 std::string
@@ -31,6 +113,15 @@ TraceCacheStore::pathFor(const TraceCacheKey &key) const
            "-k" + std::to_string(key.skip) + "-s" +
            std::to_string(key.scale) + "-d" + std::to_string(key.seed) +
            "-v" + std::to_string(key.formatVersion) + ".vptrace";
+}
+
+std::string
+TraceCacheStore::quarantinePathFor(const TraceCacheKey &key) const
+{
+    const std::filesystem::path entry(pathFor(key));
+    return (entry.parent_path() /
+            (".corrupt-" + entry.filename().string()))
+        .string();
 }
 
 bool
@@ -46,15 +137,40 @@ TraceCacheStore::tryLoad(const TraceCacheKey &key,
         ++missCount;
         return false;
     }
-    const Status read = readTrace(path, out);
-    if (!read.isOk()) {
-        *error = Status::error("unusable trace cache entry: " +
-                               read.message());
-        ++missCount;
-        return false;
+
+    Status read = Status::ok();
+    for (int attempt = 1; attempt <= maxIoAttempts; ++attempt) {
+        read = readTrace(path, out);
+        if (read.isOk()) {
+            ++hitCount;
+            return true;
+        }
+        if (read.code() != StatusCode::kIo)
+            break;
+        if (attempt < maxIoAttempts)
+            backoff(attempt);
     }
-    ++hitCount;
-    return true;
+
+    if (read.code() == StatusCode::kCorrupt) {
+        // Keep the evidence: move the bad entry aside under a name the
+        // next lookup ignores, so post-mortem can inspect what rotted
+        // while the sweep recaptures and carries on.
+        const std::string quarantine = quarantinePathFor(key);
+        std::error_code ec;
+        std::filesystem::rename(path, quarantine, ec);
+        if (ec)
+            std::filesystem::remove(path, ec);
+        *error = Status::error(
+            StatusCode::kCorrupt,
+            "corrupt trace cache entry quarantined to " + quarantine +
+                ": " + read.message());
+    } else {
+        *error = Status::error(read.code(),
+                               "unusable trace cache entry: " +
+                                   read.message());
+    }
+    ++missCount;
+    return false;
 }
 
 Status
@@ -66,19 +182,25 @@ TraceCacheStore::store(const TraceCacheKey &key,
     // the cache dir race benignly (last rename wins, both files valid).
     const std::string temp =
         path + ".tmp." + std::to_string(::getpid());
-    const Status written = writeTrace(temp, records);
-    if (!written.isOk()) {
-        std::remove(temp.c_str());
-        return written;
+
+    Status result = Status::ok();
+    for (int attempt = 1; attempt <= maxIoAttempts; ++attempt) {
+        result = writeTrace(temp, records);
+        if (result.isOk()) {
+            result = io::renameFile(temp, path);
+            if (result.isOk())
+                return result;
+            result = Status::error(result.code(),
+                                   "cannot publish trace cache entry: " +
+                                       result.message());
+        }
+        io::removeFile(temp);
+        if (result.code() != StatusCode::kIo)
+            break;
+        if (attempt < maxIoAttempts)
+            backoff(attempt);
     }
-    std::error_code ec;
-    std::filesystem::rename(temp, path, ec);
-    if (ec) {
-        std::remove(temp.c_str());
-        return Status::error("cannot publish trace cache entry " + path +
-                             ": " + ec.message());
-    }
-    return Status::ok();
+    return result;
 }
 
 } // namespace vpsim

@@ -13,15 +13,25 @@
  *
  * Concurrency: entries are written to a temporary name and renamed into
  * place, so concurrent jobs (or concurrent bench processes sharing a
- * --trace-cache-dir) never observe partial files. Corrupt or truncated
- * entries are rejected by the trace reader and reported to the caller,
- * which recaptures and overwrites.
+ * --trace-cache-dir) never observe partial files. Temporaries orphaned
+ * by killed processes are reaped on construction once they are older
+ * than a safety threshold, so live concurrent writers are untouched.
+ *
+ * Fault tolerance: reads and writes go through the fault-injectable
+ * io layer (common/io.hpp) and transient (kIo) failures are retried a
+ * bounded number of times with backoff. An entry that fails validation
+ * (kCorrupt: bad checksum, truncation, wrong magic) is quarantined to a
+ * `.corrupt-<key>` name for post-mortem and reported as a miss, so the
+ * caller recaptures instead of simulating bit-flipped data. A store
+ * whose directory cannot be created or written reports a non-ok
+ * status(); callers (SimRunner) degrade to uncached in-memory capture.
  */
 
 #ifndef VPSIM_TRACE_TRACE_CACHE_STORE_HPP
 #define VPSIM_TRACE_TRACE_CACHE_STORE_HPP
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -50,30 +60,53 @@ struct TraceCacheKey
 class TraceCacheStore
 {
   public:
+    /** Orphaned `*.tmp.<pid>` files younger than this are left alone. */
+    static constexpr std::chrono::seconds defaultTmpReapAge{3600};
+
     /**
      * @param cache_dir Directory for entries; created (with parents)
-     *        if it does not exist. fatal() if creation fails.
+     *        if it does not exist. Creation or writability failure is
+     *        recorded in status(), not fatal — callers degrade.
+     * @param tmp_reap_age Orphaned-temporary age threshold (tests
+     *        shorten it).
      */
-    explicit TraceCacheStore(std::string cache_dir);
+    explicit TraceCacheStore(
+        std::string cache_dir,
+        std::chrono::seconds tmp_reap_age = defaultTmpReapAge);
 
     const std::string &directory() const { return dir; }
+
+    /**
+     * ok() when the directory exists and a write probe succeeded at
+     * construction; otherwise the error explaining why the cache is
+     * unusable (callers should fall back to uncached capture).
+     */
+    const Status &status() const { return creationStatus; }
 
     /** The entry file an exact @p key match would live in. */
     std::string pathFor(const TraceCacheKey &key) const;
 
+    /** Where a corrupt entry for @p key is quarantined. */
+    std::string quarantinePathFor(const TraceCacheKey &key) const;
+
     /**
-     * Look up @p key.
+     * Look up @p key. Transient read failures are retried with backoff;
+     * corrupt entries are quarantined to quarantinePathFor(key).
      *
      * @param out Replaced with the cached records on a hit.
-     * @param error Set when an entry exists but cannot be read (corrupt,
-     *        truncated, wrong version); such entries count as misses and
-     *        the message names the offending file.
+     * @param error Set when an entry exists but cannot be used (corrupt,
+     *        unreadable); such entries count as misses and the message
+     *        names the offending file (and its quarantine destination
+     *        when it was moved).
      * @return true on a hit.
      */
     bool tryLoad(const TraceCacheKey &key, std::vector<TraceRecord> *out,
                  Status *error) const;
 
-    /** Store @p records under @p key (atomic rename into place). */
+    /**
+     * Store @p records under @p key (atomic rename into place).
+     * Transient failures are retried with backoff before giving up.
+     */
     Status store(const TraceCacheKey &key,
                  const std::vector<TraceRecord> &records) const;
 
@@ -83,8 +116,15 @@ class TraceCacheStore
     std::uint64_t misses() const { return missCount.load(); }
     /// @}
 
+    /** Orphaned temporaries deleted by the constructor's reap. */
+    std::uint64_t reapedTmpFiles() const { return reapedCount; }
+
   private:
+    void reapOrphanedTemporaries(std::chrono::seconds tmp_reap_age);
+
     std::string dir;
+    Status creationStatus = Status::ok();
+    std::uint64_t reapedCount = 0;
     mutable std::atomic<std::uint64_t> hitCount{0};
     mutable std::atomic<std::uint64_t> missCount{0};
 };

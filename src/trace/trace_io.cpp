@@ -1,9 +1,11 @@
 #include "trace/trace_io.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <memory>
 
+#include "common/crc32.hpp"
+#include "common/io.hpp"
 #include "common/logging.hpp"
 
 namespace vpsim
@@ -18,6 +20,9 @@ constexpr char traceMagic[4] = {'V', 'P', 'T', 'R'};
 constexpr std::size_t packedRecordBytes =
     8 /*seq*/ + 8 /*pc*/ + 8 /*nextPc*/ + 8 /*memAddr*/ + 8 /*result*/ +
     1 /*op*/ + 1 /*rd*/ + 1 /*rs1*/ + 1 /*rs2*/ + 1 /*taken*/;
+
+/** Bytes in the CRC-32 footer. */
+constexpr std::size_t footerBytes = 4;
 
 void
 packU64(unsigned char *out, std::uint64_t value)
@@ -35,12 +40,21 @@ unpackU64(const unsigned char *in)
     return value;
 }
 
-struct FileCloser
+void
+packU32(unsigned char *out, std::uint32_t value)
 {
-    void operator()(std::FILE *file) const { if (file) std::fclose(file); }
-};
+    for (int i = 0; i < 4; ++i)
+        out[i] = static_cast<unsigned char>(value >> (8 * i));
+}
 
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+std::uint32_t
+unpackU32(const unsigned char *in)
+{
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+    return value;
+}
 
 } // namespace
 
@@ -48,19 +62,19 @@ Status
 writeTrace(const std::string &path,
            const std::vector<TraceRecord> &records)
 {
-    FilePtr file(std::fopen(path.c_str(), "wb"));
-    if (!file)
-        return Status::error("cannot open trace file for writing: " +
-                             path);
+    io::File file;
+    if (Status opened = file.openForWrite(path); !opened.isOk())
+        return opened;
 
+    Crc32 crc;
     unsigned char header[16] = {};
     std::memcpy(header, traceMagic, 4);
     packU64(header + 8, records.size());
     header[4] = static_cast<unsigned char>(traceFormatVersion);
-    if (std::fwrite(header, 1, sizeof(header), file.get()) !=
-        sizeof(header)) {
-        return Status::error("short write on trace header: " + path);
-    }
+    crc.update(header, sizeof(header));
+    if (Status put = file.writeAll(header, sizeof(header)); !put.isOk())
+        return Status::error(put.code(),
+                             "trace header: " + put.message());
 
     std::vector<unsigned char> buffer(packedRecordBytes);
     for (const TraceRecord &rec : records) {
@@ -75,14 +89,20 @@ writeTrace(const std::string &path,
         *p++ = rec.rs1;
         *p++ = rec.rs2;
         *p++ = rec.taken ? 1 : 0;
-        if (std::fwrite(buffer.data(), 1, buffer.size(), file.get()) !=
-            buffer.size()) {
-            return Status::error("short write on trace record: " + path);
+        crc.update(buffer.data(), buffer.size());
+        if (Status put = file.writeAll(buffer.data(), buffer.size());
+            !put.isOk()) {
+            return Status::error(put.code(),
+                                 "trace record: " + put.message());
         }
     }
-    if (std::fflush(file.get()) != 0 || std::ferror(file.get()))
-        return Status::error("I/O error writing trace file: " + path);
-    return Status::ok();
+
+    unsigned char footer[footerBytes];
+    packU32(footer, crc.value());
+    if (Status put = file.writeAll(footer, sizeof(footer)); !put.isOk())
+        return Status::error(put.code(),
+                             "trace footer: " + put.message());
+    return file.flush();
 }
 
 Status
@@ -91,29 +111,44 @@ readTrace(const std::string &path, std::vector<TraceRecord> *out)
     panicIf(out == nullptr, "readTrace needs an output vector");
     out->clear();
 
-    FilePtr file(std::fopen(path.c_str(), "rb"));
-    if (!file)
-        return Status::error("cannot open trace file for reading: " +
-                             path);
+    io::File file;
+    if (Status opened = file.openForRead(path); !opened.isOk())
+        return opened;
 
+    Crc32 crc;
     unsigned char header[16];
-    if (std::fread(header, 1, sizeof(header), file.get()) !=
-        sizeof(header)) {
-        return Status::error("short read on trace header: " + path);
-    }
+    if (Status got = file.readExact(header, sizeof(header)); !got.isOk())
+        return Status::error(got.code(),
+                             "trace header: " + got.message());
+    crc.update(header, sizeof(header));
     if (std::memcmp(header, traceMagic, 4) != 0)
-        return Status::error("bad trace file magic: " + path);
-    if (header[4] != traceFormatVersion)
-        return Status::error("unsupported trace file version in " + path);
+        return Status::error(StatusCode::kCorrupt,
+                             "bad trace file magic: " + path);
+    if (header[4] != traceFormatVersion) {
+        return Status::error(
+            StatusCode::kCorrupt,
+            "unsupported trace file version " +
+                std::to_string(header[4]) + " in " + path +
+                " (expected " + std::to_string(traceFormatVersion) +
+                ")");
+    }
     const std::uint64_t count = unpackU64(header + 8);
 
-    out->reserve(count);
+    // The count is untrusted on-disk data: cap the up-front reservation
+    // so a corrupt header cannot trigger a huge allocation — a lying
+    // count is caught by truncation/checksum a few reads later.
+    out->reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, 1u << 20)));
     std::vector<unsigned char> buffer(packedRecordBytes);
     for (std::uint64_t i = 0; i < count; ++i) {
-        if (std::fread(buffer.data(), 1, buffer.size(), file.get()) !=
-            buffer.size()) {
-            return Status::error("truncated trace file: " + path);
+        if (Status got = file.readExact(buffer.data(), buffer.size());
+            !got.isOk()) {
+            return Status::error(got.code(),
+                                 "trace record " + std::to_string(i) +
+                                     " of " + std::to_string(count) +
+                                     ": " + got.message());
         }
+        crc.update(buffer.data(), buffer.size());
         const unsigned char *p = buffer.data();
         TraceRecord rec;
         rec.seq = unpackU64(p); p += 8;
@@ -122,7 +157,9 @@ readTrace(const std::string &path, std::vector<TraceRecord> *out)
         rec.memAddr = unpackU64(p); p += 8;
         rec.result = unpackU64(p); p += 8;
         if (*p >= static_cast<unsigned char>(OpCode::NumOpCodes))
-            return Status::error("corrupt opcode in trace file: " + path);
+            return Status::error(StatusCode::kCorrupt,
+                                 "corrupt opcode in trace file: " +
+                                     path);
         rec.op = static_cast<OpCode>(*p); ++p;
         rec.rd = *p++;
         rec.rs1 = *p++;
@@ -130,12 +167,28 @@ readTrace(const std::string &path, std::vector<TraceRecord> *out)
         rec.taken = *p != 0;
         out->push_back(rec);
     }
-    // A well-formed file ends exactly after the declared records; bytes
-    // beyond that mean the header lied (e.g. two writers raced).
-    if (std::fgetc(file.get()) != EOF)
-        return Status::error("trailing bytes after " +
-                             std::to_string(count) +
-                             " records in trace file: " + path);
+
+    unsigned char footer[footerBytes];
+    if (Status got = file.readExact(footer, sizeof(footer)); !got.isOk())
+        return Status::error(got.code(),
+                             "trace footer: " + got.message());
+    const std::uint32_t stored = unpackU32(footer);
+    if (stored != crc.value()) {
+        char detail[64];
+        std::snprintf(detail, sizeof(detail),
+                      "stored %08x, computed %08x", stored, crc.value());
+        return Status::error(StatusCode::kCorrupt,
+                             "trace checksum mismatch in " + path +
+                                 " (" + detail + ")");
+    }
+
+    // A well-formed file ends exactly after the footer; bytes beyond
+    // that mean the header lied (e.g. two writers raced).
+    if (!file.atEof())
+        return Status::error(StatusCode::kCorrupt,
+                             "trailing bytes after " +
+                                 std::to_string(count) +
+                                 " records in trace file: " + path);
     return Status::ok();
 }
 

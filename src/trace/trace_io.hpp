@@ -2,16 +2,21 @@
  * @file
  * Versioned binary trace file format.
  *
- * Layout: a fixed header (magic "VPTR", format version, record count)
- * followed by packed little-endian records. This lets users capture a
- * workload trace once and re-run experiments against the file, mirroring
- * how the paper's authors drove their simulator from Shade trace files.
+ * Layout: a fixed header (magic "VPTR", format version, record count),
+ * packed little-endian records, and a CRC-32 footer over everything
+ * before it. This lets users capture a workload trace once and re-run
+ * experiments against the file, mirroring how the paper's authors drove
+ * their simulator from Shade trace files — and lets the trace cache
+ * detect a bit-flipped or torn entry instead of silently simulating it.
  *
  * The Status-returning readTrace()/writeTrace() are the primary API:
  * short, corrupt, or over-long files are reported (with the offending
- * path) instead of killing the process, so callers like the trace cache
- * can fall back to recapturing. The fatal() wrappers remain for tools
- * where dying with the message is the right behaviour.
+ * path, the failure class from status.hpp, and strerror(errno) detail
+ * for I/O errors) instead of killing the process, so callers like the
+ * trace cache can fall back to recapturing. All I/O goes through the
+ * fault-injectable io::File layer (common/io.hpp), so every error
+ * branch here is reachable in tests. The fatal() wrappers remain for
+ * tools where dying with the message is the right behaviour.
  */
 
 #ifndef VPSIM_TRACE_TRACE_IO_HPP
@@ -26,13 +31,13 @@
 namespace vpsim
 {
 
-/** Current trace file format version. */
-inline constexpr std::uint32_t traceFormatVersion = 1;
+/** Current trace file format version (2 added the CRC-32 footer). */
+inline constexpr std::uint32_t traceFormatVersion = 2;
 
 /**
  * Write @p records to @p path in the binary trace format.
  *
- * @return ok, or an error naming the path on I/O failure (the file may
+ * @return ok, or a kIo error naming the path on failure (the file may
  *         be left partially written; callers wanting atomicity should
  *         write to a temporary name and rename).
  */
@@ -44,9 +49,10 @@ Status writeTrace(const std::string &path,
  *
  * @param out Replaced with the file's records on success; unspecified
  *        contents on error.
- * @return ok, or an error naming the path on I/O failure, bad magic,
- *         version mismatch, truncation, corrupt records, or trailing
- *         garbage after the declared record count.
+ * @return ok, a kIo error on open/read failure, or a kCorrupt error on
+ *         bad magic, version mismatch (reporting found vs. expected),
+ *         truncation, corrupt records, checksum mismatch, or trailing
+ *         garbage after the footer. Every message names the path.
  */
 Status readTrace(const std::string &path, std::vector<TraceRecord> *out);
 

@@ -4,11 +4,18 @@
  * histograms, RNG, stats groups, table printing, and option parsing.
  */
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "common/crc32.hpp"
 #include "common/histogram.hpp"
+#include "common/io.hpp"
 #include "common/options.hpp"
 #include "common/rng.hpp"
+#include "common/status.hpp"
 #include "common/sat_counter.hpp"
 #include "common/stats.hpp"
 #include "common/table_printer.hpp"
@@ -325,6 +332,157 @@ TEST(OptionsTest, BadIntegerDies)
     opts.parse(3, argv, "test");
     EXPECT_EXIT(opts.getInt("n"), ::testing::ExitedWithCode(1),
                 "expects an integer");
+}
+
+TEST(OptionsTest, FingerprintIsCanonicalAndFiltered)
+{
+    Options a;
+    a.declare("insts", "1000", "");
+    a.declare("jobs", "0", "");
+    const char *argv_a[] = {"prog", "--jobs", "8"};
+    a.parse(3, argv_a, "test");
+
+    Options b;
+    b.declare("jobs", "0", "");
+    b.declare("insts", "1000", "");
+    const char *argv_b[] = {"prog", "--insts=1000", "--jobs", "2"};
+    b.parse(4, argv_b, "test");
+
+    // Declaration order and explicit-vs-default must not matter, and
+    // excluded (execution-only) options must not change the print.
+    EXPECT_EQ(a.fingerprint({"jobs"}), b.fingerprint({"jobs"}));
+    EXPECT_NE(a.fingerprint(), b.fingerprint())
+        << "--jobs differs when not excluded";
+
+    Options c;
+    c.declare("insts", "1000", "");
+    c.declare("jobs", "0", "");
+    const char *argv_c[] = {"prog", "--insts", "2000"};
+    c.parse(3, argv_c, "test");
+    EXPECT_NE(a.fingerprint({"jobs"}), c.fingerprint({"jobs"}))
+        << "a result-relevant option must change the fingerprint";
+}
+
+TEST(StatusTest, CarriesCodeAndMessage)
+{
+    EXPECT_EQ(Status::ok().code(), StatusCode::kOk);
+    EXPECT_TRUE(Status::ok().isOk());
+    const Status io = Status::error("disk trouble");
+    EXPECT_EQ(io.code(), StatusCode::kIo)
+        << "untyped errors default to the transient I/O class";
+    const Status corrupt =
+        Status::error(StatusCode::kCorrupt, "bad checksum");
+    EXPECT_FALSE(corrupt.isOk());
+    EXPECT_EQ(corrupt.code(), StatusCode::kCorrupt);
+    EXPECT_EQ(corrupt.message(), "bad checksum");
+    EXPECT_STREQ(statusCodeName(StatusCode::kCorrupt), "corrupt");
+    EXPECT_STREQ(statusCodeName(StatusCode::kCanceled), "canceled");
+}
+
+TEST(Crc32Test, MatchesTheStandardCheckValue)
+{
+    // The classic CRC-32 check: crc32("123456789") == 0xCBF43926.
+    EXPECT_EQ(crc32("123456789", 9), 0xcbf43926u);
+}
+
+TEST(Crc32Test, IncrementalEqualsOneShot)
+{
+    const std::string data = "the quick brown fox jumps over";
+    Crc32 incremental;
+    incremental.update(data.data(), 10);
+    incremental.update(data.data() + 10, data.size() - 10);
+    EXPECT_EQ(incremental.value(), crc32(data.data(), data.size()));
+    EXPECT_NE(crc32(data.data(), data.size()),
+              crc32(data.data(), data.size() - 1));
+}
+
+/** Restores a clean (inactive) global fault injector on scope exit. */
+struct InjectorGuard
+{
+    ~InjectorGuard() { io::configureFaultInjection(""); }
+};
+
+TEST(FaultInjector, FiresOnTheNthOperationOnce)
+{
+    InjectorGuard guard;
+    io::configureFaultInjection("write:2:enospc,read:1:eio");
+    EXPECT_EQ(io::faultInjector().next("write"), io::FaultKind::None);
+    EXPECT_EQ(io::faultInjector().next("write"),
+              io::FaultKind::Enospc);
+    EXPECT_EQ(io::faultInjector().next("write"), io::FaultKind::None)
+        << "a clause fires exactly once";
+    EXPECT_EQ(io::faultInjector().next("read"), io::FaultKind::Eio);
+    EXPECT_EQ(io::faultInjector().next("read"), io::FaultKind::None);
+}
+
+TEST(FaultInjector, BadSpecDies)
+{
+    EXPECT_EXIT(io::configureFaultInjection("write:1:frobnicate"),
+                ::testing::ExitedWithCode(1), "unknown fault kind");
+    EXPECT_EXIT(io::configureFaultInjection("teleport:1:eio"),
+                ::testing::ExitedWithCode(1), "unknown fault-inject op");
+    EXPECT_EXIT(io::configureFaultInjection("write:zero:eio"),
+                ::testing::ExitedWithCode(1), "bad fault-inject");
+}
+
+TEST(IoFile, InjectedWriteFailureCarriesErrnoDetail)
+{
+    InjectorGuard guard;
+    io::configureFaultInjection("write:1:enospc");
+    io::File file;
+    const std::string path = "/tmp/vpsim_io_enospc.bin";
+    ASSERT_TRUE(file.openForWrite(path).isOk());
+    const Status put = file.writeAll("abc", 3);
+    ASSERT_FALSE(put.isOk());
+    EXPECT_EQ(put.code(), StatusCode::kIo);
+    EXPECT_NE(put.message().find("No space left on device"),
+              std::string::npos)
+        << put.message();
+    EXPECT_NE(put.message().find(path), std::string::npos)
+        << "errors must name the file: " << put.message();
+    file.close();
+    std::remove(path.c_str());
+}
+
+TEST(IoFile, TornWriteLosesTheTailSilently)
+{
+    InjectorGuard guard;
+    io::configureFaultInjection("write:1:torn,seed:7");
+    const std::string path = "/tmp/vpsim_io_torn.bin";
+    io::File file;
+    ASSERT_TRUE(file.openForWrite(path).isOk());
+    std::vector<char> payload(1024, 'x');
+    EXPECT_TRUE(file.writeAll(payload.data(), payload.size()).isOk())
+        << "a torn write reports success, like a crash before fsync";
+    EXPECT_TRUE(file.flush().isOk());
+    file.close();
+
+    io::File reread;
+    ASSERT_TRUE(reread.openForRead(path).isOk());
+    const Status got = reread.readExact(payload.data(), payload.size());
+    ASSERT_FALSE(got.isOk()) << "the tail must be missing";
+    EXPECT_EQ(got.code(), StatusCode::kCorrupt);
+    reread.close();
+    std::remove(path.c_str());
+}
+
+TEST(IoFile, ShortFileReadsAsCorruptNotIo)
+{
+    const std::string path = "/tmp/vpsim_io_short.bin";
+    {
+        io::File file;
+        ASSERT_TRUE(file.openForWrite(path).isOk());
+        ASSERT_TRUE(file.writeAll("ab", 2).isOk());
+    }
+    io::File file;
+    ASSERT_TRUE(file.openForRead(path).isOk());
+    char buffer[16];
+    const Status got = file.readExact(buffer, sizeof(buffer));
+    ASSERT_FALSE(got.isOk());
+    EXPECT_EQ(got.code(), StatusCode::kCorrupt)
+        << "truncation is data corruption, not a transient I/O error";
+    file.close();
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -6,9 +6,16 @@
  * parallel grid execution.
  */
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -212,6 +219,91 @@ TEST(SimRunner, NegativeJobsDies)
 {
     const Options options = parsedOptions({"--jobs", "-3"});
     EXPECT_DEATH(SimRunner runner(options), "jobs");
+}
+
+/** A 2x2 grid whose (1,0) cell throws; other cells are 10*row+col. */
+double
+faultyCell(std::size_t row, std::size_t col)
+{
+    if (row == 1 && col == 0)
+        throw std::runtime_error("injected cell failure");
+    return static_cast<double>(10 * row + col);
+}
+
+TEST(SimRunner, ThrowingJobAbortsTheSweepByDefault)
+{
+    const Options options = parsedOptions({"--jobs", "2"});
+    SimRunner runner(options);
+    EXPECT_THROW(runner.runGrid(2, 2, faultyCell), std::runtime_error);
+}
+
+TEST(SimRunner, KeepGoingIsolatesTheFailureAsNan)
+{
+    const Options options =
+        parsedOptions({"--jobs", "2", "--keep-going", "1"});
+    SimRunner runner(options);
+    const auto cells = runner.runGrid(2, 2, faultyCell);
+    EXPECT_TRUE(std::isnan(cells[1][0]))
+        << "the failed cell must be visibly absent, not silently zero";
+    EXPECT_EQ(cells[0][0], 0.0);
+    EXPECT_EQ(cells[0][1], 1.0);
+    EXPECT_EQ(cells[1][1], 11.0);
+    ASSERT_EQ(runner.failures().size(), 1u);
+    EXPECT_EQ(runner.failures()[0].label, "cell[1][0]");
+    EXPECT_NE(runner.failures()[0].error.find("injected cell failure"),
+              std::string::npos);
+}
+
+TEST(SimRunner, ResumeWithoutCheckpointDies)
+{
+    const Options options = parsedOptions({"--resume", "1"});
+    EXPECT_DEATH(SimRunner runner(options),
+                 "--resume requires --checkpoint");
+}
+
+TEST(SimRunner, SigintFlushesACheckpointAndResumeFinishes)
+{
+    const std::string ckpt = "/tmp/vpsim_test_ckpt_" +
+                             std::to_string(::getpid()) + ".txt";
+    std::remove(ckpt.c_str());
+
+    // Interrupted sweep, in a death-test child: with --jobs 1 the grid
+    // runs in submission order, so `job:2:sigint` lands after exactly
+    // one finished cell. The runner must drain, flush the checkpoint,
+    // and exit 128+SIGINT.
+    const auto interrupted = [&] {
+        const Options options = parsedOptions(
+            {"--jobs", "1", "--checkpoint", ckpt.c_str(),
+             "--fault-inject", "job:2:sigint"});
+        SimRunner runner(options);
+        runner.runGrid(2, 2, [](std::size_t row, std::size_t col) {
+            return static_cast<double>(10 * row + col);
+        });
+    };
+    EXPECT_EXIT(interrupted(), ::testing::ExitedWithCode(128 + SIGINT),
+                "interrupted by signal 2.*1 of 4 cells checkpointed");
+    ASSERT_TRUE(std::ifstream(ckpt).good())
+        << "the interrupted run must leave a checkpoint behind";
+
+    // Resume: the finished cell is served from the checkpoint (its job
+    // never runs again), the rest compute, and values are identical to
+    // an uninterrupted sweep.
+    const Options options = parsedOptions(
+        {"--jobs", "1", "--checkpoint", ckpt.c_str(), "--resume", "1"});
+    SimRunner runner(options);
+    std::atomic<int> cell_calls{0};
+    const auto cells =
+        runner.runGrid(2, 2, [&](std::size_t row, std::size_t col) {
+            ++cell_calls;
+            return static_cast<double>(10 * row + col);
+        });
+    EXPECT_EQ(runner.resumedCells(), 1u);
+    EXPECT_EQ(cell_calls.load(), 3)
+        << "resume must not recompute the checkpointed cell";
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_EQ(cells[r][c], static_cast<double>(10 * r + c));
+    std::remove(ckpt.c_str());
 }
 
 } // namespace

@@ -6,12 +6,14 @@
  * atomic store-then-reload round trip.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "common/io.hpp"
 #include "trace/trace_cache_store.hpp"
 #include "workloads/workload.hpp"
 
@@ -142,6 +144,110 @@ TEST_F(TraceCacheTest, CorruptEntryIsAMissWithAnError)
     error = Status::ok();
     EXPECT_TRUE(cache.tryLoad(key, &out, &error));
     EXPECT_TRUE(error.isOk());
+}
+
+/** Reset the global fault injector even when a test fails mid-way. */
+struct InjectorGuard
+{
+    ~InjectorGuard() { io::configureFaultInjection(""); }
+};
+
+TEST_F(TraceCacheTest, ChecksumCorruptionIsQuarantinedAndRecaptured)
+{
+    TraceCacheStore cache(dir.string());
+    const TraceCacheKey key = keyFor("go", 400);
+    const auto trace = captureWorkloadTrace("go", 400);
+    ASSERT_TRUE(cache.store(key, trace).isOk());
+
+    // Flip one payload bit: structurally valid, checksum-invalid.
+    const std::string path = cache.pathFor(key);
+    std::FILE *file = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(file, nullptr);
+    std::fseek(file, 16 + 9, SEEK_SET);
+    const int byte = std::fgetc(file);
+    std::fseek(file, 16 + 9, SEEK_SET);
+    std::fputc(byte ^ 0x01, file);
+    std::fclose(file);
+
+    std::vector<TraceRecord> out;
+    Status error = Status::ok();
+    EXPECT_FALSE(cache.tryLoad(key, &out, &error));
+    ASSERT_FALSE(error.isOk());
+    const std::string quarantine = cache.quarantinePathFor(key);
+    EXPECT_NE(error.message().find("quarantined"), std::string::npos)
+        << error.message();
+    EXPECT_NE(error.message().find(quarantine), std::string::npos)
+        << "error must name the quarantine destination: "
+        << error.message();
+    EXPECT_FALSE(std::filesystem::exists(path))
+        << "the corrupt entry must be moved out of the lookup path";
+    EXPECT_TRUE(std::filesystem::exists(quarantine))
+        << "the corrupt bytes must be preserved for post-mortem";
+
+    // Recapture: the store-and-reload cycle heals the entry.
+    ASSERT_TRUE(cache.store(key, trace).isOk());
+    error = Status::ok();
+    ASSERT_TRUE(cache.tryLoad(key, &out, &error));
+    EXPECT_TRUE(error.isOk());
+    ASSERT_EQ(out.size(), trace.size());
+    EXPECT_EQ(out.back().result, trace.back().result);
+}
+
+TEST_F(TraceCacheTest, ReapsOnlyStaleTemporaries)
+{
+    std::filesystem::create_directories(dir);
+    const auto old_tmp = dir / "go-i400.vptrace.tmp.12345";
+    const auto fresh_tmp = dir / "gcc-i400.vptrace.tmp.12346";
+    for (const auto &p : {old_tmp, fresh_tmp}) {
+        std::FILE *file = std::fopen(p.c_str(), "wb");
+        ASSERT_NE(file, nullptr);
+        std::fputs("partial", file);
+        std::fclose(file);
+    }
+    std::filesystem::last_write_time(
+        old_tmp, std::filesystem::file_time_type::clock::now() -
+                     std::chrono::hours(2));
+
+    TraceCacheStore cache(dir.string());
+    EXPECT_EQ(cache.reapedTmpFiles(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(old_tmp))
+        << "stale orphans must be deleted";
+    EXPECT_TRUE(std::filesystem::exists(fresh_tmp))
+        << "a live concurrent writer's temporary must survive";
+}
+
+TEST_F(TraceCacheTest, UnwritableDirectoryDegradesNotDies)
+{
+    InjectorGuard guard;
+    // The constructor's write probe hits the injected ENOSPC, so the
+    // store reports itself unusable instead of crashing later.
+    io::configureFaultInjection("write:1:enospc");
+    TraceCacheStore cache(dir.string());
+    ASSERT_FALSE(cache.status().isOk());
+    EXPECT_EQ(cache.status().code(), StatusCode::kIo);
+    EXPECT_NE(cache.status().message().find("No space left"),
+              std::string::npos)
+        << cache.status().message();
+}
+
+TEST_F(TraceCacheTest, StoreRetriesTransientWriteFailures)
+{
+    TraceCacheStore cache(dir.string()); // probe before arming faults
+    ASSERT_TRUE(cache.status().isOk());
+    InjectorGuard guard;
+    io::configureFaultInjection("write:2:eio");
+    const auto trace = captureWorkloadTrace("go", 200);
+    const TraceCacheKey key = keyFor("go", 200);
+    ASSERT_TRUE(cache.store(key, trace).isOk())
+        << "one EIO mid-write must be absorbed by the retry loop";
+
+    io::configureFaultInjection("read:1:eio");
+    std::vector<TraceRecord> out;
+    Status error = Status::ok();
+    EXPECT_TRUE(cache.tryLoad(key, &out, &error))
+        << "one EIO on read must be absorbed by the retry loop: "
+        << error.message();
+    EXPECT_EQ(out.size(), trace.size());
 }
 
 TEST_F(TraceCacheTest, EntriesLiveInsideTheDirectory)

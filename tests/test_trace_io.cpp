@@ -4,6 +4,7 @@
  */
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -144,6 +145,77 @@ TEST(TraceIo, StatusApiRejectsBadMagic)
     const Status read = readTrace(path, &out);
     ASSERT_FALSE(read.isOk());
     EXPECT_NE(read.message().find("magic"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, VersionMismatchReportsFoundAndExpected)
+{
+    const std::string path = tempPath("vpsim_version.vptrace");
+    const auto trace = captureWorkloadTrace("go", 50);
+    writeTraceFile(path, trace);
+    // Patch the version byte to a stale value.
+    std::FILE *file = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(file, nullptr);
+    std::fseek(file, 4, SEEK_SET);
+    std::fputc(1, file);
+    std::fclose(file);
+
+    std::vector<TraceRecord> out;
+    const Status read = readTrace(path, &out);
+    ASSERT_FALSE(read.isOk());
+    EXPECT_EQ(read.code(), StatusCode::kCorrupt);
+    EXPECT_NE(read.message().find("version 1"), std::string::npos)
+        << "must report the version found: " << read.message();
+    EXPECT_NE(read.message().find(
+                  "expected " + std::to_string(traceFormatVersion)),
+              std::string::npos)
+        << "must report the version expected: " << read.message();
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, ChecksumCatchesFlippedPayloadByte)
+{
+    const std::string path = tempPath("vpsim_bitflip.vptrace");
+    const auto trace = captureWorkloadTrace("go", 200);
+    writeTraceFile(path, trace);
+    // Flip one bit inside the first record's seq field — a corruption
+    // that no structural check (magic, version, opcode range, length)
+    // can see. Only the checksum footer catches it.
+    std::FILE *file = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(file, nullptr);
+    std::fseek(file, 16 + 3, SEEK_SET);
+    const int original = std::fgetc(file);
+    std::fseek(file, 16 + 3, SEEK_SET);
+    std::fputc(original ^ 0x40, file);
+    std::fclose(file);
+
+    std::vector<TraceRecord> out;
+    const Status read = readTrace(path, &out);
+    ASSERT_FALSE(read.isOk());
+    EXPECT_EQ(read.code(), StatusCode::kCorrupt);
+    EXPECT_NE(read.message().find("checksum mismatch"),
+              std::string::npos)
+        << read.message();
+    EXPECT_NE(read.message().find(path), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFooterIsCorrupt)
+{
+    const std::string path = tempPath("vpsim_nofooter.vptrace");
+    const auto trace = captureWorkloadTrace("go", 100);
+    writeTraceFile(path, trace);
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    ASSERT_FALSE(ec);
+    ASSERT_EQ(truncate(path.c_str(),
+                       static_cast<off_t>(size - 2)), 0);
+    std::vector<TraceRecord> out;
+    const Status read = readTrace(path, &out);
+    ASSERT_FALSE(read.isOk());
+    EXPECT_EQ(read.code(), StatusCode::kCorrupt);
+    EXPECT_NE(read.message().find("footer"), std::string::npos)
+        << read.message();
     std::remove(path.c_str());
 }
 
