@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "core/ideal_machine.hpp"
+#include "core/reference_machine.hpp"
 #include "predictor/factory.hpp"
 #include "sim/sim_runner.hpp"
 
@@ -37,14 +38,23 @@ main(int argc, char **argv)
     for (const std::size_t cap : capacities)
         columns.push_back(cap == 0 ? "infinite" : std::to_string(cap));
 
+    const auto pointConfig = [&](std::size_t col) {
+        IdealMachineConfig config;
+        config.fetchRate = 16;
+        config.tableCapacity = capacities[col];
+        config.predictorKind = predictor;
+        return config;
+    };
     const auto gains = runner.runGrid(
         bench.size(), capacities.size(),
         [&](std::size_t row, std::size_t col) {
-            IdealMachineConfig config;
-            config.fetchRate = 16;
-            config.tableCapacity = capacities[col];
-            config.predictorKind = predictor;
-            return idealVpSpeedup(bench.trace(row), config) - 1.0;
+            return idealVpSpeedup(bench.trace(row), pointConfig(col)) -
+                   1.0;
+        },
+        [&](std::size_t row, std::size_t col) {
+            return referenceIdealVpSpeedup(bench.trace(row),
+                                           pointConfig(col)) -
+                   1.0;
         });
 
     std::fputs(renderPercentTable(

@@ -14,6 +14,7 @@
 
 #include "common/table_printer.hpp"
 #include "core/ideal_machine.hpp"
+#include "core/reference_machine.hpp"
 #include "predictor/factory.hpp"
 #include "sim/sim_runner.hpp"
 
@@ -37,14 +38,23 @@ main(int argc, char **argv)
     for (const unsigned p : penalties)
         columns.push_back("penalty=" + std::to_string(p));
 
+    const auto pointConfig = [&](std::size_t col) {
+        IdealMachineConfig config;
+        config.fetchRate = 16;
+        config.vpPenalty = penalties[col];
+        config.predictorKind = predictor;
+        return config;
+    };
     const auto gains = runner.runGrid(
         bench.size(), penalties.size(),
         [&](std::size_t row, std::size_t col) {
-            IdealMachineConfig config;
-            config.fetchRate = 16;
-            config.vpPenalty = penalties[col];
-            config.predictorKind = predictor;
-            return idealVpSpeedup(bench.trace(row), config) - 1.0;
+            return idealVpSpeedup(bench.trace(row), pointConfig(col)) -
+                   1.0;
+        },
+        [&](std::size_t row, std::size_t col) {
+            return referenceIdealVpSpeedup(bench.trace(row),
+                                           pointConfig(col)) -
+                   1.0;
         });
 
     std::fputs(renderPercentTable(

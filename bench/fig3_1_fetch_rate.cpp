@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "core/ideal_machine.hpp"
+#include "core/reference_machine.hpp"
 #include "predictor/factory.hpp"
 #include "sim/sim_runner.hpp"
 
@@ -39,13 +40,22 @@ main(int argc, char **argv)
     for (const unsigned rate : rates)
         columns.push_back("BW=" + std::to_string(rate));
 
+    const auto pointConfig = [&](std::size_t col) {
+        IdealMachineConfig config;
+        config.fetchRate = rates[col];
+        config.predictorKind = predictor;
+        return config;
+    };
     const auto gains = runner.runGrid(
         bench.size(), rates.size(),
         [&](std::size_t row, std::size_t col) {
-            IdealMachineConfig config;
-            config.fetchRate = rates[col];
-            config.predictorKind = predictor;
-            return idealVpSpeedup(bench.trace(row), config) - 1.0;
+            return idealVpSpeedup(bench.trace(row), pointConfig(col)) -
+                   1.0;
+        },
+        [&](std::size_t row, std::size_t col) {
+            return referenceIdealVpSpeedup(bench.trace(row),
+                                           pointConfig(col)) -
+                   1.0;
         });
 
     std::fputs(renderPercentTable(

@@ -70,6 +70,9 @@ main(int argc, char **argv)
                stdout);
     std::puts("\npaper reference (avg): >10% with the 2-level BTB, "
               "<40% with an ideal BTB");
+    maybeWriteCsv(options, "fig5.3", bench.names, columns, gains);
+    maybeWriteCsv(options, "fig5.3.tc_hit_rate", bench.names, columns,
+                  hit_rates);
     runner.reportStats();
     return 0;
 }

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Mutation smoke test: prove the self-checking machinery actually
+# detects a model bug, not just that it stays quiet on correct code.
+#
+# Builds a separate tree with -DVPSIM_MUTATION=classifier-drop-correct,
+# which deletes the classifier's correct-prediction increment (see
+# src/predictor/classifier.cpp). The vp.hit_miss_balance invariant
+# (predictions made == correct + wrong) must then fire: under
+# --keep-going the affected cells become NaN and the failure list shows
+# a [internal] invariant violation. If the mutant runs cleanly, the
+# self-checks are dead and this script fails.
+#
+# Usage: scripts/mutation_smoke.sh [mutant-build-dir]
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build-mutation-smoke}"
+
+echo "mutation-smoke: building mutant (classifier-drop-correct)"
+cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release \
+    -DVPSIM_MUTATION=classifier-drop-correct >/dev/null
+cmake --build "$build" -j"$(nproc)" --target fig3_1_fetch_rate >/dev/null
+
+echo "mutation-smoke: running the mutant with --check-invariants cheap"
+out="$("$build/bench/fig3_1_fetch_rate" --insts 2000 \
+    --benchmarks compress --check-invariants cheap \
+    --keep-going 1 2>&1 || true)"
+
+if grep -q "vp.hit_miss_balance" <<<"$out" &&
+    grep -q "\[internal\]" <<<"$out"; then
+    echo "mutation-smoke: PASS (invariant engine caught the mutant:" \
+         "kInternal NaN cells)"
+else
+    echo "mutation-smoke: FAIL - the mutant ran without tripping" \
+         "vp.hit_miss_balance; self-checks are not protecting the" \
+         "predictor bookkeeping"
+    echo "---- mutant output ----"
+    echo "$out"
+    exit 1
+fi
+
+echo "mutation-smoke: checking --check-invariants off lets the mutant through"
+out_off="$("$build/bench/fig3_1_fetch_rate" --insts 2000 \
+    --benchmarks compress --check-invariants off \
+    --keep-going 1 2>&1 || true)"
+if grep -q "vp.hit_miss_balance" <<<"$out_off"; then
+    echo "mutation-smoke: FAIL - invariants fired despite" \
+         "--check-invariants off"
+    exit 1
+fi
+echo "mutation-smoke: PASS (gate respected: off level is silent)"

@@ -1,5 +1,6 @@
 #include "analysis/did.hpp"
 
+#include "common/invariant.hpp"
 #include "isa/instruction.hpp"
 
 namespace vpsim
@@ -28,6 +29,7 @@ DidCollector::observe(const TraceRecord &record)
             return;
         const std::uint64_t did = record.seq - producer;
         hist.add(did);
+        ++arcsObserved;
         if (did >= 4)
             ++arcsAtLeast4;
         if (did <= 256) {
@@ -48,6 +50,17 @@ DidCollector::finish() const
     DidAnalysis analysis;
     analysis.distribution = hist;
     analysis.totalArcs = hist.totalSamples();
+    // The histogram must account for every dependence arc we fed it:
+    // its total mass equals the dynamic consumer-operand count.
+    checkInvariant(InvariantLevel::Cheap,
+                   analysis.totalArcs == arcsObserved,
+                   "did.histogram_mass", [&] {
+                       return "histogram holds " +
+                              std::to_string(analysis.totalArcs) +
+                              " arcs but " +
+                              std::to_string(arcsObserved) +
+                              " were observed";
+                   });
     analysis.averageDid = hist.mean();
     analysis.averageDidTrimmed = trimmedArcs == 0
         ? 0.0

@@ -69,6 +69,11 @@ class DidCollector
     Histogram hist;
     /** Last writer sequence number per architectural register. */
     std::vector<SeqNum> lastWriter;
+    /**
+     * Arcs counted independently of the histogram, so finish() can
+     * audit that no dependence arc was dropped by the bucketing.
+     */
+    std::uint64_t arcsObserved = 0;
     std::uint64_t arcsAtLeast4 = 0;
     std::uint64_t trimmedArcs = 0;
     long double trimmedSum = 0;

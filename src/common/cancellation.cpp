@@ -1,0 +1,25 @@
+#include "common/cancellation.hpp"
+
+namespace vpsim
+{
+
+namespace
+{
+
+thread_local CancellationToken *t_currentToken = nullptr;
+
+} // namespace
+
+CancellationToken *
+currentCancellationToken()
+{
+    return t_currentToken;
+}
+
+void
+setCurrentCancellationToken(CancellationToken *token)
+{
+    t_currentToken = token;
+}
+
+} // namespace vpsim

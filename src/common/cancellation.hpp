@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Cooperative cancellation with progress heartbeats.
+ *
+ * The experiment runtime's watchdog (`--job-timeout`) must be able to
+ * detect a stuck or runaway simulation job and stop it without killing
+ * the whole sweep. Threads cannot be killed safely, so cancellation is
+ * cooperative: each running job is handed a CancellationToken, the
+ * machine models publish progress (cycles simulated) through
+ * simHeartbeat() from their main loops, and the watchdog cancels a
+ * token whose progress counter stops advancing. The next heartbeat
+ * then throws JobCanceledError, which unwinds the job like any other
+ * failure (--keep-going: a NaN cell; otherwise: abort the run).
+ *
+ * The current token is carried in a thread-local so the models' deep
+ * call stacks need no plumbing; jobs that never heartbeat (no machine
+ * loop) are still *detected* by the watchdog but can only be reported,
+ * not stopped.
+ */
+
+#ifndef VPSIM_COMMON_CANCELLATION_HPP
+#define VPSIM_COMMON_CANCELLATION_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace vpsim
+{
+
+/** Shared flag + progress counter between one job and the watchdog. */
+class CancellationToken
+{
+  public:
+    /** Ask the job to stop at its next heartbeat. */
+    void requestCancel() { cancelRequested.store(true); }
+
+    /** The watchdog asked this job to stop. */
+    bool canceled() const
+    {
+        return cancelRequested.load(std::memory_order_relaxed);
+    }
+
+    /** Publish monotonic progress (e.g. cycles simulated). */
+    void beat(std::uint64_t progress_units)
+    {
+        progressCounter.store(progress_units,
+                              std::memory_order_relaxed);
+    }
+
+    /** Last published progress value. */
+    std::uint64_t progress() const
+    {
+        return progressCounter.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> cancelRequested{false};
+    std::atomic<std::uint64_t> progressCounter{0};
+};
+
+/** Thrown by a heartbeat once the job's token was canceled. */
+class JobCanceledError : public std::runtime_error
+{
+  public:
+    explicit JobCanceledError(const std::string &reason)
+        : std::runtime_error(reason),
+          errorStatus(Status::error(StatusCode::kTimeout, reason))
+    {
+    }
+
+    /** kTimeout Status for callers that branch on failure class. */
+    const Status &status() const { return errorStatus; }
+
+  private:
+    Status errorStatus;
+};
+
+/** The calling thread's active token (nullptr outside a watched job). */
+CancellationToken *currentCancellationToken();
+
+/** Install/clear the calling thread's token (runtime use only). */
+void setCurrentCancellationToken(CancellationToken *token);
+
+/**
+ * Publish @p progress_units from a model's main loop and honor a
+ * pending cancellation by throwing JobCanceledError. No-op (one
+ * thread-local load) when the thread runs no watched job, so models
+ * can call it unconditionally.
+ */
+inline void
+simHeartbeat(std::uint64_t progress_units)
+{
+    CancellationToken *token = currentCancellationToken();
+    if (token == nullptr)
+        return;
+    token->beat(progress_units);
+    if (token->canceled()) {
+        throw JobCanceledError(
+            "job canceled by the watchdog after " +
+            std::to_string(progress_units) + " progress units");
+    }
+}
+
+} // namespace vpsim
+
+#endif // VPSIM_COMMON_CANCELLATION_HPP

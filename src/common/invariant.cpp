@@ -1,0 +1,85 @@
+#include "common/invariant.hpp"
+
+#include "common/logging.hpp"
+
+namespace vpsim
+{
+
+namespace detail
+{
+
+// Cheap is the default: the always-on tier costs O(1) per model run.
+std::atomic<int> g_invariantLevel{
+    static_cast<int>(InvariantLevel::Cheap)};
+
+InvariantCounters &
+invariantCounters()
+{
+    static InvariantCounters counters;
+    return counters;
+}
+
+} // namespace detail
+
+InvariantLevel
+invariantLevelFromString(const std::string &text)
+{
+    if (text == "off")
+        return InvariantLevel::Off;
+    if (text == "cheap")
+        return InvariantLevel::Cheap;
+    if (text == "full")
+        return InvariantLevel::Full;
+    fatal("--check-invariants expects off, cheap or full, got '" + text +
+          "'");
+}
+
+const char *
+invariantLevelName(InvariantLevel level)
+{
+    switch (level) {
+      case InvariantLevel::Off: return "off";
+      case InvariantLevel::Cheap: return "cheap";
+      case InvariantLevel::Full: return "full";
+    }
+    return "unknown";
+}
+
+InvariantLevel
+invariantLevel()
+{
+    return static_cast<InvariantLevel>(
+        detail::g_invariantLevel.load(std::memory_order_relaxed));
+}
+
+void
+setInvariantLevel(InvariantLevel level)
+{
+    detail::g_invariantLevel.store(static_cast<int>(level),
+                                   std::memory_order_relaxed);
+}
+
+void
+invariantFailed(const std::string &check, const std::string &detail_text,
+                const Status &cause)
+{
+    detail::invariantCounters().violations.fetch_add(
+        1, std::memory_order_relaxed);
+    throw InvariantViolation(check, detail_text, cause);
+}
+
+std::uint64_t
+invariantChecksEvaluated()
+{
+    return detail::invariantCounters().checksEvaluated.load(
+        std::memory_order_relaxed);
+}
+
+std::uint64_t
+invariantViolations()
+{
+    return detail::invariantCounters().violations.load(
+        std::memory_order_relaxed);
+}
+
+} // namespace vpsim

@@ -59,6 +59,23 @@ Options::parse(int argc, const char *const *argv,
                 "unknown option --" + name + " (try --help)");
         values[name] = value;
     }
+
+    for (const auto &rule : validators) {
+        const std::string problem = rule(*this);
+        fatalIf(!problem.empty(), problem);
+    }
+}
+
+void
+Options::addValidator(std::function<std::string(const Options &)> rule)
+{
+    validators.push_back(std::move(rule));
+}
+
+bool
+Options::provided(const std::string &name) const
+{
+    return values.find(name) != values.end();
 }
 
 std::string

@@ -11,6 +11,7 @@
 #define VPSIM_COMMON_OPTIONS_HPP
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -33,12 +34,30 @@ class Options
                  const std::string &help);
 
     /**
-     * Parse argv. Exits with usage text on --help or unknown options.
+     * Register a cross-option validation rule, run at the end of
+     * parse() — a bad option *combination* (--resume without
+     * --checkpoint, --cross-check under fault injection) should fail
+     * with a one-line usage hint before any trace is captured, not
+     * surface as a confusing error forty minutes into a sweep.
+     *
+     * @param rule Returns an empty string when the parsed options are
+     *        acceptable, else the one-line error/usage hint.
+     */
+    void addValidator(
+        std::function<std::string(const Options &)> rule);
+
+    /**
+     * Parse argv. Exits with usage text on --help or unknown options,
+     * and fatal()s with the rule's hint when a registered validator
+     * rejects the parsed combination.
      *
      * @param program_description Shown at the top of --help output.
      */
     void parse(int argc, const char *const *argv,
                const std::string &program_description);
+
+    /** The option was set on the command line (not just defaulted). */
+    bool provided(const std::string &name) const;
 
     /** String value of @p name (declared default if absent). */
     std::string getString(const std::string &name) const;
@@ -76,6 +95,7 @@ class Options
 
     std::map<std::string, Decl> decls;
     std::map<std::string, std::string> values;
+    std::vector<std::function<std::string(const Options &)>> validators;
     std::string programName;
 };
 

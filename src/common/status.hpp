@@ -17,6 +17,7 @@
 #ifndef VPSIM_COMMON_STATUS_HPP
 #define VPSIM_COMMON_STATUS_HPP
 
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -31,6 +32,7 @@ enum class StatusCode
     kCorrupt,  ///< Data failed validation (checksum, magic, truncation).
     kCanceled, ///< Operation abandoned (signal, shutdown).
     kTimeout,  ///< Operation exceeded its deadline.
+    kInternal, ///< Simulator invariant violated (model bug, not input).
 };
 
 /** Human-readable name of @p code ("ok", "io", "corrupt", ...). */
@@ -61,19 +63,55 @@ class Status
         return status;
     }
 
+    /**
+     * Failure of class @p code that was triggered by @p cause.
+     *
+     * The cause chain is preserved in full: the composed message reads
+     * "<message>: [<cause-code>] <cause-message>" recursively down to
+     * the root cause, and cause() exposes the wrapped Status so callers
+     * can still branch on the original failure class (a kInternal
+     * invariant failure wrapping a kCorrupt trace must not hide that
+     * the data, not the model, was bad).
+     */
+    static Status wrap(StatusCode code, std::string message,
+                       const Status &cause)
+    {
+        if (cause.isOk())
+            return error(code, std::move(message));
+        Status status = error(code, message + ": [" +
+                                        statusCodeName(cause.code()) +
+                                        "] " + cause.message());
+        status.wrapped = std::make_shared<Status>(cause);
+        return status;
+    }
+
     bool isOk() const { return errorCode == StatusCode::kOk; }
 
     /** The failure class; kOk for ok(). */
     StatusCode code() const { return errorCode; }
 
-    /** The error message; empty for ok(). */
+    /** The error message (with any cause chain); empty for ok(). */
     const std::string &message() const { return text; }
+
+    /** The wrapped cause, or nullptr when this is the root failure. */
+    const Status *cause() const { return wrapped.get(); }
+
+    /** The innermost failure class of the cause chain. */
+    StatusCode rootCause() const
+    {
+        const Status *status = this;
+        while (status->wrapped)
+            status = status->wrapped.get();
+        return status->errorCode;
+    }
 
   private:
     Status() = default;
 
     StatusCode errorCode = StatusCode::kOk;
     std::string text;
+    /** Immutable cause; shared so Status stays cheaply copyable. */
+    std::shared_ptr<const Status> wrapped;
 };
 
 inline const char *
@@ -85,6 +123,7 @@ statusCodeName(StatusCode code)
       case StatusCode::kCorrupt: return "corrupt";
       case StatusCode::kCanceled: return "canceled";
       case StatusCode::kTimeout: return "timeout";
+      case StatusCode::kInternal: return "internal";
     }
     return "unknown";
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/cancellation.hpp"
+#include "common/invariant.hpp"
 #include "common/logging.hpp"
 #include "isa/instruction.hpp"
 
@@ -46,6 +48,10 @@ runIdealMachine(const std::vector<TraceRecord> &records,
 
     Cycle max_exec = 0;
     for (std::size_t i = 0; i < records.size(); ++i) {
+        // Progress heartbeat for the --job-timeout watchdog, amortized
+        // so the untimed hot path stays a single thread-local load.
+        if ((i & 0xfff) == 0)
+            simHeartbeat(i);
         const TraceRecord &record = records[i];
         const Cycle fetch_cycle = i / config.fetchRate + 1;
         Cycle earliest = fetch_cycle + config.frontendLatency;
@@ -130,6 +136,30 @@ runIdealMachine(const std::vector<TraceRecord> &records,
             if (uses[u].readyNoVp > exec)
                 ++result.usefulPredictions;
         }
+        // Deep audit: the slot being recycled must have freed before
+        // this execute (re-reads the ring buffer the scheduler used, so
+        // a future refactor that drops the window bound is caught).
+        if (i >= config.windowSize) {
+            checkInvariant(
+                InvariantLevel::Full,
+                exec >= windowExec[i % config.windowSize] + 1,
+                "ideal.window_slot_reuse", [&] {
+                    return "inst " + std::to_string(i) + " executes in " +
+                           std::to_string(exec) +
+                           " but its window slot frees in " +
+                           std::to_string(
+                               windowExec[i % config.windowSize]);
+                });
+        }
+        checkInvariant(InvariantLevel::Full,
+                       exec >= fetch_cycle + config.frontendLatency,
+                       "ideal.frontend_latency", [&] {
+                           return "inst " + std::to_string(i) +
+                                  " executes in " + std::to_string(exec) +
+                                  " before fetch " +
+                                  std::to_string(fetch_cycle) +
+                                  " + frontend latency";
+                       });
         windowExec[i % config.windowSize] = exec;
         if (keep_schedule)
             result.execCycle[i] = exec;
@@ -173,6 +203,42 @@ runIdealMachine(const std::vector<TraceRecord> &records,
     result.cycles = max_exec;
     result.ipc = static_cast<double>(result.instructions) /
                  static_cast<double>(result.cycles);
+
+    // Always-on O(1) audits: the limit-study bound IPC <= fetch rate
+    // (Mitrevski/Gusev-style validated-bound methodology) and the
+    // predictor's lookup bookkeeping balance.
+    checkInvariant(InvariantLevel::Cheap,
+                   result.instructions <=
+                       result.cycles * config.fetchRate,
+                   "ideal.ipc_le_fetch_rate", [&] {
+                       return std::to_string(result.instructions) +
+                              " insts in " +
+                              std::to_string(result.cycles) +
+                              " cycles exceeds fetch rate " +
+                              std::to_string(config.fetchRate);
+                   });
+    checkInvariant(InvariantLevel::Cheap,
+                   result.predictionsMade ==
+                       result.predictionsCorrect +
+                           result.predictionsWrong,
+                   "vp.hit_miss_balance", [&] {
+                       return std::to_string(result.predictionsMade) +
+                              " made != " +
+                              std::to_string(result.predictionsCorrect) +
+                              " correct + " +
+                              std::to_string(result.predictionsWrong) +
+                              " wrong";
+                   });
+    checkInvariant(InvariantLevel::Cheap,
+                   result.usefulPredictions <=
+                       result.correctlyPredictedUses,
+                   "ideal.useful_le_correct_uses", [&] {
+                       return std::to_string(result.usefulPredictions) +
+                              " useful > " +
+                              std::to_string(
+                                  result.correctlyPredictedUses) +
+                              " correctly predicted uses";
+                   });
     return result;
 }
 

@@ -6,6 +6,8 @@
 #include <limits>
 #include <memory>
 
+#include "common/cancellation.hpp"
+#include "common/invariant.hpp"
 #include "common/logging.hpp"
 #include "fetch/sequential_fetch.hpp"
 #include "isa/instruction.hpp"
@@ -186,6 +188,39 @@ runPipelineMachine(const std::vector<TraceRecord> &records,
     while (committed < records.size()) {
         ++now;
         bool progress = false;
+        if ((now & 0x3ff) == 0)
+            simHeartbeat(now); // --job-timeout watchdog progress
+
+        // Deep audit: the occupancy and unexecuted bookkeeping that the
+        // fetch gate below relies on. A drifted counter here admits
+        // more in-flight instructions than the window allows and
+        // silently inflates every IPC the machine reports.
+        if (invariantsActive(InvariantLevel::Full)) {
+            unsigned not_executed = 0;
+            for (const RobEntry &entry : rob)
+                not_executed += entry.executed ? 0 : 1;
+            checkInvariant(InvariantLevel::Full,
+                           not_executed == unexecuted,
+                           "pipeline.unexecuted_bookkeeping", [&] {
+                               return "cycle " + std::to_string(now) +
+                                      ": counter says " +
+                                      std::to_string(unexecuted) +
+                                      ", recount finds " +
+                                      std::to_string(not_executed);
+                           });
+            const unsigned occupancy =
+                config.windowFreePolicy == WindowFreePolicy::AtExecute
+                    ? not_executed
+                    : static_cast<unsigned>(rob.size());
+            checkInvariant(InvariantLevel::Full,
+                           occupancy <= config.windowSize,
+                           "pipeline.window_occupancy", [&] {
+                               return "cycle " + std::to_string(now) +
+                                      ": " + std::to_string(occupancy) +
+                                      " in flight exceeds window " +
+                                      std::to_string(config.windowSize);
+                           });
+        }
 
         // --- Commit: in order, executed in a previous cycle. With the
         // scheduling-window policy the retire width is unconstrained
@@ -195,6 +230,7 @@ runPipelineMachine(const std::vector<TraceRecord> &records,
             config.windowFreePolicy == WindowFreePolicy::AtCommit
                 ? config.commitWidth
                 : std::numeric_limits<unsigned>::max();
+        unsigned committed_this_cycle = 0;
         while (!rob.empty() && commits_left > 0) {
             const RobEntry &head = rob.front();
             if (!head.executed || head.execCycle >= now)
@@ -217,10 +253,23 @@ runPipelineMachine(const std::vector<TraceRecord> &records,
                     "a wrong-path entry survived to commit");
             lastCommit = now;
             ++committed;
+            ++committed_this_cycle;
             --commits_left;
             rob.pop_front();
             ++poppedFront;
             progress = true;
+        }
+        if (config.windowFreePolicy == WindowFreePolicy::AtCommit) {
+            checkInvariant(InvariantLevel::Full,
+                           committed_this_cycle <= config.commitWidth,
+                           "pipeline.retire_le_commit_width", [&] {
+                               return "cycle " + std::to_string(now) +
+                                      ": retired " +
+                                      std::to_string(
+                                          committed_this_cycle) +
+                                      " > commit width " +
+                                      std::to_string(config.commitWidth);
+                           });
         }
 
         // --- Execute: dataflow issue, oldest first. Operand wakeup runs
@@ -325,6 +374,16 @@ runPipelineMachine(const std::vector<TraceRecord> &records,
                 robCapacity - rob.size());
             bundle.clear();
             engine->fetch(now, budget, bundle);
+            checkInvariant(InvariantLevel::Cheap,
+                           bundle.size() <= budget,
+                           "fetch.bundle_le_budget", [&] {
+                               return "cycle " + std::to_string(now) +
+                                      ": front end '" + engine->name() +
+                                      "' delivered " +
+                                      std::to_string(bundle.size()) +
+                                      " insts against a budget of " +
+                                      std::to_string(budget);
+                           });
 
             // Interleaved-table arbitration happens once per bundle.
             std::vector<VpGrant> grants;
@@ -513,6 +572,29 @@ runPipelineMachine(const std::vector<TraceRecord> &records,
             plainPredictor->predictionsCorrect();
         result.vpPredictionsWrong = plainPredictor->predictionsWrong();
     }
+
+    // Always-on O(1) audits mirroring the ideal machine's bounds.
+    checkInvariant(InvariantLevel::Cheap,
+                   result.instructions <=
+                       result.cycles * config.issueWidth,
+                   "pipeline.ipc_le_issue_width", [&] {
+                       return std::to_string(result.instructions) +
+                              " insts in " +
+                              std::to_string(result.cycles) +
+                              " cycles exceeds issue width " +
+                              std::to_string(config.issueWidth);
+                   });
+    checkInvariant(
+        InvariantLevel::Cheap,
+        result.vpPredictionsMade ==
+            result.vpPredictionsCorrect + result.vpPredictionsWrong,
+        "vp.hit_miss_balance", [&] {
+            return std::to_string(result.vpPredictionsMade) +
+                   " made != " +
+                   std::to_string(result.vpPredictionsCorrect) +
+                   " correct + " +
+                   std::to_string(result.vpPredictionsWrong) + " wrong";
+        });
     return result;
 }
 

@@ -1,0 +1,198 @@
+#include "core/reference_machine.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "isa/instruction.hpp"
+
+namespace vpsim
+{
+
+namespace
+{
+
+/** Phase-1 output: per-record prediction outcome of the producer. */
+struct PredictionReplay
+{
+    std::vector<unsigned char> predicted;
+    std::vector<unsigned char> correct;
+    std::uint64_t made = 0;
+    std::uint64_t correctCount = 0;
+    std::uint64_t wrong = 0;
+};
+
+bool
+inVpScope(const IdealMachineConfig &config, const TraceRecord &record)
+{
+    return config.vpScope == VpScope::AllInstructions ||
+           record.instClass() == InstClass::Load;
+}
+
+/**
+ * Replay the classified predictor over the whole trace, in program
+ * order, recording each producer's outcome. Identical call sequence to
+ * the primary model (predict + update per in-scope producer), but kept
+ * separate from the scheduling pass.
+ */
+PredictionReplay
+replayPredictions(const std::vector<TraceRecord> &records,
+                  const IdealMachineConfig &config)
+{
+    PredictionReplay replay;
+    replay.predicted.assign(records.size(), 0);
+    replay.correct.assign(records.size(), 0);
+    if (!config.useValuePrediction)
+        return replay;
+
+    std::unique_ptr<ClassifiedPredictor> predictor;
+    if (!config.perfectValuePrediction) {
+        predictor = makeClassifiedPredictor(
+            config.predictorKind, config.tableCapacity,
+            config.counterBits, config.missPolicy);
+    }
+
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const TraceRecord &record = records[i];
+        if (!record.producesValue() || !inVpScope(config, record))
+            continue;
+        if (config.perfectValuePrediction) {
+            replay.predicted[i] = 1;
+            replay.correct[i] = 1;
+            ++replay.made;
+            ++replay.correctCount;
+            continue;
+        }
+        const ClassifiedPrediction prediction =
+            predictor->predict(record.pc);
+        replay.predicted[i] = prediction.predicted ? 1 : 0;
+        replay.correct[i] = prediction.predicted &&
+                                    prediction.value == record.result
+                                ? 1
+                                : 0;
+        predictor->update(record.pc, prediction, record.result);
+    }
+
+    if (predictor) {
+        replay.made = predictor->predictionsMade();
+        replay.correctCount = predictor->predictionsCorrect();
+        replay.wrong = predictor->predictionsWrong();
+    }
+    return replay;
+}
+
+} // namespace
+
+IdealMachineResult
+runReferenceIdealMachine(const std::vector<TraceRecord> &records,
+                         const IdealMachineConfig &config)
+{
+    fatalIf(config.fetchRate == 0, "fetch rate must be positive");
+    fatalIf(config.windowSize == 0, "window size must be positive");
+
+    IdealMachineResult result;
+    result.instructions = records.size();
+    if (records.empty())
+        return result;
+
+    const PredictionReplay replay = replayPredictions(records, config);
+    result.predictionsMade = replay.made;
+    result.predictionsCorrect = replay.correctCount;
+    result.predictionsWrong = replay.wrong;
+
+    // Phase 2: schedule from plain arrays. exec[i] is instruction i's
+    // execute cycle; writerOf[reg] the index of the register's last
+    // value-producing writer so far (or npos).
+    constexpr std::size_t npos = ~std::size_t{0};
+    std::vector<Cycle> exec(records.size(), 0);
+    std::vector<std::size_t> writerOf(numArchRegs, npos);
+
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const TraceRecord &record = records[i];
+        const Cycle fetch_cycle =
+            static_cast<Cycle>(i / config.fetchRate) + 1;
+        Cycle earliest = fetch_cycle + config.frontendLatency;
+        if (i >= config.windowSize)
+            earliest = std::max(earliest, exec[i - config.windowSize] + 1);
+
+        // Gather source uses: ready time of the real value plus the
+        // producer's prediction outcome.
+        Cycle ready[2];
+        int kind[2]; // 0 = not predicted, 1 = correct, 2 = wrong
+        unsigned num_uses = 0;
+        for (const RegIndex reg : {record.rs1, record.rs2}) {
+            if (reg == invalidReg || reg == 0)
+                continue;
+            const std::size_t producer = writerOf[reg];
+            if (producer == npos)
+                continue;
+            ready[num_uses] = exec[producer] + 1;
+            kind[num_uses] = 0;
+            if (config.useValuePrediction && replay.predicted[producer])
+                kind[num_uses] = replay.correct[producer] ? 1 : 2;
+            ++num_uses;
+        }
+
+        for (unsigned u = 0; u < num_uses; ++u) {
+            if (ready[u] > earliest)
+                ++result.stallingUses;
+        }
+
+        // Issue waits for non-predicted operands only.
+        Cycle issue = earliest;
+        for (unsigned u = 0; u < num_uses; ++u) {
+            if (kind[u] == 0)
+                issue = std::max(issue, ready[u]);
+        }
+
+        // Wrong speculations reissue in ascending ready order; a wrong
+        // operand whose real value is already available by the current
+        // completion time costs nothing.
+        Cycle done = issue;
+        if (num_uses == 2 && kind[0] == 2 && kind[1] == 2 &&
+            ready[0] > ready[1]) {
+            std::swap(ready[0], ready[1]);
+        }
+        for (unsigned u = 0; u < num_uses; ++u) {
+            if (kind[u] == 2 && ready[u] > done)
+                done = ready[u] + config.vpPenalty;
+        }
+
+        for (unsigned u = 0; u < num_uses; ++u) {
+            if (kind[u] != 1)
+                continue;
+            ++result.correctlyPredictedUses;
+            if (ready[u] > done)
+                ++result.usefulPredictions;
+        }
+
+        exec[i] = done;
+        if (record.producesValue())
+            writerOf[record.rd] = i;
+    }
+
+    result.cycles = *std::max_element(exec.begin(), exec.end());
+    result.ipc = static_cast<double>(result.instructions) /
+                 static_cast<double>(result.cycles);
+    return result;
+}
+
+double
+referenceIdealVpSpeedup(const std::vector<TraceRecord> &records,
+                        const IdealMachineConfig &config)
+{
+    IdealMachineConfig base = config;
+    base.useValuePrediction = false;
+    IdealMachineConfig vp = config;
+    vp.useValuePrediction = true;
+
+    const IdealMachineResult base_result =
+        runReferenceIdealMachine(records, base);
+    const IdealMachineResult vp_result =
+        runReferenceIdealMachine(records, vp);
+    if (vp_result.cycles == 0)
+        return 1.0;
+    return static_cast<double>(base_result.cycles) /
+           static_cast<double>(vp_result.cycles);
+}
+
+} // namespace vpsim

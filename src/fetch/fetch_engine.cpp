@@ -1,5 +1,6 @@
 #include "fetch/fetch_engine.hpp"
 
+#include "common/invariant.hpp"
 #include "common/logging.hpp"
 
 namespace vpsim
@@ -48,6 +49,14 @@ TraceFetchBase::consumeRecord(std::vector<FetchedInst> &out)
     out.push_back(inst);
     ++cursor;
     ++numFetched;
+    // Every fetched instruction is a trace record consumed exactly
+    // once; a drift here means duplicated or dropped delivery.
+    checkInvariant(InvariantLevel::Cheap, numFetched == cursor,
+                   "fetch.delivered_matches_consumed", [&] {
+                       return std::to_string(numFetched) +
+                              " fetched but trace cursor at " +
+                              std::to_string(cursor);
+                   });
     return inst.mispredicted;
 }
 

@@ -1,5 +1,6 @@
 #include "fetch/trace_cache.hpp"
 
+#include "common/invariant.hpp"
 #include "common/logging.hpp"
 #include "isa/instruction.hpp"
 
@@ -39,6 +40,22 @@ TraceCacheFetch::feedFillUnit(const TraceRecord &record)
     const bool full = pendingPath.size() >= cfg.maxLineInsts ||
                       pendingBlocks >= cfg.maxLineBlocks;
     if (full) {
+        // The fill unit must never install a line beyond the cache's
+        // geometry: an oversized line delivers more than a line's worth
+        // per cycle and inflates every Figure 5.3 speedup.
+        checkInvariant(InvariantLevel::Cheap,
+                       pendingPath.size() <= cfg.maxLineInsts &&
+                           pendingBlocks <= cfg.maxLineBlocks,
+                       "tc.line_geometry", [&] {
+                           return "filled line of " +
+                                  std::to_string(pendingPath.size()) +
+                                  " insts / " +
+                                  std::to_string(pendingBlocks) +
+                                  " blocks exceeds " +
+                                  std::to_string(cfg.maxLineInsts) +
+                                  "/" +
+                                  std::to_string(cfg.maxLineBlocks);
+                       });
         Line &line = lines[lineIndex(pendingStart)];
         line.valid = true;
         line.startPc = pendingStart;

@@ -56,10 +56,17 @@ ClassifiedPredictor::update(Addr pc,
         }
 
         if (prediction.predicted) {
-            if (prediction.value == actual)
+            if (prediction.value == actual) {
+#ifndef VPSIM_MUTATION_CLASSIFIER_DROP_CORRECT
+                // Mutation target (scripts/mutation_smoke.sh): building
+                // with -DVPSIM_MUTATION=classifier-drop-correct drops
+                // this increment, which the vp.hit_miss_balance
+                // invariant must catch (made != correct + wrong).
                 ++numCorrect;
-            else
+#endif
+            } else {
                 ++numWrong;
+            }
         } else if (raw_correct) {
             ++numMissed;
         }

@@ -5,6 +5,7 @@
 
 #include "common/logging.hpp"
 #include "core/speedup.hpp"
+#include "sim/run_manifest.hpp"
 #include "sim/sim_runner.hpp"
 #include "trace/trace_stats.hpp"
 #include "workloads/workload.hpp"
@@ -37,6 +38,50 @@ declareRunnerOptions(Options &options)
                     "deterministic I/O fault spec, e.g. "
                     "write:3:torn,read:2:eio,job:5:sigint "
                     "(testing only; results stay byte-identical)");
+    options.declare("check-invariants", "cheap",
+                    "self-check level: off, cheap (always-on O(1) "
+                    "audits) or full (deep per-cycle model audits)");
+    options.declare("cross-check", "0",
+                    "re-simulate N deterministically sampled grid cells "
+                    "on the naive golden-reference model and fail on "
+                    "divergence (0 = off)");
+    options.declare("job-timeout", "0",
+                    "seconds without job progress before the watchdog "
+                    "cancels it (cell becomes a timeout NaN; 0 = off)");
+
+    // Bad option *combinations* should fail at parse time with a usage
+    // hint, not forty minutes into a sweep.
+    options.addValidator([](const Options &parsed) -> std::string {
+        if (parsed.getBool("resume") &&
+            parsed.getString("checkpoint").empty())
+            return "--resume 1 requires --checkpoint FILE (there is no "
+                   "file to reload cells from)";
+        return "";
+    });
+    options.addValidator([](const Options &parsed) -> std::string {
+        if (parsed.provided("job-timeout") &&
+            parsed.getDouble("job-timeout") <= 0.0)
+            return "--job-timeout SEC must be positive (omit the "
+                   "option to disable the watchdog)";
+        return "";
+    });
+    options.addValidator([](const Options &parsed) -> std::string {
+        if (parsed.getInt("cross-check") < 0)
+            return "--cross-check N must be >= 0 (N cells re-simulated "
+                   "on the reference model)";
+        if (parsed.getInt("cross-check") > 0 &&
+            !parsed.getString("fault-inject").empty())
+            return "--cross-check cannot run under --fault-inject: "
+                   "injected faults would report as model divergence";
+        return "";
+    });
+    options.addValidator([](const Options &parsed) -> std::string {
+        const std::string level = parsed.getString("check-invariants");
+        if (level != "off" && level != "cheap" && level != "full")
+            return "--check-invariants expects off, cheap or full, "
+                   "got '" + level + "'";
+        return "";
+    });
 }
 
 void
@@ -154,6 +199,10 @@ maybeWriteCsv(const Options &options, const std::string &figure_id,
     std::fclose(file);
     std::fprintf(stderr, "appended %zu rows to %s\n",
                  row_names.size() * column_names.size(), path.c_str());
+    // Provenance sidecar: every CSV ships with a signed manifest
+    // (run_manifest.hpp) so figures can be traced back to the exact
+    // experiment and source revision that produced them.
+    writeRunManifest(options, path);
 }
 
 std::string

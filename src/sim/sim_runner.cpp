@@ -2,16 +2,20 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <limits>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/invariant.hpp"
 #include "common/io.hpp"
 #include "common/logging.hpp"
 #include "common/stats.hpp"
@@ -124,13 +128,23 @@ SimRunner::SimRunner(const Options &options_in)
     fatalIf(resumeRequested && checkpointPath.empty(),
             "--resume requires --checkpoint FILE");
 
+    setInvariantLevel(
+        invariantLevelFromString(options.getString("check-invariants")));
+    const std::int64_t cross_check = options.getInt("cross-check");
+    fatalIf(cross_check < 0, "--cross-check must be >= 0");
+    crossCheckCells = static_cast<std::uint64_t>(cross_check);
+    jobTimeoutSeconds = options.getDouble("job-timeout");
+    fatalIf(jobTimeoutSeconds < 0, "--job-timeout must be >= 0");
+
     // Checkpoint cells are keyed by everything that determines results
     // (insts, benchmarks, seed, ...) but not by how the run executes
-    // (--jobs, cache dir, fault spec): a resumed run may use different
-    // parallelism, and a differently-configured sweep never matches.
+    // (--jobs, cache dir, fault spec, self-check level): a resumed run
+    // may use different parallelism or verification settings, and a
+    // differently-configured sweep never matches.
     configHash = fnv1a(options.fingerprint(
         {"jobs", "trace-cache-dir", "stats", "keep-going", "checkpoint",
-         "resume", "fault-inject"}));
+         "resume", "fault-inject", "check-invariants", "cross-check",
+         "job-timeout"}));
 
     const std::string cache_dir = options.getString("trace-cache-dir");
     if (!cache_dir.empty()) {
@@ -144,14 +158,66 @@ SimRunner::SimRunner(const Options &options_in)
 
     previousSigint = std::signal(SIGINT, simRunnerSignalHandler);
     previousSigterm = std::signal(SIGTERM, simRunnerSignalHandler);
+
+    if (jobTimeoutSeconds > 0.0)
+        watchdogThread = std::thread([this] { watchdogLoop(); });
 }
 
 SimRunner::~SimRunner()
 {
+    if (watchdogThread.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(watchdogMutex);
+            watchdogStop = true;
+        }
+        watchdogWake.notify_all();
+        watchdogThread.join();
+    }
     if (previousSigint != SIG_ERR)
         std::signal(SIGINT, previousSigint);
     if (previousSigterm != SIG_ERR)
         std::signal(SIGTERM, previousSigterm);
+}
+
+void
+SimRunner::watchdogLoop()
+{
+    using Seconds = std::chrono::duration<double>;
+    const Seconds timeout(jobTimeoutSeconds);
+    // Poll fast enough that sub-second timeouts (used by the tests)
+    // detect the stall promptly, but never busier than 10 Hz.
+    const Seconds poll(
+        std::clamp(jobTimeoutSeconds / 4.0, 0.001, 0.1));
+
+    std::unique_lock<std::mutex> lock(watchdogMutex);
+    while (!watchdogStop) {
+        watchdogWake.wait_for(lock, poll);
+        if (watchdogStop)
+            break;
+        const auto now = std::chrono::steady_clock::now();
+        for (ActiveJob &job : activeJobs) {
+            const std::uint64_t progress = job.token->progress();
+            if (progress != job.lastProgress) {
+                job.lastProgress = progress;
+                job.lastProgressTime = now;
+                continue;
+            }
+            if (now - job.lastProgressTime < timeout ||
+                job.token->canceled())
+                continue;
+            // Cancellation is cooperative: the job notices at its next
+            // simHeartbeat() and unwinds with a kTimeout status. Dump
+            // the experiment fingerprint so the offending point can be
+            // reproduced in isolation.
+            job.token->requestCancel();
+            ++timedOutJobCount;
+            warn("watchdog: job '" + job.label +
+                 "' made no progress for " +
+                 std::to_string(jobTimeoutSeconds) +
+                 " s; canceling (experiment: " + options.fingerprint() +
+                 ")");
+        }
+    }
 }
 
 void
@@ -180,11 +246,63 @@ SimRunner::run(std::vector<SimJob> batch)
                 return;
             }
             const auto start = std::chrono::steady_clock::now();
+
+            // Give the job a cancellation token and, when the watchdog
+            // is armed, register it in the active list. The guard's
+            // destructor tears both down on every exit path, including
+            // the rethrow below.
+            CancellationToken token;
+            const bool watched = jobTimeoutSeconds > 0.0;
+            std::list<ActiveJob>::iterator active_it;
+            if (watched) {
+                std::lock_guard<std::mutex> lock(watchdogMutex);
+                activeJobs.push_back({job.label, &token, 0,
+                                      std::chrono::steady_clock::now()});
+                active_it = std::prev(activeJobs.end());
+            }
+            setCurrentCancellationToken(&token);
+            struct TokenScope
+            {
+                SimRunner *runner;
+                std::list<ActiveJob>::iterator it;
+                bool watched;
+                ~TokenScope()
+                {
+                    setCurrentCancellationToken(nullptr);
+                    if (!watched)
+                        return;
+                    std::lock_guard<std::mutex> lock(
+                        runner->watchdogMutex);
+                    runner->activeJobs.erase(it);
+                }
+            } scope{this, active_it, watched};
+
             try {
                 if (fault != io::FaultKind::None)
                     throw std::runtime_error("injected fault: job " +
                                              job.label);
                 job.execute();
+            } catch (const JobCanceledError &e) {
+                // Watchdog cancellation: a kTimeout failure, reported
+                // with its status code so timeouts are distinguishable
+                // from model bugs in the failure list.
+                if (!keepGoing)
+                    throw;
+                recordFailure(job.label,
+                              std::string("[") +
+                                  statusCodeName(e.status().code()) +
+                                  "] " + e.what());
+                return;
+            } catch (const InvariantViolation &e) {
+                // Self-check failure: the model broke its own
+                // contract (kInternal), not the input.
+                if (!keepGoing)
+                    throw;
+                recordFailure(job.label,
+                              std::string("[") +
+                                  statusCodeName(e.status().code()) +
+                                  "] " + e.what());
+                return;
             } catch (const std::exception &e) {
                 if (!keepGoing)
                     throw;
@@ -220,7 +338,8 @@ SimRunner::cellKey(std::uint64_t grid, std::size_t row,
 std::vector<std::vector<double>>
 SimRunner::runGrid(
     std::size_t rows, std::size_t cols,
-    const std::function<double(std::size_t, std::size_t)> &cell)
+    const std::function<double(std::size_t, std::size_t)> &cell,
+    const std::function<double(std::size_t, std::size_t)> &reference)
 {
     const std::uint64_t grid_id = ++gridOrdinal;
     // NaN until a job writes the cell: failed (--keep-going) and
@@ -259,6 +378,29 @@ SimRunner::runGrid(
     }
     resumedCellCount += resumed;
 
+    // Deterministic --cross-check sample: the N cells with the
+    // smallest checkpoint keys among those actually being computed.
+    // The keys are a hash of (experiment fingerprint, grid, row, col),
+    // so the sample is effectively random over the grid yet identical
+    // across --jobs values and reruns of the same experiment.
+    std::vector<char> crossChecked(rows * cols, 0);
+    if (crossCheckCells > 0 && reference) {
+        std::vector<std::size_t> candidates;
+        for (std::size_t idx = 0; idx < rows * cols; ++idx) {
+            if (!grid.done[idx].load(std::memory_order_relaxed))
+                candidates.push_back(idx);
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [&grid](std::size_t a, std::size_t b) {
+                      return grid.keys[a] < grid.keys[b];
+                  });
+        const std::size_t sample = std::min(
+            candidates.size(),
+            static_cast<std::size_t>(crossCheckCells));
+        for (std::size_t i = 0; i < sample; ++i)
+            crossChecked[candidates[i]] = 1;
+    }
+
     std::vector<SimJob> batch;
     batch.reserve(rows * cols - resumed);
     for (std::size_t row = 0; row < rows; ++row) {
@@ -269,10 +411,42 @@ SimRunner::runGrid(
             batch.push_back(
                 {"cell[" + std::to_string(row) + "][" +
                      std::to_string(col) + "]",
-                 [&cells, &cell, &grid, idx, row, col] {
-                     cells[row][col] = cell(row, col);
+                 [this, &cells, &cell, &reference, &grid, &crossChecked,
+                  idx, row, col] {
+                     const double value = cell(row, col);
+                     cells[row][col] = value;
                      grid.done[idx].store(true,
                                           std::memory_order_release);
+                     if (!crossChecked[idx])
+                         return;
+                     // Differential check: re-simulate on the naive
+                     // reference model. Divergence means one of the two
+                     // models is wrong — poison the cell and fail the
+                     // job as an internal error rather than publish a
+                     // number we cannot trust.
+                     const double ref = reference(row, col);
+                     const bool both_nan =
+                         std::isnan(value) && std::isnan(ref);
+                     const double tolerance =
+                         1e-9 *
+                         std::max(std::abs(value), std::abs(ref));
+                     if (both_nan ||
+                         std::abs(value - ref) <= tolerance) {
+                         ++crossCheckedCellCount;
+                         return;
+                     }
+                     cells[row][col] =
+                         std::numeric_limits<double>::quiet_NaN();
+                     grid.done[idx].store(false,
+                                          std::memory_order_release);
+                     invariantFailed(
+                         "cross-check",
+                         "cell[" + std::to_string(row) + "][" +
+                             std::to_string(col) +
+                             "] diverges from the reference model: "
+                             "primary " +
+                             std::to_string(value) + " vs reference " +
+                             std::to_string(ref));
                  }});
         }
     }
@@ -441,6 +615,29 @@ SimRunner::reportStats() const
                      static_cast<unsigned long long>(resumedCellCount),
                      checkpointPath.c_str());
     }
+    if (crossCheckedCellCount.load() > 0) {
+        std::fprintf(stderr,
+                     "sim: %llu cells cross-checked against the "
+                     "reference model (all agree)\n",
+                     static_cast<unsigned long long>(
+                         crossCheckedCellCount.load()));
+    }
+    if (timedOutJobCount.load() > 0) {
+        std::fprintf(stderr,
+                     "sim: %llu job(s) canceled by the --job-timeout "
+                     "watchdog\n",
+                     static_cast<unsigned long long>(
+                         timedOutJobCount.load()));
+    }
+    if (invariantViolations() > 0) {
+        std::fprintf(stderr,
+                     "sim: %llu invariant violation(s) detected (%llu "
+                     "checks evaluated)\n",
+                     static_cast<unsigned long long>(
+                         invariantViolations()),
+                     static_cast<unsigned long long>(
+                         invariantChecksEvaluated()));
+    }
     if (!jobFailures.empty()) {
         std::fprintf(stderr,
                      "sim: %zu job(s) FAILED under --keep-going "
@@ -478,6 +675,16 @@ SimRunner::reportStats() const
     resumed += resumedCellCount;
     group.addCounter("resumed_cells", resumed,
                      "grid cells reloaded from the checkpoint");
+    Counter cross_checked, timed_out, invariant_checks;
+    cross_checked += crossCheckedCellCount.load();
+    group.addCounter("cross_checked_cells", cross_checked,
+                     "cells re-simulated on the reference model");
+    timed_out += timedOutJobCount.load();
+    group.addCounter("timed_out_jobs", timed_out,
+                     "jobs canceled by the --job-timeout watchdog");
+    invariant_checks += invariantChecksEvaluated();
+    group.addCounter("invariant_checks", invariant_checks,
+                     "self-check invariants evaluated");
     if (cache) {
         cache_hits += cache->hits();
         cache_lookups += cache->hits() + cache->misses();

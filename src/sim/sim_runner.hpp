@@ -52,13 +52,18 @@
 #define VPSIM_SIM_SIM_RUNNER_HPP
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/cancellation.hpp"
 #include "common/options.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/experiment.hpp"
@@ -133,14 +138,28 @@ class SimRunner
      * NaN in its cell. With --resume, cells recorded in the
      * --checkpoint file are loaded and their jobs never run.
      *
+     * When the bench supplies @p reference and --cross-check N is
+     * given, a deterministic sample of N cells (chosen by checkpoint
+     * key, so the sample is stable across --jobs values and reruns) is
+     * re-simulated on the golden-reference model after the primary
+     * result is computed; any divergence beyond 1e-9 relative error is
+     * an internal-consistency failure — the cell reverts to NaN and the
+     * job fails like any other model bug (NaN cell under --keep-going,
+     * abort otherwise). Benches with no reference model simply omit the
+     * argument and --cross-check is a no-op for them.
+     *
      * @param cell Invoked once per (row, col), possibly concurrently;
      *        must be pure (see SimJob).
+     * @param reference Optional naive re-computation of @p cell on an
+     *        independent model (core/reference_machine.hpp).
      * @return cells[row][col] — identical for any --jobs value.
      */
     std::vector<std::vector<double>> runGrid(
         std::size_t rows, std::size_t cols,
         const std::function<double(std::size_t row, std::size_t col)>
-            &cell);
+            &cell,
+        const std::function<double(std::size_t row, std::size_t col)>
+            &reference = {});
 
     /**
      * Capture traces for the benchmarks requested by the options
@@ -167,6 +186,15 @@ class SimRunner
 
     /** Grid cells served from the checkpoint file by --resume. */
     std::uint64_t resumedCells() const { return resumedCellCount; }
+
+    /** Cells re-simulated (and agreeing) on the reference model. */
+    std::uint64_t crossCheckedCells() const
+    {
+        return crossCheckedCellCount.load();
+    }
+
+    /** Jobs canceled by the --job-timeout watchdog. */
+    std::uint64_t timedOutJobs() const { return timedOutJobCount.load(); }
 
     /**
      * Print the runtime's summary to stderr: jobs run, threads, wall
@@ -195,6 +223,7 @@ class SimRunner
     [[noreturn]] void exitOnSignal(int signal_number);
     void recordFailure(const std::string &label,
                        const std::string &error);
+    void watchdogLoop();
 
     const Options &options;
     ThreadPool pool;
@@ -203,6 +232,10 @@ class SimRunner
     bool keepGoing = false;
     std::string checkpointPath;
     bool resumeRequested = false;
+    /** --cross-check N: reference-model cells per grid (0 = off). */
+    std::uint64_t crossCheckCells = 0;
+    /** --job-timeout in seconds (0 = watchdog disabled). */
+    double jobTimeoutSeconds = 0.0;
     /** Hash of the experiment-defining options (checkpoint keying). */
     std::uint64_t configHash = 0;
     std::uint64_t gridOrdinal = 0;
@@ -211,6 +244,28 @@ class SimRunner
 
     std::mutex failuresMutex;
     std::vector<JobFailure> jobFailures;
+
+    /**
+     * One executing job as seen by the watchdog: its cancellation
+     * token plus the progress value/time the watchdog last saw. Nodes
+     * live in a std::list so job threads can unlink themselves in O(1)
+     * without invalidating the monitor's iteration.
+     */
+    struct ActiveJob
+    {
+        std::string label;
+        CancellationToken *token = nullptr;
+        std::uint64_t lastProgress = 0;
+        std::chrono::steady_clock::time_point lastProgressTime;
+    };
+    std::mutex watchdogMutex;
+    std::condition_variable watchdogWake;
+    std::list<ActiveJob> activeJobs;
+    bool watchdogStop = false;
+    std::thread watchdogThread;
+
+    std::atomic<std::uint64_t> crossCheckedCellCount{0};
+    std::atomic<std::uint64_t> timedOutJobCount{0};
 
     /** One-shot latch for the cache-degradation warning. */
     std::atomic<bool> cacheDegraded{false};

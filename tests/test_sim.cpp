@@ -256,9 +256,10 @@ TEST(SimRunner, KeepGoingIsolatesTheFailureAsNan)
 
 TEST(SimRunner, ResumeWithoutCheckpointDies)
 {
-    const Options options = parsedOptions({"--resume", "1"});
-    EXPECT_DEATH(SimRunner runner(options),
-                 "--resume requires --checkpoint");
+    // The combination is rejected at parse time (option validators),
+    // before a SimRunner is ever constructed.
+    EXPECT_DEATH(parsedOptions({"--resume", "1"}),
+                 "--resume 1 requires --checkpoint");
 }
 
 TEST(SimRunner, SigintFlushesACheckpointAndResumeFinishes)
