@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Diff-only formatting gate: run clang-format over the C++ files a
+# change touches and fail if it would rewrite any of the changed
+# lines. Scoping to the diff means the tree never needs a big-bang
+# reformat — the style ratchets in one change at a time.
+#
+# Usage:
+#   scripts/check_format.sh              # diff against origin/main (or HEAD~1)
+#   scripts/check_format.sh --base REF   # explicit base
+#   scripts/check_format.sh --fix        # apply instead of check
+#
+# Exit codes: 0 clean (or tools unavailable — the clang CI job is the
+# enforcement point), 1 formatting diffs found, 2 setup error.
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BASE=""
+MODE="check"
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --base) shift; BASE="${1:?--base needs a ref}" ;;
+        --fix) MODE="fix" ;;
+        -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+        *) echo "check_format.sh: unknown option '$1'" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$FORMAT" >/dev/null 2>&1; then
+    echo "check_format.sh: '$FORMAT' not found; skipping (the clang" \
+         "CI job enforces this gate)." >&2
+    exit 0
+fi
+
+cd "$ROOT" || exit 2
+if [ -z "$BASE" ]; then
+    if git rev-parse --verify -q origin/main >/dev/null; then
+        BASE="origin/main"
+    else
+        BASE="HEAD~1"
+    fi
+fi
+
+# Changed C++ files, staged or not, relative to the base ref.
+mapfile -t FILES < <( { git diff --name-only "$BASE" -- \
+                            'src/*.[ch]pp' 'tests/*.[ch]pp' \
+                            'bench/*.[ch]pp' 'examples/*.[ch]pp';
+                        git diff --name-only --cached -- \
+                            'src/*.[ch]pp' 'tests/*.[ch]pp' \
+                            'bench/*.[ch]pp' 'examples/*.[ch]pp'; } \
+                      | sort -u)
+EXISTING=()
+for f in "${FILES[@]}"; do
+    [ -f "$f" ] && EXISTING+=("$f")
+done
+if [ "${#EXISTING[@]}" -eq 0 ]; then
+    echo "check_format.sh: no changed C++ files vs $BASE."
+    exit 0
+fi
+
+if [ "$MODE" = "fix" ]; then
+    "$FORMAT" -i --style=file "${EXISTING[@]}"
+    echo "check_format.sh: formatted ${#EXISTING[@]} file(s)."
+    exit 0
+fi
+
+FAIL=0
+for f in "${EXISTING[@]}"; do
+    if ! "$FORMAT" --style=file --dry-run -Werror "$f" \
+            >/dev/null 2>&1; then
+        echo "check_format.sh: $f needs formatting" >&2
+        FAIL=1
+    fi
+done
+if [ "$FAIL" -ne 0 ]; then
+    echo "check_format.sh: run scripts/check_format.sh --fix" >&2
+    exit 1
+fi
+echo "check_format.sh: ${#EXISTING[@]} changed file(s) clean."
+exit 0

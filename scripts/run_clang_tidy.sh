@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Run the curated .clang-tidy check set over the simulator sources and
+# diff the findings against a checked-in baseline, so pre-existing
+# noise never blocks a change while anything NEW fails the gate.
+#
+# Usage:
+#   scripts/run_clang_tidy.sh                  # gate against baseline
+#   scripts/run_clang_tidy.sh --update-baseline
+#   scripts/run_clang_tidy.sh --build-dir build-tidy
+#
+# Exit codes: 0 clean (or tool unavailable — the clang CI job is the
+# enforcement point), 1 new findings, 2 usage/setup error.
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BASELINE="$ROOT/scripts/clang_tidy_baseline.txt"
+BUILD_DIR="$ROOT/build-tidy"
+UPDATE=0
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --update-baseline) UPDATE=1 ;;
+        --build-dir) shift; BUILD_DIR="${1:?--build-dir needs a path}" ;;
+        -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+        *) echo "run_clang_tidy.sh: unknown option '$1'" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+    echo "run_clang_tidy.sh: '$TIDY' not found; skipping (the clang" \
+         "CI job enforces this gate)." >&2
+    exit 0
+fi
+
+# clang-tidy needs a compilation database; configure a dedicated tree
+# so the default build's flags (e.g. sanitizers) don't leak in.
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    cmake -B "$BUILD_DIR" -S "$ROOT" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null || exit 2
+fi
+
+mapfile -t SOURCES < <(cd "$ROOT" && ls src/*/*.cpp | sort)
+if [ "${#SOURCES[@]}" -eq 0 ]; then
+    echo "run_clang_tidy.sh: no sources found under src/" >&2
+    exit 2
+fi
+
+RAW="$(mktemp)"
+FINDINGS="$(mktemp)"
+trap 'rm -f "$RAW" "$FINDINGS"' EXIT
+
+(cd "$ROOT" && "$TIDY" -p "$BUILD_DIR" --quiet "${SOURCES[@]}" \
+    >"$RAW" 2>/dev/null)
+
+# Normalize to "<repo-relative-file>: [check] message" — dropping
+# line/column keeps the baseline stable across unrelated edits while
+# still identifying a finding precisely enough to gate on.
+sed -n 's/^.*[\/]\?\(src\/[^:]*\):[0-9]*:[0-9]*: \(warning\|error\): \(.*\)$/\1: \3/p' \
+    "$RAW" | sort -u >"$FINDINGS"
+
+if [ "$UPDATE" -eq 1 ]; then
+    {
+        echo "# clang-tidy baseline — accepted pre-existing findings."
+        echo "# Regenerate with scripts/run_clang_tidy.sh --update-baseline"
+        cat "$FINDINGS"
+    } >"$BASELINE"
+    echo "run_clang_tidy.sh: baseline updated" \
+         "($(wc -l <"$FINDINGS") findings)."
+    exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+    echo "run_clang_tidy.sh: missing $BASELINE; run with" \
+         "--update-baseline first." >&2
+    exit 2
+fi
+
+NEW="$(grep -v '^#' "$BASELINE" | sort -u |
+       comm -13 - "$FINDINGS" || true)"
+FIXED="$(grep -v '^#' "$BASELINE" | sort -u |
+         comm -23 - "$FINDINGS" || true)"
+
+if [ -n "$FIXED" ]; then
+    echo "run_clang_tidy.sh: findings fixed since baseline (rerun" \
+         "with --update-baseline to ratchet down):"
+    echo "$FIXED" | sed 's/^/  /'
+fi
+if [ -n "$NEW" ]; then
+    echo "run_clang_tidy.sh: NEW findings not in baseline:" >&2
+    echo "$NEW" | sed 's/^/  /' >&2
+    exit 1
+fi
+echo "run_clang_tidy.sh: clean against baseline."
+exit 0

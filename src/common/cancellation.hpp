@@ -16,6 +16,14 @@
  * call stacks need no plumbing; jobs that never heartbeat (no machine
  * loop) are still *detected* by the watchdog but can only be reported,
  * not stopped.
+ *
+ * Thread safety: the token is deliberately lock-free — a heartbeat
+ * sits on every machine model's inner loop, so it must cost two
+ * relaxed atomic accesses, not a mutex. There is therefore nothing
+ * here for GUARDED_BY (thread_annotations.hpp) to guard; the
+ * shared-state contract is the two std::atomic members below, and the
+ * watchdog tolerates the staleness relaxed ordering allows (it only
+ * ever compares successive progress samples).
  */
 
 #ifndef VPSIM_COMMON_CANCELLATION_HPP

@@ -88,12 +88,13 @@ applyControlFaults(FaultKind kind, const std::string &where)
 void
 FaultInjector::configure(const std::string &spec)
 {
-    std::unique_lock<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     clauses.clear();
     counts.clear();
-    isActive = false;
+    isActive.store(false, std::memory_order_relaxed);
     if (spec.empty())
         return;
+    bool armed = false;
     for (const std::string &clause_text : splitOn(spec, ',')) {
         const std::vector<std::string> fields = splitOn(clause_text, ':');
         if (fields.size() == 2 && fields[0] == "seed") {
@@ -117,16 +118,17 @@ FaultInjector::configure(const std::string &spec)
                     "' in clause '" + clause_text + "' (1-based count)");
         clause.kind = faultKindFromString(fields[2]);
         clauses.push_back(clause);
-        isActive = true;
+        armed = true;
     }
+    isActive.store(armed, std::memory_order_relaxed);
 }
 
 FaultKind
 FaultInjector::next(const char *op)
 {
-    if (!isActive)
+    if (!active())
         return FaultKind::None;
-    std::unique_lock<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     const std::uint64_t occurrence = ++counts[op];
     for (Clause &clause : clauses) {
         if (clause.fired || clause.op != op ||
@@ -144,7 +146,7 @@ FaultInjector::tornCut(std::uint64_t size)
 {
     if (size == 0)
         return 0;
-    std::unique_lock<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     return rng.nextBelow(size);
 }
 

@@ -19,15 +19,16 @@
 #ifndef VPSIM_COMMON_IO_HPP
 #define VPSIM_COMMON_IO_HPP
 
+#include <atomic>
 #include <cstdio>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace vpsim
 {
@@ -69,7 +70,10 @@ class FaultInjector
     void configure(const std::string &spec);
 
     /** True when any clause is armed (fired clauses stay configured). */
-    bool active() const { return isActive; }
+    bool active() const
+    {
+        return isActive.load(std::memory_order_relaxed);
+    }
 
     /**
      * Record one occurrence of @p op and return the fault to apply, if
@@ -90,11 +94,17 @@ class FaultInjector
         bool fired = false;
     };
 
-    mutable std::mutex mutex;
-    std::vector<Clause> clauses;
-    std::map<std::string, std::uint64_t> counts;
-    Rng rng;
-    bool isActive = false;
+    mutable Mutex mutex;
+    std::vector<Clause> clauses GUARDED_BY(mutex);
+    std::map<std::string, std::uint64_t> counts GUARDED_BY(mutex);
+    Rng rng GUARDED_BY(mutex);
+    /**
+     * Atomic so the per-operation fast path in next() can skip the
+     * lock: a plain bool there was a data race against configure()
+     * (benign only by accident of timing, and exactly what
+     * -Werror=thread-safety exists to reject).
+     */
+    std::atomic<bool> isActive{false};
 };
 
 /** The process-global injector consulted by every io::File operation. */
@@ -117,10 +127,10 @@ class File
     File &operator=(const File &) = delete;
 
     /** Open @p file_path for binary reading. */
-    Status openForRead(const std::string &file_path);
+    [[nodiscard]] Status openForRead(const std::string &file_path);
 
     /** Open (create/truncate) @p file_path for binary writing. */
-    Status openForWrite(const std::string &file_path);
+    [[nodiscard]] Status openForWrite(const std::string &file_path);
 
     bool isOpen() const { return file != nullptr; }
 
@@ -133,13 +143,13 @@ class File
      *         when the file ends early — short files are data
      *         corruption from the caller's point of view.
      */
-    Status readExact(void *buffer, std::size_t size);
+    [[nodiscard]] Status readExact(void *buffer, std::size_t size);
 
     /** Write all @p size bytes of @p buffer (kIo on failure). */
-    Status writeAll(const void *buffer, std::size_t size);
+    [[nodiscard]] Status writeAll(const void *buffer, std::size_t size);
 
     /** Flush buffered writes to the OS (kIo on failure). */
-    Status flush();
+    [[nodiscard]] Status flush();
 
     /** True when the read position is at end of file. */
     bool atEof();
@@ -153,10 +163,11 @@ class File
 };
 
 /** std::remove with a Status and strerror detail. */
-Status removeFile(const std::string &path);
+[[nodiscard]] Status removeFile(const std::string &path);
 
 /** std::rename with a Status and strerror detail (injectable). */
-Status renameFile(const std::string &from, const std::string &to);
+[[nodiscard]] Status renameFile(const std::string &from,
+                                const std::string &to);
 
 } // namespace io
 } // namespace vpsim

@@ -2,34 +2,71 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
+
+#include "common/thread_annotations.hpp"
 
 namespace vpsim
 {
 
+namespace
+{
+
+Mutex g_logMutex;
+/** Empty means stderr. Swapped by tests via setLogSink(). */
+LogSink g_logSink GUARDED_BY(g_logMutex);
+
+/**
+ * Format and emit one line under the mutex, so lines from concurrent
+ * worker threads (watchdog warnings, --keep-going failure reports)
+ * reach the sink whole instead of interleaved.
+ */
+void
+emitLine(const char *prefix, const std::string &message)
+{
+    MutexLock lock(g_logMutex);
+    if (g_logSink) {
+        g_logSink(std::string(prefix) + ": " + message);
+        return;
+    }
+    std::fprintf(stderr, "%s: %s\n", prefix, message.c_str());
+}
+
+} // namespace
+
+LogSink
+setLogSink(LogSink sink)
+{
+    MutexLock lock(g_logMutex);
+    LogSink previous = std::move(g_logSink);
+    g_logSink = std::move(sink);
+    return previous;
+}
+
 void
 fatal(const std::string &message)
 {
-    std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    emitLine("fatal", message);
     std::exit(1);
 }
 
 void
 panic(const std::string &message)
 {
-    std::fprintf(stderr, "panic: %s\n", message.c_str());
+    emitLine("panic", message);
     std::abort();
 }
 
 void
 warn(const std::string &message)
 {
-    std::fprintf(stderr, "warn: %s\n", message.c_str());
+    emitLine("warn", message);
 }
 
 void
 inform(const std::string &message)
 {
-    std::fprintf(stderr, "info: %s\n", message.c_str());
+    emitLine("info", message);
 }
 
 } // namespace vpsim

@@ -10,12 +10,30 @@
 #ifndef VPSIM_COMMON_LOGGING_HPP
 #define VPSIM_COMMON_LOGGING_HPP
 
+#include <functional>
 #include <sstream>
 #include <string>
 #include <string_view>
 
 namespace vpsim
 {
+
+/**
+ * Receives each complete, prefixed log line ("warn: ...").
+ *
+ * Sinks run under the logging mutex so concurrent workers' lines never
+ * interleave; a sink must therefore not log (self-deadlock) and should
+ * return quickly.
+ */
+using LogSink = std::function<void(std::string_view line)>;
+
+/**
+ * Replace the process log sink (empty function restores stderr).
+ *
+ * @return The previous sink (empty when stderr was active), so tests
+ *         can capture warnings and restore the old sink afterwards.
+ */
+LogSink setLogSink(LogSink sink);
 
 /** Print "fatal: <message>" to stderr and exit(1). For user errors. */
 [[noreturn]] void fatal(const std::string &message);

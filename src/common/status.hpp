@@ -38,8 +38,17 @@ enum class StatusCode
 /** Human-readable name of @p code ("ok", "io", "corrupt", ...). */
 const char *statusCodeName(StatusCode code);
 
-/** Success, or a coded error with a human-readable message. */
-class Status
+/**
+ * Success, or a coded error with a human-readable message.
+ *
+ * [[nodiscard]] at class level: every function returning a Status by
+ * value flags callers that drop it on the floor. A dropped Status is a
+ * swallowed failure — in a parallel sweep that means a poisoned cell
+ * published as a real number. Intentional discards must write
+ * `(void)call();` with a one-line justification (and are audited by
+ * scripts/lint_project.py rule status-discard).
+ */
+class [[nodiscard]] Status
 {
   public:
     /** Success value. */

@@ -47,10 +47,13 @@ TablePrinter::render() const
     const auto render_line = [&](const std::vector<std::string> &cells) {
         std::ostringstream line;
         for (std::size_t c = 0; c < cells.size(); ++c) {
+            // setw takes an int; column widths are bounded by cell
+            // text lengths, far below INT_MAX.
+            const int width = static_cast<int>(widths[c]);
             if (c == 0)
-                line << std::left << std::setw(widths[c]) << cells[c];
+                line << std::left << std::setw(width) << cells[c];
             else
-                line << "  " << std::right << std::setw(widths[c])
+                line << "  " << std::right << std::setw(width)
                      << cells[c];
         }
         return line.str();

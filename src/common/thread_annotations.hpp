@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Clang thread-safety annotations and the project mutex wrappers.
+ *
+ * The experiment runtime is multithreaded (thread_pool.hpp,
+ * sim_runner.hpp) and its lock discipline is enforced at compile time:
+ * every mutex-protected member is declared GUARDED_BY its mutex, every
+ * helper that expects a lock held says REQUIRES, and the build turns
+ * the analysis into errors under Clang (-Wthread-safety
+ * -Werror=thread-safety, cmake knob VPSIM_THREAD_SAFETY). Under GCC the
+ * macros expand to nothing and the code compiles unchanged — the
+ * annotations are documentation there, and CI's clang lint job is the
+ * enforcement point.
+ *
+ * Raw std::mutex is banned outside this header (scripts/lint_project.py
+ * rule raw-mutex): locking goes through the CAPABILITY-annotated Mutex
+ * and the SCOPED_CAPABILITY MutexLock so the analysis can see every
+ * acquire and release. Condition variables still use
+ * std::condition_variable via MutexLock::native(); a wait keeps the
+ * capability held from the analysis' point of view, which matches the
+ * invariant the caller relies on (the predicate is re-checked under the
+ * lock).
+ */
+
+#ifndef VPSIM_COMMON_THREAD_ANNOTATIONS_HPP
+#define VPSIM_COMMON_THREAD_ANNOTATIONS_HPP
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#  if __has_attribute(guarded_by)
+#    define VPSIM_THREAD_ANNOTATION(x) __attribute__((x))
+#  endif
+#endif
+#ifndef VPSIM_THREAD_ANNOTATION
+#  define VPSIM_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+/** The declared variable may only be accessed while @p x is held. */
+#define GUARDED_BY(x) VPSIM_THREAD_ANNOTATION(guarded_by(x))
+
+/** The declared pointer's pointee is protected by @p x. */
+#define PT_GUARDED_BY(x) VPSIM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** The annotated function must be called with the capabilities held. */
+#define REQUIRES(...) \
+    VPSIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** The annotated function must be called with them NOT held. */
+#define EXCLUDES(...) \
+    VPSIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** The annotated function acquires the capability and does not release. */
+#define ACQUIRE(...) \
+    VPSIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** The annotated function releases a held capability. */
+#define RELEASE(...) \
+    VPSIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** The annotated type is a capability (a lockable thing). */
+#define CAPABILITY(x) VPSIM_THREAD_ANNOTATION(capability(x))
+
+/** RAII type that acquires on construction, releases on destruction. */
+#define SCOPED_CAPABILITY VPSIM_THREAD_ANNOTATION(scoped_lockable)
+
+/** The annotated function returns a reference to the capability. */
+#define RETURN_CAPABILITY(x) VPSIM_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch; every use needs a comment justifying it. */
+#define NO_THREAD_SAFETY_ANALYSIS \
+    VPSIM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace vpsim
+{
+
+/**
+ * The project mutex: std::mutex with a capability annotation.
+ *
+ * Prefer MutexLock for scoped locking; lock()/unlock() exist for the
+ * rare hand-over-hand pattern and for the wrapper itself.
+ */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACQUIRE() { impl.lock(); }
+    void unlock() RELEASE() { impl.unlock(); }
+
+    /**
+     * The wrapped std::mutex, for std::condition_variable interop
+     * only (via MutexLock::native()). Never lock it directly — the
+     * analysis cannot see acquisitions that bypass the wrapper.
+     */
+    std::mutex &native() { return impl; }
+
+  private:
+    std::mutex impl;
+};
+
+/**
+ * Scoped lock over a Mutex, visible to the thread-safety analysis.
+ *
+ * Holds a std::unique_lock so condition variables can wait on it:
+ *
+ *   MutexLock lock(poolMutex);
+ *   while (pending != 0)          // guarded reads stay in this scope,
+ *       allDone.wait(lock.native()); // not inside a lambda the
+ *                                    // analysis cannot attribute
+ */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) ACQUIRE(mutex)
+        : lock(mutex.native())
+    {
+    }
+
+    ~MutexLock() RELEASE() {}
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /**
+     * The underlying unique_lock, for std::condition_variable::wait
+     * and wait_for. The lock is held again when wait returns, so the
+     * capability stays held for the analysis throughout — which is the
+     * contract the surrounding code depends on anyway.
+     */
+    std::unique_lock<std::mutex> &native() { return lock; }
+
+  private:
+    std::unique_lock<std::mutex> lock;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_COMMON_THREAD_ANNOTATIONS_HPP

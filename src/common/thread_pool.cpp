@@ -25,8 +25,11 @@ ThreadPool::ThreadPool(unsigned thread_count)
 ThreadPool::~ThreadPool()
 {
     {
-        std::unique_lock<std::mutex> lock(poolMutex);
-        allDone.wait(lock, [this] { return pending == 0; });
+        // Guarded reads stay in this scope, not inside a wait lambda
+        // the thread-safety analysis cannot attribute to the lock.
+        MutexLock lock(poolMutex);
+        while (pending != 0)
+            allDone.wait(lock.native());
         stopping = true;
     }
     workAvailable.notify_all();
@@ -39,14 +42,14 @@ ThreadPool::submit(Task task)
 {
     std::size_t target;
     {
-        std::unique_lock<std::mutex> lock(poolMutex);
+        MutexLock lock(poolMutex);
         target = nextWorker;
         nextWorker = (nextWorker + 1) % workers.size();
         ++pending;
         ++queued;
     }
     {
-        std::unique_lock<std::mutex> lock(workers[target]->mutex);
+        MutexLock lock(workers[target]->mutex);
         workers[target]->queue.push_back(std::move(task));
     }
     workAvailable.notify_one();
@@ -55,14 +58,16 @@ ThreadPool::submit(Task task)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(poolMutex);
-    allDone.wait(lock, [this] { return pending == 0; });
-    if (firstError) {
-        const std::exception_ptr error = firstError;
+    std::exception_ptr error;
+    {
+        MutexLock lock(poolMutex);
+        while (pending != 0)
+            allDone.wait(lock.native());
+        error = firstError;
         firstError = nullptr;
-        lock.unlock();
-        std::rethrow_exception(error);
     }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 bool
@@ -75,7 +80,7 @@ ThreadPool::tryRun(std::size_t index)
     for (std::size_t i = 0; i < workers.size() && !task; ++i) {
         const std::size_t victim = (index + i) % workers.size();
         Worker &worker = *workers[victim];
-        std::unique_lock<std::mutex> lock(worker.mutex);
+        MutexLock lock(worker.mutex);
         if (worker.queue.empty())
             continue;
         if (victim == index) {
@@ -90,18 +95,18 @@ ThreadPool::tryRun(std::size_t index)
         return false;
 
     {
-        std::unique_lock<std::mutex> lock(poolMutex);
+        MutexLock lock(poolMutex);
         --queued;
     }
     try {
         task();
     } catch (...) {
-        std::unique_lock<std::mutex> lock(poolMutex);
+        MutexLock lock(poolMutex);
         if (!firstError)
             firstError = std::current_exception();
     }
     {
-        std::unique_lock<std::mutex> lock(poolMutex);
+        MutexLock lock(poolMutex);
         if (--pending == 0)
             allDone.notify_all();
     }
@@ -114,9 +119,9 @@ ThreadPool::workerLoop(std::size_t index)
     for (;;) {
         if (tryRun(index))
             continue;
-        std::unique_lock<std::mutex> lock(poolMutex);
-        workAvailable.wait(lock,
-                           [this] { return stopping || queued > 0; });
+        MutexLock lock(poolMutex);
+        while (!stopping && queued == 0)
+            workAvailable.wait(lock.native());
         if (stopping && queued == 0)
             return;
     }

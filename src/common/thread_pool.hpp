@@ -22,9 +22,10 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace vpsim
 {
@@ -72,8 +73,8 @@ class ThreadPool
     /** Per-worker deque; owner pops the front, thieves take the back. */
     struct Worker
     {
-        std::mutex mutex;
-        std::deque<Task> queue;
+        Mutex mutex;
+        std::deque<Task> queue GUARDED_BY(mutex);
     };
 
     void workerLoop(std::size_t index);
@@ -82,16 +83,16 @@ class ThreadPool
     std::vector<std::unique_ptr<Worker>> workers;
     std::vector<std::thread> threads;
 
-    std::mutex poolMutex;
+    Mutex poolMutex;
     std::condition_variable workAvailable;
     std::condition_variable allDone;
     /** Tasks submitted but not yet finished (queued or running). */
-    std::size_t pending = 0;
+    std::size_t pending GUARDED_BY(poolMutex) = 0;
     /** Tasks sitting in some queue, not yet claimed by a worker. */
-    std::size_t queued = 0;
-    std::size_t nextWorker = 0;
-    bool stopping = false;
-    std::exception_ptr firstError;
+    std::size_t queued GUARDED_BY(poolMutex) = 0;
+    std::size_t nextWorker GUARDED_BY(poolMutex) = 0;
+    bool stopping GUARDED_BY(poolMutex) = false;
+    std::exception_ptr firstError GUARDED_BY(poolMutex);
 };
 
 } // namespace vpsim

@@ -41,6 +41,8 @@ ProfileHints::profile(const std::vector<TraceRecord> &training_records,
     }
 
     ProfileHints result;
+    // lint:allow unordered-iter — per-pc transform into another map;
+    // each element is independent, so visit order cannot leak out.
     for (const auto &[pc, score] : scores) {
         ValueHint hint = ValueHint::NotPredictable;
         if (score.executions >= min_executions) {

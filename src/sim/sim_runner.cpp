@@ -167,7 +167,7 @@ SimRunner::~SimRunner()
 {
     if (watchdogThread.joinable()) {
         {
-            std::lock_guard<std::mutex> lock(watchdogMutex);
+            MutexLock lock(watchdogMutex);
             watchdogStop = true;
         }
         watchdogWake.notify_all();
@@ -189,9 +189,9 @@ SimRunner::watchdogLoop()
     const Seconds poll(
         std::clamp(jobTimeoutSeconds / 4.0, 0.001, 0.1));
 
-    std::unique_lock<std::mutex> lock(watchdogMutex);
+    MutexLock lock(watchdogMutex);
     while (!watchdogStop) {
-        watchdogWake.wait_for(lock, poll);
+        watchdogWake.wait_for(lock.native(), poll);
         if (watchdogStop)
             break;
         const auto now = std::chrono::steady_clock::now();
@@ -220,12 +220,19 @@ SimRunner::watchdogLoop()
     }
 }
 
+std::vector<JobFailure>
+SimRunner::failures() const
+{
+    MutexLock lock(failuresMutex);
+    return jobFailures;
+}
+
 void
 SimRunner::recordFailure(const std::string &label,
                          const std::string &error)
 {
     {
-        std::lock_guard<std::mutex> lock(failuresMutex);
+        MutexLock lock(failuresMutex);
         jobFailures.push_back({label, error});
     }
     warn("job '" + label + "' failed: " + error +
@@ -255,7 +262,7 @@ SimRunner::run(std::vector<SimJob> batch)
             const bool watched = jobTimeoutSeconds > 0.0;
             std::list<ActiveJob>::iterator active_it;
             if (watched) {
-                std::lock_guard<std::mutex> lock(watchdogMutex);
+                MutexLock lock(watchdogMutex);
                 activeJobs.push_back({job.label, &token, 0,
                                       std::chrono::steady_clock::now()});
                 active_it = std::prev(activeJobs.end());
@@ -271,8 +278,7 @@ SimRunner::run(std::vector<SimJob> batch)
                     setCurrentCancellationToken(nullptr);
                     if (!watched)
                         return;
-                    std::lock_guard<std::mutex> lock(
-                        runner->watchdogMutex);
+                    MutexLock lock(runner->watchdogMutex);
                     runner->activeJobs.erase(it);
                 }
             } scope{this, active_it, watched};
@@ -638,12 +644,17 @@ SimRunner::reportStats() const
                      static_cast<unsigned long long>(
                          invariantChecksEvaluated()));
     }
-    if (!jobFailures.empty()) {
+    // Snapshot under the failures lock: reportStats() may be called
+    // while another thread's batch is still recording (and the old
+    // unlocked read here is exactly the kind of bug the thread-safety
+    // analysis now rejects at compile time).
+    const std::vector<JobFailure> failure_report = failures();
+    if (!failure_report.empty()) {
         std::fprintf(stderr,
                      "sim: %zu job(s) FAILED under --keep-going "
                      "(cells recorded as NaN):\n",
-                     jobFailures.size());
-        for (const JobFailure &failure : jobFailures) {
+                     failure_report.size());
+        for (const JobFailure &failure : failure_report) {
             std::fprintf(stderr, "  %s: %s\n", failure.label.c_str(),
                          failure.error.c_str());
         }
@@ -669,7 +680,7 @@ SimRunner::reportStats() const
                      "workload traces captured by the VM");
     group.addCounter("vm_capture_micros", capture_time,
                      "wall clock spent capturing traces (us)");
-    failed_jobs += jobFailures.size();
+    failed_jobs += failure_report.size();
     group.addCounter("failed_jobs", failed_jobs,
                      "jobs that threw under --keep-going");
     resumed += resumedCellCount;

@@ -58,13 +58,13 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/cancellation.hpp"
 #include "common/options.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/experiment.hpp"
 #include "trace/trace_cache_store.hpp"
@@ -178,11 +178,13 @@ class SimRunner
                              std::uint64_t insts, std::uint64_t skip,
                              const WorkloadParams &params);
 
-    /** Jobs that threw under --keep-going (read after run() returns). */
-    const std::vector<JobFailure> &failures() const
-    {
-        return jobFailures;
-    }
+    /**
+     * Jobs that threw under --keep-going. Returns a snapshot taken
+     * under the failures lock: job threads append concurrently while a
+     * batch is running, so handing out a reference would hand out a
+     * race.
+     */
+    std::vector<JobFailure> failures() const EXCLUDES(failuresMutex);
 
     /** Grid cells served from the checkpoint file by --resume. */
     std::uint64_t resumedCells() const { return resumedCellCount; }
@@ -222,8 +224,9 @@ class SimRunner
     void flushCheckpoint() const;
     [[noreturn]] void exitOnSignal(int signal_number);
     void recordFailure(const std::string &label,
-                       const std::string &error);
-    void watchdogLoop();
+                       const std::string &error)
+        EXCLUDES(failuresMutex);
+    void watchdogLoop() EXCLUDES(watchdogMutex);
 
     const Options &options;
     ThreadPool pool;
@@ -242,8 +245,9 @@ class SimRunner
     GridState *activeGrid = nullptr;
     std::uint64_t resumedCellCount = 0;
 
-    std::mutex failuresMutex;
-    std::vector<JobFailure> jobFailures;
+    /** mutable: reportStats()/failures() are const but must lock. */
+    mutable Mutex failuresMutex;
+    std::vector<JobFailure> jobFailures GUARDED_BY(failuresMutex);
 
     /**
      * One executing job as seen by the watchdog: its cancellation
@@ -258,10 +262,10 @@ class SimRunner
         std::uint64_t lastProgress = 0;
         std::chrono::steady_clock::time_point lastProgressTime;
     };
-    std::mutex watchdogMutex;
+    Mutex watchdogMutex;
     std::condition_variable watchdogWake;
-    std::list<ActiveJob> activeJobs;
-    bool watchdogStop = false;
+    std::list<ActiveJob> activeJobs GUARDED_BY(watchdogMutex);
+    bool watchdogStop GUARDED_BY(watchdogMutex) = false;
     std::thread watchdogThread;
 
     std::atomic<std::uint64_t> crossCheckedCellCount{0};

@@ -104,6 +104,20 @@ TraceCacheStore::reapOrphanedTemporaries(std::chrono::seconds tmp_reap_age)
     }
 }
 
+Status
+TraceCacheStore::lastError() const
+{
+    MutexLock lock(statsMutex);
+    return lastErrorStatus;
+}
+
+void
+TraceCacheStore::noteError(const Status &error) const
+{
+    MutexLock lock(statsMutex);
+    lastErrorStatus = error;
+}
+
 std::string
 TraceCacheStore::pathFor(const TraceCacheKey &key) const
 {
@@ -169,6 +183,7 @@ TraceCacheStore::tryLoad(const TraceCacheKey &key,
                                "unusable trace cache entry: " +
                                    read.message());
     }
+    noteError(*error);
     ++missCount;
     return false;
 }
@@ -194,12 +209,15 @@ TraceCacheStore::store(const TraceCacheKey &key,
                                    "cannot publish trace cache entry: " +
                                        result.message());
         }
-        io::removeFile(temp);
+        // Best-effort cleanup of our own temporary; the reaper catches
+        // anything a failed remove leaves behind.
+        (void)io::removeFile(temp);
         if (result.code() != StatusCode::kIo)
             break;
         if (attempt < maxIoAttempts)
             backoff(attempt);
     }
+    noteError(result);
     return result;
 }
 

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 #include "trace/record.hpp"
 #include "trace/trace_io.hpp"
 
@@ -100,15 +101,17 @@ class TraceCacheStore
      *        when it was moved).
      * @return true on a hit.
      */
-    bool tryLoad(const TraceCacheKey &key, std::vector<TraceRecord> *out,
-                 Status *error) const;
+    [[nodiscard]] bool tryLoad(const TraceCacheKey &key,
+                               std::vector<TraceRecord> *out,
+                               Status *error) const;
 
     /**
      * Store @p records under @p key (atomic rename into place).
      * Transient failures are retried with backoff before giving up.
      */
-    Status store(const TraceCacheKey &key,
-                 const std::vector<TraceRecord> &records) const;
+    [[nodiscard]] Status store(
+        const TraceCacheKey &key,
+        const std::vector<TraceRecord> &records) const;
 
     /** @name Hit/miss counters (cumulative over this store's lifetime). */
     /// @{
@@ -116,17 +119,30 @@ class TraceCacheStore
     std::uint64_t misses() const { return missCount.load(); }
     /// @}
 
+    /**
+     * The most recent per-entry failure (quarantined corruption,
+     * exhausted store retries), ok() when none has occurred. Lookups
+     * and stores run concurrently on pool workers, so the slot is
+     * guarded; the accessor returns a snapshot.
+     */
+    Status lastError() const EXCLUDES(statsMutex);
+
     /** Orphaned temporaries deleted by the constructor's reap. */
     std::uint64_t reapedTmpFiles() const { return reapedCount; }
 
   private:
     void reapOrphanedTemporaries(std::chrono::seconds tmp_reap_age);
+    void noteError(const Status &error) const EXCLUDES(statsMutex);
 
     std::string dir;
     Status creationStatus = Status::ok();
     std::uint64_t reapedCount = 0;
     mutable std::atomic<std::uint64_t> hitCount{0};
     mutable std::atomic<std::uint64_t> missCount{0};
+    /** mutable: tryLoad()/store() are const but record failures. */
+    mutable Mutex statsMutex;
+    mutable Status lastErrorStatus GUARDED_BY(statsMutex) =
+        Status::ok();
 };
 
 } // namespace vpsim

@@ -41,8 +41,8 @@ inline constexpr std::uint32_t traceFormatVersion = 2;
  *         be left partially written; callers wanting atomicity should
  *         write to a temporary name and rename).
  */
-Status writeTrace(const std::string &path,
-                  const std::vector<TraceRecord> &records);
+[[nodiscard]] Status writeTrace(const std::string &path,
+                                const std::vector<TraceRecord> &records);
 
 /**
  * Read a binary trace file written by writeTrace().
@@ -54,7 +54,8 @@ Status writeTrace(const std::string &path,
  *         truncation, corrupt records, checksum mismatch, or trailing
  *         garbage after the footer. Every message names the path.
  */
-Status readTrace(const std::string &path, std::vector<TraceRecord> *out);
+[[nodiscard]] Status readTrace(const std::string &path,
+                               std::vector<TraceRecord> *out);
 
 /** writeTrace() wrapper that fatal()s on error. */
 void writeTraceFile(const std::string &path,

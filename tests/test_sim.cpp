@@ -16,6 +16,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -252,6 +253,62 @@ TEST(SimRunner, KeepGoingIsolatesTheFailureAsNan)
     EXPECT_EQ(runner.failures()[0].label, "cell[1][0]");
     EXPECT_NE(runner.failures()[0].error.find("injected cell failure"),
               std::string::npos);
+}
+
+TEST(SimRunner, ConcurrentFailureSnapshotsStayConsistent)
+{
+    // failures() takes a locked snapshot, so it is safe to poll from
+    // another thread while 8 workers are recording failures. Under
+    // TSan this is the regression test for the old unlocked const-ref
+    // accessor; on any build it checks snapshot consistency: every
+    // observed size must be a plausible prefix of the final list.
+    const Options options =
+        parsedOptions({"--jobs", "8", "--keep-going", "1"});
+    SimRunner runner(options);
+
+    std::atomic<bool> done{false};
+    std::atomic<std::size_t> max_seen{0};
+    std::thread observer([&] {
+        while (!done.load(std::memory_order_acquire)) {
+            const std::vector<JobFailure> snapshot = runner.failures();
+            std::size_t prev = max_seen.load();
+            while (prev < snapshot.size() &&
+                   !max_seen.compare_exchange_weak(prev,
+                                                   snapshot.size())) {
+            }
+            for (const JobFailure &failure : snapshot)
+                EXPECT_NE(failure.error.find("flaky cell"),
+                          std::string::npos);
+            std::this_thread::yield();
+        }
+    });
+
+    constexpr std::size_t rows = 8;
+    constexpr std::size_t cols = 8;
+    const auto cells =
+        runner.runGrid(rows, cols, [](std::size_t row, std::size_t col) {
+            if ((row + col) % 3 == 0)
+                throw std::runtime_error("flaky cell");
+            return static_cast<double>(10 * row + col);
+        });
+    done.store(true, std::memory_order_release);
+    observer.join();
+
+    std::size_t expected_failures = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            if ((r + c) % 3 == 0) {
+                ++expected_failures;
+                EXPECT_TRUE(std::isnan(cells[r][c]));
+            } else {
+                EXPECT_EQ(cells[r][c],
+                          static_cast<double>(10 * r + c));
+            }
+        }
+    }
+    EXPECT_EQ(runner.failures().size(), expected_failures);
+    EXPECT_LE(max_seen.load(), expected_failures)
+        << "a snapshot saw more failures than ever existed";
 }
 
 TEST(SimRunner, ResumeWithoutCheckpointDies)

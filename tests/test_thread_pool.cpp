@@ -9,10 +9,12 @@
 #include <atomic>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 
 namespace vpsim
@@ -101,6 +103,36 @@ TEST(ThreadPool, ManyWorkersAllParticipateInCompletion)
     for (int i = 0; i < tasks; ++i)
         EXPECT_EQ(ran[static_cast<std::size_t>(i)].load(), 1)
             << "task " << i;
+}
+
+TEST(ThreadPool, ConcurrentWarningsNeverTear)
+{
+    // Workers logging concurrently go through the sink under the
+    // logging mutex: every line must arrive whole and exactly once.
+    // Under TSan this doubles as a race check on the sink swap.
+    std::vector<std::string> lines;
+    LogSink previous = setLogSink([&lines](std::string_view line) {
+        lines.emplace_back(line);
+    });
+
+    constexpr int tasks = 200;
+    {
+        ThreadPool pool(8);
+        for (int i = 0; i < tasks; ++i)
+            pool.submit([i] {
+                warn("stress line " + std::to_string(i));
+            });
+        pool.wait();
+    }
+    setLogSink(std::move(previous));
+
+    ASSERT_EQ(lines.size(), static_cast<std::size_t>(tasks));
+    std::set<std::string> unique(lines.begin(), lines.end());
+    EXPECT_EQ(unique.size(), static_cast<std::size_t>(tasks));
+    for (const std::string &line : lines) {
+        EXPECT_EQ(line.rfind("warn: stress line ", 0), 0u)
+            << "torn or interleaved line: " << line;
+    }
 }
 
 } // namespace
