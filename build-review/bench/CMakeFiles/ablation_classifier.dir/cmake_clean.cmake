@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_classifier.dir/ablation_classifier.cpp.o"
+  "CMakeFiles/ablation_classifier.dir/ablation_classifier.cpp.o.d"
+  "ablation_classifier"
+  "ablation_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_frontends.dir/ablation_frontends.cpp.o"
+  "CMakeFiles/ablation_frontends.dir/ablation_frontends.cpp.o.d"
+  "ablation_frontends"
+  "ablation_frontends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_frontends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

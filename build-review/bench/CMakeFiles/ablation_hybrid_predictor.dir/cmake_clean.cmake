@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hybrid_predictor.dir/ablation_hybrid_predictor.cpp.o"
+  "CMakeFiles/ablation_hybrid_predictor.dir/ablation_hybrid_predictor.cpp.o.d"
+  "ablation_hybrid_predictor"
+  "ablation_hybrid_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hybrid_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_input_sets.dir/ablation_input_sets.cpp.o"
+  "CMakeFiles/ablation_input_sets.dir/ablation_input_sets.cpp.o.d"
+  "ablation_input_sets"
+  "ablation_input_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_input_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

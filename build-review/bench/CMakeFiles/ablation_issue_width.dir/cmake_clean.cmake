@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_issue_width.dir/ablation_issue_width.cpp.o"
+  "CMakeFiles/ablation_issue_width.dir/ablation_issue_width.cpp.o.d"
+  "ablation_issue_width"
+  "ablation_issue_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_issue_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

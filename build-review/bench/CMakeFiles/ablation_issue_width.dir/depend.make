@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_issue_width.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_profile_hints.dir/ablation_profile_hints.cpp.o"
+  "CMakeFiles/ablation_profile_hints.dir/ablation_profile_hints.cpp.o.d"
+  "ablation_profile_hints"
+  "ablation_profile_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_profile_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_table_size.dir/ablation_table_size.cpp.o"
+  "CMakeFiles/ablation_table_size.dir/ablation_table_size.cpp.o.d"
+  "ablation_table_size"
+  "ablation_table_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_table_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_update_timing.dir/ablation_update_timing.cpp.o"
+  "CMakeFiles/ablation_update_timing.dir/ablation_update_timing.cpp.o.d"
+  "ablation_update_timing"
+  "ablation_update_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_update_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_useful_predictions.dir/ablation_useful_predictions.cpp.o"
+  "CMakeFiles/ablation_useful_predictions.dir/ablation_useful_predictions.cpp.o.d"
+  "ablation_useful_predictions"
+  "ablation_useful_predictions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_useful_predictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

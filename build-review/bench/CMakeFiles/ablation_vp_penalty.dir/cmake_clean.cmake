@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vp_penalty.dir/ablation_vp_penalty.cpp.o"
+  "CMakeFiles/ablation_vp_penalty.dir/ablation_vp_penalty.cpp.o.d"
+  "ablation_vp_penalty"
+  "ablation_vp_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vp_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vp_scope.dir/ablation_vp_scope.cpp.o"
+  "CMakeFiles/ablation_vp_scope.dir/ablation_vp_scope.cpp.o.d"
+  "ablation_vp_scope"
+  "ablation_vp_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vp_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

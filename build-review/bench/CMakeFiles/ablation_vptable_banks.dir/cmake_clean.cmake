@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vptable_banks.dir/ablation_vptable_banks.cpp.o"
+  "CMakeFiles/ablation_vptable_banks.dir/ablation_vptable_banks.cpp.o.d"
+  "ablation_vptable_banks"
+  "ablation_vptable_banks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vptable_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_window_size.dir/ablation_window_size.cpp.o"
+  "CMakeFiles/ablation_window_size.dir/ablation_window_size.cpp.o.d"
+  "ablation_window_size"
+  "ablation_window_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_window_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wrong_path.dir/ablation_wrong_path.cpp.o"
+  "CMakeFiles/ablation_wrong_path.dir/ablation_wrong_path.cpp.o.d"
+  "ablation_wrong_path"
+  "ablation_wrong_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wrong_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_1_fetch_rate.dir/fig3_1_fetch_rate.cpp.o"
+  "CMakeFiles/fig3_1_fetch_rate.dir/fig3_1_fetch_rate.cpp.o.d"
+  "fig3_1_fetch_rate"
+  "fig3_1_fetch_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_1_fetch_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

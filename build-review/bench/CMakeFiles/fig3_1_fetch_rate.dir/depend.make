@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_1_fetch_rate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_3_avg_did.dir/fig3_3_avg_did.cpp.o"
+  "CMakeFiles/fig3_3_avg_did.dir/fig3_3_avg_did.cpp.o.d"
+  "fig3_3_avg_did"
+  "fig3_3_avg_did.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_3_avg_did.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

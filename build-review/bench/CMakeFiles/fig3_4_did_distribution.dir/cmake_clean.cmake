@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_4_did_distribution.dir/fig3_4_did_distribution.cpp.o"
+  "CMakeFiles/fig3_4_did_distribution.dir/fig3_4_did_distribution.cpp.o.d"
+  "fig3_4_did_distribution"
+  "fig3_4_did_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_4_did_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

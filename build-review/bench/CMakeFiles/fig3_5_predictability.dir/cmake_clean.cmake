@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_5_predictability.dir/fig3_5_predictability.cpp.o"
+  "CMakeFiles/fig3_5_predictability.dir/fig3_5_predictability.cpp.o.d"
+  "fig3_5_predictability"
+  "fig3_5_predictability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_5_predictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

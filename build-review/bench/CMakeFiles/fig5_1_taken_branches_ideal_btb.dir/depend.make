@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_1_taken_branches_ideal_btb.
+# This may be replaced when dependencies are built.

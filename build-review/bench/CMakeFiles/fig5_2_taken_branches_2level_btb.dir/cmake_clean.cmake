@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_2_taken_branches_2level_btb.dir/fig5_2_taken_branches_2level_btb.cpp.o"
+  "CMakeFiles/fig5_2_taken_branches_2level_btb.dir/fig5_2_taken_branches_2level_btb.cpp.o.d"
+  "fig5_2_taken_branches_2level_btb"
+  "fig5_2_taken_branches_2level_btb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_2_taken_branches_2level_btb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

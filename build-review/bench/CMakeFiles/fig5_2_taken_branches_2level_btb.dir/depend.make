@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_2_taken_branches_2level_btb.
+# This may be replaced when dependencies are built.

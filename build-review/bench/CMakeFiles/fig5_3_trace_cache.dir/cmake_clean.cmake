@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_3_trace_cache.dir/fig5_3_trace_cache.cpp.o"
+  "CMakeFiles/fig5_3_trace_cache.dir/fig5_3_trace_cache.cpp.o.d"
+  "fig5_3_trace_cache"
+  "fig5_3_trace_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_3_trace_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

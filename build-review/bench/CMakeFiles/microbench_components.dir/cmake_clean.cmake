@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_components.dir/microbench_components.cpp.o"
+  "CMakeFiles/microbench_components.dir/microbench_components.cpp.o.d"
+  "microbench_components"
+  "microbench_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_1_benchmarks.dir/table3_1_benchmarks.cpp.o"
+  "CMakeFiles/table3_1_benchmarks.dir/table3_1_benchmarks.cpp.o.d"
+  "table3_1_benchmarks"
+  "table3_1_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_1_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

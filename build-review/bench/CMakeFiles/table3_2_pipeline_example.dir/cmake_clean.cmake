@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_2_pipeline_example.dir/table3_2_pipeline_example.cpp.o"
+  "CMakeFiles/table3_2_pipeline_example.dir/table3_2_pipeline_example.cpp.o.d"
+  "table3_2_pipeline_example"
+  "table3_2_pipeline_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_2_pipeline_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_2_pipeline_example.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_2_pipeline_example.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/did_explorer.dir/did_explorer.cpp.o"
+  "CMakeFiles/did_explorer.dir/did_explorer.cpp.o.d"
+  "did_explorer"
+  "did_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/did_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

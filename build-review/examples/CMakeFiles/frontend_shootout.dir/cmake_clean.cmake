@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_shootout.dir/frontend_shootout.cpp.o"
+  "CMakeFiles/frontend_shootout.dir/frontend_shootout.cpp.o.d"
+  "frontend_shootout"
+  "frontend_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

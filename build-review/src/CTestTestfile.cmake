@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("isa")
+subdirs("trace")
+subdirs("vm")
+subdirs("workloads")
+subdirs("predictor")
+subdirs("bpred")
+subdirs("fetch")
+subdirs("vptable")
+subdirs("analysis")
+subdirs("core")
+subdirs("sim")

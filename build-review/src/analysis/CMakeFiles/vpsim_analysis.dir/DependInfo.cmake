@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/did.cpp" "src/analysis/CMakeFiles/vpsim_analysis.dir/did.cpp.o" "gcc" "src/analysis/CMakeFiles/vpsim_analysis.dir/did.cpp.o.d"
+  "/root/repo/src/analysis/predictability.cpp" "src/analysis/CMakeFiles/vpsim_analysis.dir/predictability.cpp.o" "gcc" "src/analysis/CMakeFiles/vpsim_analysis.dir/predictability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/vpsim_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/vpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/predictor/CMakeFiles/vpsim_predictor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/isa/CMakeFiles/vpsim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpsim_analysis.dir/did.cpp.o"
+  "CMakeFiles/vpsim_analysis.dir/did.cpp.o.d"
+  "CMakeFiles/vpsim_analysis.dir/predictability.cpp.o"
+  "CMakeFiles/vpsim_analysis.dir/predictability.cpp.o.d"
+  "libvpsim_analysis.a"
+  "libvpsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpsim_bpred.dir/two_level.cpp.o"
+  "CMakeFiles/vpsim_bpred.dir/two_level.cpp.o.d"
+  "libvpsim_bpred.a"
+  "libvpsim_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpsim_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/cancellation.cpp" "src/common/CMakeFiles/vpsim_common.dir/cancellation.cpp.o" "gcc" "src/common/CMakeFiles/vpsim_common.dir/cancellation.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/common/CMakeFiles/vpsim_common.dir/histogram.cpp.o" "gcc" "src/common/CMakeFiles/vpsim_common.dir/histogram.cpp.o.d"
+  "/root/repo/src/common/invariant.cpp" "src/common/CMakeFiles/vpsim_common.dir/invariant.cpp.o" "gcc" "src/common/CMakeFiles/vpsim_common.dir/invariant.cpp.o.d"
+  "/root/repo/src/common/io.cpp" "src/common/CMakeFiles/vpsim_common.dir/io.cpp.o" "gcc" "src/common/CMakeFiles/vpsim_common.dir/io.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/vpsim_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/vpsim_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/options.cpp" "src/common/CMakeFiles/vpsim_common.dir/options.cpp.o" "gcc" "src/common/CMakeFiles/vpsim_common.dir/options.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/vpsim_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/vpsim_common.dir/stats.cpp.o.d"
+  "/root/repo/src/common/table_printer.cpp" "src/common/CMakeFiles/vpsim_common.dir/table_printer.cpp.o" "gcc" "src/common/CMakeFiles/vpsim_common.dir/table_printer.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/vpsim_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/vpsim_common.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

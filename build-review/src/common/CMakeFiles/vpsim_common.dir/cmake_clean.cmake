@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpsim_common.dir/cancellation.cpp.o"
+  "CMakeFiles/vpsim_common.dir/cancellation.cpp.o.d"
+  "CMakeFiles/vpsim_common.dir/histogram.cpp.o"
+  "CMakeFiles/vpsim_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/vpsim_common.dir/invariant.cpp.o"
+  "CMakeFiles/vpsim_common.dir/invariant.cpp.o.d"
+  "CMakeFiles/vpsim_common.dir/io.cpp.o"
+  "CMakeFiles/vpsim_common.dir/io.cpp.o.d"
+  "CMakeFiles/vpsim_common.dir/logging.cpp.o"
+  "CMakeFiles/vpsim_common.dir/logging.cpp.o.d"
+  "CMakeFiles/vpsim_common.dir/options.cpp.o"
+  "CMakeFiles/vpsim_common.dir/options.cpp.o.d"
+  "CMakeFiles/vpsim_common.dir/stats.cpp.o"
+  "CMakeFiles/vpsim_common.dir/stats.cpp.o.d"
+  "CMakeFiles/vpsim_common.dir/table_printer.cpp.o"
+  "CMakeFiles/vpsim_common.dir/table_printer.cpp.o.d"
+  "CMakeFiles/vpsim_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/vpsim_common.dir/thread_pool.cpp.o.d"
+  "libvpsim_common.a"
+  "libvpsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpsim_core.dir/ideal_machine.cpp.o"
+  "CMakeFiles/vpsim_core.dir/ideal_machine.cpp.o.d"
+  "CMakeFiles/vpsim_core.dir/pipeline_machine.cpp.o"
+  "CMakeFiles/vpsim_core.dir/pipeline_machine.cpp.o.d"
+  "CMakeFiles/vpsim_core.dir/reference_machine.cpp.o"
+  "CMakeFiles/vpsim_core.dir/reference_machine.cpp.o.d"
+  "CMakeFiles/vpsim_core.dir/speedup.cpp.o"
+  "CMakeFiles/vpsim_core.dir/speedup.cpp.o.d"
+  "libvpsim_core.a"
+  "libvpsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fetch/branch_address_cache.cpp" "src/fetch/CMakeFiles/vpsim_fetch.dir/branch_address_cache.cpp.o" "gcc" "src/fetch/CMakeFiles/vpsim_fetch.dir/branch_address_cache.cpp.o.d"
+  "/root/repo/src/fetch/collapsing_buffer.cpp" "src/fetch/CMakeFiles/vpsim_fetch.dir/collapsing_buffer.cpp.o" "gcc" "src/fetch/CMakeFiles/vpsim_fetch.dir/collapsing_buffer.cpp.o.d"
+  "/root/repo/src/fetch/fetch_engine.cpp" "src/fetch/CMakeFiles/vpsim_fetch.dir/fetch_engine.cpp.o" "gcc" "src/fetch/CMakeFiles/vpsim_fetch.dir/fetch_engine.cpp.o.d"
+  "/root/repo/src/fetch/icache.cpp" "src/fetch/CMakeFiles/vpsim_fetch.dir/icache.cpp.o" "gcc" "src/fetch/CMakeFiles/vpsim_fetch.dir/icache.cpp.o.d"
+  "/root/repo/src/fetch/sequential_fetch.cpp" "src/fetch/CMakeFiles/vpsim_fetch.dir/sequential_fetch.cpp.o" "gcc" "src/fetch/CMakeFiles/vpsim_fetch.dir/sequential_fetch.cpp.o.d"
+  "/root/repo/src/fetch/trace_cache.cpp" "src/fetch/CMakeFiles/vpsim_fetch.dir/trace_cache.cpp.o" "gcc" "src/fetch/CMakeFiles/vpsim_fetch.dir/trace_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/vpsim_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/vpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/bpred/CMakeFiles/vpsim_bpred.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vm/CMakeFiles/vpsim_vm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/isa/CMakeFiles/vpsim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

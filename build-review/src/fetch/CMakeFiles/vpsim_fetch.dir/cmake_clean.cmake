@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpsim_fetch.dir/branch_address_cache.cpp.o"
+  "CMakeFiles/vpsim_fetch.dir/branch_address_cache.cpp.o.d"
+  "CMakeFiles/vpsim_fetch.dir/collapsing_buffer.cpp.o"
+  "CMakeFiles/vpsim_fetch.dir/collapsing_buffer.cpp.o.d"
+  "CMakeFiles/vpsim_fetch.dir/fetch_engine.cpp.o"
+  "CMakeFiles/vpsim_fetch.dir/fetch_engine.cpp.o.d"
+  "CMakeFiles/vpsim_fetch.dir/icache.cpp.o"
+  "CMakeFiles/vpsim_fetch.dir/icache.cpp.o.d"
+  "CMakeFiles/vpsim_fetch.dir/sequential_fetch.cpp.o"
+  "CMakeFiles/vpsim_fetch.dir/sequential_fetch.cpp.o.d"
+  "CMakeFiles/vpsim_fetch.dir/trace_cache.cpp.o"
+  "CMakeFiles/vpsim_fetch.dir/trace_cache.cpp.o.d"
+  "libvpsim_fetch.a"
+  "libvpsim_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpsim_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

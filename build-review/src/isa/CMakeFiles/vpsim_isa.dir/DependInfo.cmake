@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/instruction.cpp" "src/isa/CMakeFiles/vpsim_isa.dir/instruction.cpp.o" "gcc" "src/isa/CMakeFiles/vpsim_isa.dir/instruction.cpp.o.d"
+  "/root/repo/src/isa/opcodes.cpp" "src/isa/CMakeFiles/vpsim_isa.dir/opcodes.cpp.o" "gcc" "src/isa/CMakeFiles/vpsim_isa.dir/opcodes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/vpsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

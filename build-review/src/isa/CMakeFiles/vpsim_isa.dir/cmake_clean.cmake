@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpsim_isa.dir/instruction.cpp.o"
+  "CMakeFiles/vpsim_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/vpsim_isa.dir/opcodes.cpp.o"
+  "CMakeFiles/vpsim_isa.dir/opcodes.cpp.o.d"
+  "libvpsim_isa.a"
+  "libvpsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpsim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictor/classifier.cpp" "src/predictor/CMakeFiles/vpsim_predictor.dir/classifier.cpp.o" "gcc" "src/predictor/CMakeFiles/vpsim_predictor.dir/classifier.cpp.o.d"
+  "/root/repo/src/predictor/factory.cpp" "src/predictor/CMakeFiles/vpsim_predictor.dir/factory.cpp.o" "gcc" "src/predictor/CMakeFiles/vpsim_predictor.dir/factory.cpp.o.d"
+  "/root/repo/src/predictor/fcm.cpp" "src/predictor/CMakeFiles/vpsim_predictor.dir/fcm.cpp.o" "gcc" "src/predictor/CMakeFiles/vpsim_predictor.dir/fcm.cpp.o.d"
+  "/root/repo/src/predictor/hybrid.cpp" "src/predictor/CMakeFiles/vpsim_predictor.dir/hybrid.cpp.o" "gcc" "src/predictor/CMakeFiles/vpsim_predictor.dir/hybrid.cpp.o.d"
+  "/root/repo/src/predictor/last_value.cpp" "src/predictor/CMakeFiles/vpsim_predictor.dir/last_value.cpp.o" "gcc" "src/predictor/CMakeFiles/vpsim_predictor.dir/last_value.cpp.o.d"
+  "/root/repo/src/predictor/profile.cpp" "src/predictor/CMakeFiles/vpsim_predictor.dir/profile.cpp.o" "gcc" "src/predictor/CMakeFiles/vpsim_predictor.dir/profile.cpp.o.d"
+  "/root/repo/src/predictor/stride.cpp" "src/predictor/CMakeFiles/vpsim_predictor.dir/stride.cpp.o" "gcc" "src/predictor/CMakeFiles/vpsim_predictor.dir/stride.cpp.o.d"
+  "/root/repo/src/predictor/two_delta.cpp" "src/predictor/CMakeFiles/vpsim_predictor.dir/two_delta.cpp.o" "gcc" "src/predictor/CMakeFiles/vpsim_predictor.dir/two_delta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/vpsim_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/vpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/isa/CMakeFiles/vpsim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

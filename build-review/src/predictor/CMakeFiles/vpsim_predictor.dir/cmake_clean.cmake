@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpsim_predictor.dir/classifier.cpp.o"
+  "CMakeFiles/vpsim_predictor.dir/classifier.cpp.o.d"
+  "CMakeFiles/vpsim_predictor.dir/factory.cpp.o"
+  "CMakeFiles/vpsim_predictor.dir/factory.cpp.o.d"
+  "CMakeFiles/vpsim_predictor.dir/fcm.cpp.o"
+  "CMakeFiles/vpsim_predictor.dir/fcm.cpp.o.d"
+  "CMakeFiles/vpsim_predictor.dir/hybrid.cpp.o"
+  "CMakeFiles/vpsim_predictor.dir/hybrid.cpp.o.d"
+  "CMakeFiles/vpsim_predictor.dir/last_value.cpp.o"
+  "CMakeFiles/vpsim_predictor.dir/last_value.cpp.o.d"
+  "CMakeFiles/vpsim_predictor.dir/profile.cpp.o"
+  "CMakeFiles/vpsim_predictor.dir/profile.cpp.o.d"
+  "CMakeFiles/vpsim_predictor.dir/stride.cpp.o"
+  "CMakeFiles/vpsim_predictor.dir/stride.cpp.o.d"
+  "CMakeFiles/vpsim_predictor.dir/two_delta.cpp.o"
+  "CMakeFiles/vpsim_predictor.dir/two_delta.cpp.o.d"
+  "libvpsim_predictor.a"
+  "libvpsim_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpsim_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/vpsim_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/vpsim_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/run_manifest.cpp" "src/sim/CMakeFiles/vpsim_sim.dir/run_manifest.cpp.o" "gcc" "src/sim/CMakeFiles/vpsim_sim.dir/run_manifest.cpp.o.d"
+  "/root/repo/src/sim/sim_runner.cpp" "src/sim/CMakeFiles/vpsim_sim.dir/sim_runner.cpp.o" "gcc" "src/sim/CMakeFiles/vpsim_sim.dir/sim_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/vpsim_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workloads/CMakeFiles/vpsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/vpsim_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/vpsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/vpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fetch/CMakeFiles/vpsim_fetch.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vm/CMakeFiles/vpsim_vm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/bpred/CMakeFiles/vpsim_bpred.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vptable/CMakeFiles/vpsim_vptable.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/predictor/CMakeFiles/vpsim_predictor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/isa/CMakeFiles/vpsim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpsim_sim.dir/experiment.cpp.o"
+  "CMakeFiles/vpsim_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/vpsim_sim.dir/run_manifest.cpp.o"
+  "CMakeFiles/vpsim_sim.dir/run_manifest.cpp.o.d"
+  "CMakeFiles/vpsim_sim.dir/sim_runner.cpp.o"
+  "CMakeFiles/vpsim_sim.dir/sim_runner.cpp.o.d"
+  "libvpsim_sim.a"
+  "libvpsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/trace_cache_store.cpp" "src/trace/CMakeFiles/vpsim_trace.dir/trace_cache_store.cpp.o" "gcc" "src/trace/CMakeFiles/vpsim_trace.dir/trace_cache_store.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/vpsim_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/vpsim_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/trace/CMakeFiles/vpsim_trace.dir/trace_stats.cpp.o" "gcc" "src/trace/CMakeFiles/vpsim_trace.dir/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/vpsim_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/isa/CMakeFiles/vpsim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpsim_trace.dir/trace_cache_store.cpp.o"
+  "CMakeFiles/vpsim_trace.dir/trace_cache_store.cpp.o.d"
+  "CMakeFiles/vpsim_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/vpsim_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/vpsim_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/vpsim_trace.dir/trace_stats.cpp.o.d"
+  "libvpsim_trace.a"
+  "libvpsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/assembler.cpp" "src/vm/CMakeFiles/vpsim_vm.dir/assembler.cpp.o" "gcc" "src/vm/CMakeFiles/vpsim_vm.dir/assembler.cpp.o.d"
+  "/root/repo/src/vm/interpreter.cpp" "src/vm/CMakeFiles/vpsim_vm.dir/interpreter.cpp.o" "gcc" "src/vm/CMakeFiles/vpsim_vm.dir/interpreter.cpp.o.d"
+  "/root/repo/src/vm/memory.cpp" "src/vm/CMakeFiles/vpsim_vm.dir/memory.cpp.o" "gcc" "src/vm/CMakeFiles/vpsim_vm.dir/memory.cpp.o.d"
+  "/root/repo/src/vm/program.cpp" "src/vm/CMakeFiles/vpsim_vm.dir/program.cpp.o" "gcc" "src/vm/CMakeFiles/vpsim_vm.dir/program.cpp.o.d"
+  "/root/repo/src/vm/program_builder.cpp" "src/vm/CMakeFiles/vpsim_vm.dir/program_builder.cpp.o" "gcc" "src/vm/CMakeFiles/vpsim_vm.dir/program_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/vpsim_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/isa/CMakeFiles/vpsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/vpsim_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

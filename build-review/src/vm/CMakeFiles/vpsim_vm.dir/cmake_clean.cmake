@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpsim_vm.dir/assembler.cpp.o"
+  "CMakeFiles/vpsim_vm.dir/assembler.cpp.o.d"
+  "CMakeFiles/vpsim_vm.dir/interpreter.cpp.o"
+  "CMakeFiles/vpsim_vm.dir/interpreter.cpp.o.d"
+  "CMakeFiles/vpsim_vm.dir/memory.cpp.o"
+  "CMakeFiles/vpsim_vm.dir/memory.cpp.o.d"
+  "CMakeFiles/vpsim_vm.dir/program.cpp.o"
+  "CMakeFiles/vpsim_vm.dir/program.cpp.o.d"
+  "CMakeFiles/vpsim_vm.dir/program_builder.cpp.o"
+  "CMakeFiles/vpsim_vm.dir/program_builder.cpp.o.d"
+  "libvpsim_vm.a"
+  "libvpsim_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpsim_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpsim_vptable.dir/interleaved_table.cpp.o"
+  "CMakeFiles/vpsim_vptable.dir/interleaved_table.cpp.o.d"
+  "libvpsim_vptable.a"
+  "libvpsim_vptable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpsim_vptable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

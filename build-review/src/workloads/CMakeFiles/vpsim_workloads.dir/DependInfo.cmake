@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/compress.cpp" "src/workloads/CMakeFiles/vpsim_workloads.dir/compress.cpp.o" "gcc" "src/workloads/CMakeFiles/vpsim_workloads.dir/compress.cpp.o.d"
+  "/root/repo/src/workloads/gcc.cpp" "src/workloads/CMakeFiles/vpsim_workloads.dir/gcc.cpp.o" "gcc" "src/workloads/CMakeFiles/vpsim_workloads.dir/gcc.cpp.o.d"
+  "/root/repo/src/workloads/go.cpp" "src/workloads/CMakeFiles/vpsim_workloads.dir/go.cpp.o" "gcc" "src/workloads/CMakeFiles/vpsim_workloads.dir/go.cpp.o.d"
+  "/root/repo/src/workloads/ijpeg.cpp" "src/workloads/CMakeFiles/vpsim_workloads.dir/ijpeg.cpp.o" "gcc" "src/workloads/CMakeFiles/vpsim_workloads.dir/ijpeg.cpp.o.d"
+  "/root/repo/src/workloads/li.cpp" "src/workloads/CMakeFiles/vpsim_workloads.dir/li.cpp.o" "gcc" "src/workloads/CMakeFiles/vpsim_workloads.dir/li.cpp.o.d"
+  "/root/repo/src/workloads/m88ksim.cpp" "src/workloads/CMakeFiles/vpsim_workloads.dir/m88ksim.cpp.o" "gcc" "src/workloads/CMakeFiles/vpsim_workloads.dir/m88ksim.cpp.o.d"
+  "/root/repo/src/workloads/perl.cpp" "src/workloads/CMakeFiles/vpsim_workloads.dir/perl.cpp.o" "gcc" "src/workloads/CMakeFiles/vpsim_workloads.dir/perl.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/vpsim_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/vpsim_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/vortex.cpp" "src/workloads/CMakeFiles/vpsim_workloads.dir/vortex.cpp.o" "gcc" "src/workloads/CMakeFiles/vpsim_workloads.dir/vortex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/vpsim_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vm/CMakeFiles/vpsim_vm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/vpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/isa/CMakeFiles/vpsim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpsim_workloads.dir/compress.cpp.o"
+  "CMakeFiles/vpsim_workloads.dir/compress.cpp.o.d"
+  "CMakeFiles/vpsim_workloads.dir/gcc.cpp.o"
+  "CMakeFiles/vpsim_workloads.dir/gcc.cpp.o.d"
+  "CMakeFiles/vpsim_workloads.dir/go.cpp.o"
+  "CMakeFiles/vpsim_workloads.dir/go.cpp.o.d"
+  "CMakeFiles/vpsim_workloads.dir/ijpeg.cpp.o"
+  "CMakeFiles/vpsim_workloads.dir/ijpeg.cpp.o.d"
+  "CMakeFiles/vpsim_workloads.dir/li.cpp.o"
+  "CMakeFiles/vpsim_workloads.dir/li.cpp.o.d"
+  "CMakeFiles/vpsim_workloads.dir/m88ksim.cpp.o"
+  "CMakeFiles/vpsim_workloads.dir/m88ksim.cpp.o.d"
+  "CMakeFiles/vpsim_workloads.dir/perl.cpp.o"
+  "CMakeFiles/vpsim_workloads.dir/perl.cpp.o.d"
+  "CMakeFiles/vpsim_workloads.dir/registry.cpp.o"
+  "CMakeFiles/vpsim_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/vpsim_workloads.dir/vortex.cpp.o"
+  "CMakeFiles/vpsim_workloads.dir/vortex.cpp.o.d"
+  "libvpsim_workloads.a"
+  "libvpsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

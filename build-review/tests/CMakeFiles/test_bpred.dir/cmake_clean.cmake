@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bpred.dir/test_bpred.cpp.o"
+  "CMakeFiles/test_bpred.dir/test_bpred.cpp.o.d"
+  "test_bpred"
+  "test_bpred.pdb"
+  "test_bpred[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

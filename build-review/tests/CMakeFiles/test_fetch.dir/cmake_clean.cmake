@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fetch.dir/test_fetch.cpp.o"
+  "CMakeFiles/test_fetch.dir/test_fetch.cpp.o.d"
+  "test_fetch"
+  "test_fetch.pdb"
+  "test_fetch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_cache.dir/test_trace_cache.cpp.o"
+  "CMakeFiles/test_trace_cache.dir/test_trace_cache.cpp.o.d"
+  "test_trace_cache"
+  "test_trace_cache.pdb"
+  "test_trace_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

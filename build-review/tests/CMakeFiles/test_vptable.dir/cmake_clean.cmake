@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vptable.dir/test_vptable.cpp.o"
+  "CMakeFiles/test_vptable.dir/test_vptable.cpp.o.d"
+  "test_vptable"
+  "test_vptable.pdb"
+  "test_vptable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vptable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_common[1]_include.cmake")
+include("/root/repo/build-review/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build-review/tests/test_trace_cache[1]_include.cmake")
+include("/root/repo/build-review/tests/test_isa[1]_include.cmake")
+include("/root/repo/build-review/tests/test_vm[1]_include.cmake")
+include("/root/repo/build-review/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build-review/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build-review/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build-review/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build-review/tests/test_predictor[1]_include.cmake")
+include("/root/repo/build-review/tests/test_bpred[1]_include.cmake")
+include("/root/repo/build-review/tests/test_fetch[1]_include.cmake")
+include("/root/repo/build-review/tests/test_vptable[1]_include.cmake")
+include("/root/repo/build-review/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build-review/tests/test_core[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-review/tests/test_validation[1]_include.cmake")
+include("/root/repo/build-review/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build-review/tests/test_integration[1]_include.cmake")
+add_test(lint_project_selftest "/root/.pyenv/shims/python3" "/root/repo/scripts/lint_project.py" "--self-test" "--root" "/root/repo")
+set_tests_properties(lint_project_selftest PROPERTIES  LABELS "lint" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;39;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(lint_project "/root/.pyenv/shims/python3" "/root/repo/scripts/lint_project.py" "--root" "/root/repo")
+set_tests_properties(lint_project PROPERTIES  LABELS "lint" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;43;add_test;/root/repo/tests/CMakeLists.txt;0;")
