@@ -1,0 +1,521 @@
+/**
+ * @file
+ * Simulation-throughput harness: wall-clock, MIPS and peak RSS for
+ * every machine model, emitted as JSON (schema in docs/PERF.md).
+ *
+ * Two jobs:
+ *  - track the simulator's own speed across commits (the committed
+ *    BENCH_<n>.json snapshots; compare with scripts/perf_report.py);
+ *  - demonstrate the batched trace-delivery API against the deprecated
+ *    per-record shim: `ideal_per_record` is a faithful replica of the
+ *    pre-span ideal-machine loop driven one TraceRecord::next() at a
+ *    time, and the harness refuses to report a speedup unless both
+ *    paths produced bit-identical simulation results on every
+ *    benchmark.
+ *
+ * Measurement method: each model runs --repeats times over all
+ * captured benchmark traces back to back; the reported wall time is
+ * the median repeat, MIPS = simulated instructions / median seconds,
+ * and peak RSS is sampled per model phase (RssSampler) plus the
+ * process-lifetime ru_maxrss upper bound.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.hpp"
+#include "common/invariant.hpp"
+#include "common/logging.hpp"
+#include "common/resource_usage.hpp"
+#include "core/ideal_machine.hpp"
+#include "core/pipeline_machine.hpp"
+#include "core/reference_machine.hpp"
+#include "isa/instruction.hpp"
+#include "sim/experiment.hpp"
+#include "trace/source.hpp"
+
+namespace vpsim
+{
+namespace
+{
+
+/**
+ * The pre-span ideal machine, verbatim from the per-record era except
+ * that records arrive through the deprecated TraceSource::next() shim
+ * — one virtual dispatch and one record copy per instruction, plus
+ * the per-record divide/modulo and polling the batched loop hoisted.
+ * Kept as the harness's measured baseline; its results must match
+ * runIdealMachine() exactly.
+ */
+IdealMachineResult
+runIdealMachinePerRecord(TraceSource &source,
+                         const IdealMachineConfig &config)
+{
+    fatalIf(config.fetchRate == 0, "fetch rate must be positive");
+    fatalIf(config.windowSize == 0, "window size must be positive");
+
+    IdealMachineResult result;
+
+    std::unique_ptr<ClassifiedPredictor> predictor;
+    if (config.useValuePrediction && !config.perfectValuePrediction) {
+        predictor = makeClassifiedPredictor(
+            config.predictorKind, config.tableCapacity,
+            config.counterBits, config.missPolicy);
+    }
+
+    struct Writer
+    {
+        Cycle execCycle = 0;
+        bool exists = false;
+        bool predicted = false;
+        bool correct = false;
+    };
+    std::vector<Writer> lastWriter(numArchRegs);
+    std::vector<Cycle> windowExec(config.windowSize, 0);
+
+    Cycle max_exec = 0;
+    source.reset();
+    TraceRecord record;
+    std::uint64_t i = 0;
+    // lint:allow trace-per-record -- this driver exists to measure the
+    // deprecated shim against the batched API.
+    for (; source.next(record); ++i) {
+        if ((i & 0xfff) == 0)
+            simHeartbeat(i);
+        const Cycle fetch_cycle = i / config.fetchRate + 1;
+        Cycle earliest = fetch_cycle + config.frontendLatency;
+
+        if (i >= config.windowSize) {
+            earliest = std::max(earliest,
+                                windowExec[i % config.windowSize] + 1);
+        }
+
+        struct OperandUse
+        {
+            Cycle readyNoVp = 0;
+            int kind = 0;
+        };
+        OperandUse uses[2];
+        unsigned num_uses = 0;
+
+        const auto consume = [&](RegIndex reg) {
+            if (reg == invalidReg || reg == 0)
+                return;
+            const Writer &writer = lastWriter[reg];
+            if (!writer.exists)
+                return;
+            OperandUse use;
+            use.readyNoVp = writer.execCycle + 1;
+            if (config.useValuePrediction && writer.predicted)
+                use.kind = writer.correct ? 1 : 2;
+            uses[num_uses++] = use;
+        };
+        consume(record.rs1);
+        consume(record.rs2);
+
+        for (unsigned u = 0; u < num_uses; ++u) {
+            if (uses[u].readyNoVp > earliest)
+                ++result.stallingUses;
+        }
+
+        Cycle issue = earliest;
+        for (unsigned u = 0; u < num_uses; ++u) {
+            if (uses[u].kind == 0)
+                issue = std::max(issue, uses[u].readyNoVp);
+        }
+        Cycle exec = issue;
+        if (num_uses == 2 && uses[0].kind == 2 && uses[1].kind == 2 &&
+            uses[0].readyNoVp > uses[1].readyNoVp) {
+            std::swap(uses[0], uses[1]);
+        }
+        for (unsigned u = 0; u < num_uses; ++u) {
+            if (uses[u].kind != 2)
+                continue;
+            if (uses[u].readyNoVp <= exec) {
+                exec = std::max(exec, uses[u].readyNoVp);
+            } else {
+                exec = uses[u].readyNoVp + config.vpPenalty;
+            }
+        }
+        for (unsigned u = 0; u < num_uses; ++u) {
+            if (uses[u].kind != 1)
+                continue;
+            ++result.correctlyPredictedUses;
+            if (uses[u].readyNoVp > exec)
+                ++result.usefulPredictions;
+        }
+        if (i >= config.windowSize) {
+            checkInvariant(
+                InvariantLevel::Full,
+                exec >= windowExec[i % config.windowSize] + 1,
+                "ideal.window_slot_reuse", [&] {
+                    return "inst " + std::to_string(i) +
+                           " executes in " + std::to_string(exec) +
+                           " but its window slot frees in " +
+                           std::to_string(
+                               windowExec[i % config.windowSize]);
+                });
+        }
+        checkInvariant(InvariantLevel::Full,
+                       exec >= fetch_cycle + config.frontendLatency,
+                       "ideal.frontend_latency", [&] {
+                           return "inst " + std::to_string(i) +
+                                  " executes in " + std::to_string(exec) +
+                                  " before fetch " +
+                                  std::to_string(fetch_cycle) +
+                                  " + frontend latency";
+                       });
+        windowExec[i % config.windowSize] = exec;
+        max_exec = std::max(max_exec, exec);
+
+        if (record.producesValue()) {
+            Writer writer;
+            writer.exists = true;
+            writer.execCycle = exec;
+            const bool in_scope =
+                config.vpScope == VpScope::AllInstructions ||
+                record.instClass() == InstClass::Load;
+            if (config.useValuePrediction && in_scope) {
+                if (config.perfectValuePrediction) {
+                    writer.predicted = true;
+                    writer.correct = true;
+                    ++result.predictionsMade;
+                    ++result.predictionsCorrect;
+                } else {
+                    const ClassifiedPrediction prediction =
+                        predictor->predict(record.pc);
+                    writer.predicted = prediction.predicted;
+                    writer.correct = prediction.predicted &&
+                                     prediction.value == record.result;
+                    predictor->update(record.pc, prediction,
+                                      record.result);
+                }
+            }
+            lastWriter[record.rd] = writer;
+        }
+    }
+
+    result.instructions = i;
+    if (i == 0)
+        return result;
+
+    if (predictor) {
+        result.predictionsMade = predictor->predictionsMade();
+        result.predictionsCorrect = predictor->predictionsCorrect();
+        result.predictionsWrong = predictor->predictionsWrong();
+    }
+
+    result.cycles = max_exec;
+    result.ipc = static_cast<double>(result.instructions) /
+                 static_cast<double>(result.cycles);
+    return result;
+}
+
+/** Everything the JSON needs about one model's measurement. */
+struct ModelMeasurement
+{
+    std::string name;
+    std::vector<double> wallSeconds; //!< one entry per repeat
+    double medianSeconds = 0.0;
+    double mips = 0.0;
+    std::size_t peakRssBytes = 0;
+    /** Sum of cycle counts across benchmarks: a cheap result digest. */
+    std::uint64_t cyclesDigest = 0;
+};
+
+double
+medianOf(std::vector<double> samples)
+{
+    std::sort(samples.begin(), samples.end());
+    const std::size_t n = samples.size();
+    if (n == 0)
+        return 0.0;
+    if (n % 2 == 1)
+        return samples[n / 2];
+    return (samples[n / 2 - 1] + samples[n / 2]) / 2.0;
+}
+
+/**
+ * Measure @p body, which must simulate all benchmarks once and return
+ * the summed cycle digest, @p repeats times.
+ */
+template <typename Body>
+ModelMeasurement
+measureModel(const std::string &name, std::uint64_t total_insts,
+             unsigned repeats, RssSampler &sampler, const Body &body)
+{
+    ModelMeasurement m;
+    m.name = name;
+    sampler.beginPhase();
+    for (unsigned r = 0; r < repeats; ++r) {
+        Stopwatch watch;
+        const std::uint64_t digest = body();
+        m.wallSeconds.push_back(watch.seconds());
+        if (r == 0) {
+            m.cyclesDigest = digest;
+        } else {
+            fatalIf(digest != m.cyclesDigest,
+                    "model " + name + " was not run-to-run deterministic");
+        }
+    }
+    m.medianSeconds = medianOf(m.wallSeconds);
+    m.peakRssBytes = sampler.peakBytes();
+    m.mips = m.medianSeconds <= 0.0
+        ? 0.0
+        : static_cast<double>(total_insts) / m.medianSeconds / 1e6;
+    std::fprintf(stderr, "  %-18s %8.3f s  %8.2f MIPS  %6.1f MiB\n",
+                 name.c_str(), m.medianSeconds, m.mips,
+                 static_cast<double>(m.peakRssBytes) / (1024.0 * 1024.0));
+    return m;
+}
+
+void
+writeJson(std::FILE *out, const Options &options,
+          const BenchmarkTraces &bench, std::uint64_t total_insts,
+          unsigned repeats, const std::vector<ModelMeasurement> &models,
+          double span_speedup, double span_speedup_vp)
+{
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"schema\": \"vpsim-perf-1\",\n");
+    std::fprintf(out, "  \"insts_per_benchmark\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     options.getInt("insts")));
+    std::fprintf(out, "  \"repeats\": %u,\n", repeats);
+    std::fprintf(out, "  \"benchmarks\": [");
+    for (std::size_t i = 0; i < bench.names.size(); ++i) {
+        std::fprintf(out, "%s\"%s\"", i == 0 ? "" : ", ",
+                     bench.names[i].c_str());
+    }
+    std::fprintf(out, "],\n");
+    std::fprintf(out, "  \"total_instructions\": %llu,\n",
+                 static_cast<unsigned long long>(total_insts));
+    std::fprintf(out, "  \"process_peak_rss_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     RssSampler::processPeakRssBytes()));
+    std::fprintf(out, "  \"models\": [\n");
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        const ModelMeasurement &m = models[i];
+        std::fprintf(out, "    {\n");
+        std::fprintf(out, "      \"name\": \"%s\",\n", m.name.c_str());
+        std::fprintf(out, "      \"wall_seconds\": %.6f,\n",
+                     m.medianSeconds);
+        std::fprintf(out, "      \"wall_seconds_all\": [");
+        for (std::size_t r = 0; r < m.wallSeconds.size(); ++r) {
+            std::fprintf(out, "%s%.6f", r == 0 ? "" : ", ",
+                         m.wallSeconds[r]);
+        }
+        std::fprintf(out, "],\n");
+        std::fprintf(out, "      \"mips\": %.3f,\n", m.mips);
+        std::fprintf(out, "      \"peak_rss_bytes\": %llu,\n",
+                     static_cast<unsigned long long>(m.peakRssBytes));
+        std::fprintf(out, "      \"cycles_digest\": %llu\n",
+                     static_cast<unsigned long long>(m.cyclesDigest));
+        std::fprintf(out, "    }%s\n",
+                     i + 1 == models.size() ? "" : ",");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"derived\": {\n");
+    std::fprintf(out,
+                 "    \"span_vs_per_record_speedup\": %.3f,\n",
+                 span_speedup);
+    std::fprintf(out,
+                 "    \"span_vs_per_record_speedup_vp\": %.3f\n",
+                 span_speedup_vp);
+    std::fprintf(out, "  }\n");
+    std::fprintf(out, "}\n");
+}
+
+} // namespace
+} // namespace vpsim
+
+int
+main(int argc, char **argv)
+{
+    using namespace vpsim;
+
+    Options options;
+    declareStandardOptions(options, 400000);
+    options.declare("repeats", "3",
+                    "timing repeats per model (median is reported)");
+    options.declare("out", "",
+                    "write the JSON report to this file (default: "
+                    "stdout only)");
+    options.parse(argc, argv,
+                  "Perf harness: wall-clock / MIPS / peak RSS per "
+                  "machine model, JSON out (docs/PERF.md)");
+
+    const BenchmarkTraces bench = captureBenchmarks(options);
+    const unsigned repeats =
+        static_cast<unsigned>(options.getInt("repeats"));
+    fatalIf(repeats == 0, "--repeats must be at least 1");
+
+    std::uint64_t total_insts = 0;
+    for (std::size_t b = 0; b < bench.size(); ++b)
+        total_insts += bench.trace(b).size();
+
+    IdealMachineConfig ideal_config;
+    ideal_config.useValuePrediction = true;
+    // The pure scheduling loop: no predictor tables, so delivery and
+    // bookkeeping costs are the whole per-instruction path. This is
+    // the pair that isolates the batched API against the shim.
+    IdealMachineConfig novp_config;
+    novp_config.useValuePrediction = false;
+
+    RssSampler sampler;
+    std::vector<ModelMeasurement> models;
+    std::fprintf(stderr,
+                 "perf harness: %zu benchmarks, %llu insts total, "
+                 "%u repeats\n",
+                 bench.size(),
+                 static_cast<unsigned long long>(total_insts), repeats);
+
+    // The tentpole comparison: batched span delivery vs the deprecated
+    // per-record shim, same machine, same records. Measured both on
+    // the bare scheduling loop (no VP: delivery cost is the whole
+    // story) and with the stride predictor on (delivery amortized
+    // against table lookups).
+    models.push_back(measureModel(
+        "ideal_novp_span", total_insts, repeats, sampler, [&] {
+            std::uint64_t digest = 0;
+            for (std::size_t b = 0; b < bench.size(); ++b) {
+                BorrowedTraceSource source{TraceSpan(bench.trace(b))};
+                digest += runIdealMachine(source, novp_config).cycles;
+            }
+            return digest;
+        }));
+    models.push_back(measureModel(
+        "ideal_novp_per_record", total_insts, repeats, sampler, [&] {
+            std::uint64_t digest = 0;
+            for (std::size_t b = 0; b < bench.size(); ++b) {
+                BorrowedTraceSource source{TraceSpan(bench.trace(b))};
+                digest +=
+                    runIdealMachinePerRecord(source, novp_config)
+                        .cycles;
+            }
+            return digest;
+        }));
+    models.push_back(measureModel(
+        "ideal_span", total_insts, repeats, sampler, [&] {
+            std::uint64_t digest = 0;
+            for (std::size_t b = 0; b < bench.size(); ++b) {
+                BorrowedTraceSource source{TraceSpan(bench.trace(b))};
+                digest +=
+                    runIdealMachine(source, ideal_config).cycles;
+            }
+            return digest;
+        }));
+    models.push_back(measureModel(
+        "ideal_per_record", total_insts, repeats, sampler, [&] {
+            std::uint64_t digest = 0;
+            for (std::size_t b = 0; b < bench.size(); ++b) {
+                BorrowedTraceSource source{TraceSpan(bench.trace(b))};
+                digest +=
+                    runIdealMachinePerRecord(source, ideal_config)
+                        .cycles;
+            }
+            return digest;
+        }));
+
+    // The two paths must agree result-for-result, not just on the
+    // digest: re-run once per benchmark and compare every statistic.
+    for (std::size_t b = 0; b < bench.size(); ++b) {
+        for (const IdealMachineConfig *config :
+             {&novp_config, &ideal_config}) {
+        BorrowedTraceSource span_source{TraceSpan(bench.trace(b))};
+        BorrowedTraceSource shim_source{TraceSpan(bench.trace(b))};
+        const IdealMachineResult via_span =
+            runIdealMachine(span_source, *config);
+        const IdealMachineResult via_shim =
+            runIdealMachinePerRecord(shim_source, *config);
+        fatalIf(via_span.cycles != via_shim.cycles ||
+                    via_span.instructions != via_shim.instructions ||
+                    via_span.predictionsMade !=
+                        via_shim.predictionsMade ||
+                    via_span.predictionsCorrect !=
+                        via_shim.predictionsCorrect ||
+                    via_span.predictionsWrong !=
+                        via_shim.predictionsWrong ||
+                    via_span.correctlyPredictedUses !=
+                        via_shim.correctlyPredictedUses ||
+                    via_span.stallingUses != via_shim.stallingUses ||
+                    via_span.usefulPredictions !=
+                        via_shim.usefulPredictions,
+                "span and per-record ideal machines diverged on " +
+                    bench.names[b]);
+        }
+    }
+    std::fprintf(stderr,
+                 "  span/per-record results verified identical on %zu "
+                 "benchmarks\n",
+                 bench.size());
+
+    models.push_back(measureModel(
+        "reference_ideal", total_insts, repeats, sampler, [&] {
+            std::uint64_t digest = 0;
+            for (std::size_t b = 0; b < bench.size(); ++b) {
+                digest += runReferenceIdealMachine(bench.trace(b),
+                                                   ideal_config)
+                              .cycles;
+            }
+            return digest;
+        }));
+
+    PipelineConfig pipe_seq;
+    pipe_seq.useValuePrediction = true;
+    models.push_back(measureModel(
+        "pipeline_sequential", total_insts, repeats, sampler, [&] {
+            std::uint64_t digest = 0;
+            for (std::size_t b = 0; b < bench.size(); ++b) {
+                digest +=
+                    runPipelineMachine(bench.trace(b), pipe_seq).cycles;
+            }
+            return digest;
+        }));
+
+    PipelineConfig pipe_tc = pipe_seq;
+    pipe_tc.frontEnd = FrontEndKind::TraceCache;
+    models.push_back(measureModel(
+        "pipeline_trace_cache", total_insts, repeats, sampler, [&] {
+            std::uint64_t digest = 0;
+            for (std::size_t b = 0; b < bench.size(); ++b) {
+                digest +=
+                    runPipelineMachine(bench.trace(b), pipe_tc).cycles;
+            }
+            return digest;
+        }));
+
+    const auto mipsOf = [&](const std::string &name) {
+        for (const ModelMeasurement &m : models) {
+            if (m.name == name)
+                return m.mips;
+        }
+        return 0.0;
+    };
+    const double novp_per_record = mipsOf("ideal_novp_per_record");
+    const double span_speedup = novp_per_record <= 0.0
+        ? 0.0
+        : mipsOf("ideal_novp_span") / novp_per_record;
+    const double vp_per_record = mipsOf("ideal_per_record");
+    const double span_speedup_vp = vp_per_record <= 0.0
+        ? 0.0
+        : mipsOf("ideal_span") / vp_per_record;
+    std::fprintf(stderr,
+                 "  batched span API vs per-record shim: %.2fx MIPS "
+                 "(hot path), %.2fx with VP tables\n",
+                 span_speedup, span_speedup_vp);
+
+    writeJson(stdout, options, bench, total_insts, repeats, models,
+              span_speedup, span_speedup_vp);
+    const std::string out_path = options.getString("out");
+    if (!out_path.empty()) {
+        std::FILE *out = std::fopen(out_path.c_str(), "w");
+        fatalIf(out == nullptr,
+                "cannot open --out file " + out_path);
+        writeJson(out, options, bench, total_insts, repeats, models,
+                  span_speedup, span_speedup_vp);
+        std::fclose(out);
+    }
+    return 0;
+}

@@ -38,6 +38,15 @@ raw-mutex
     thread-safety analysis sees every acquire/release. Raw std::mutex
     and friends are allowed only inside the wrapper header itself.
 
+trace-per-record
+    TraceSource::next() is the deprecated one-record compat shim kept
+    for the batched-delivery migration (docs/PERF.md); a per-record
+    loop over it pays a virtual call per instruction and defeats the
+    span API's block-at-a-time hoisting. New code iterates
+    nextBlock() spans. Flagged on receivers declared in the same file
+    with a *TraceSource type; the shim's own definition and measured
+    legacy baselines carry suppressions.
+
 Suppression: append `// lint:allow <rule>` (plus a justification) to
 the offending line.
 
@@ -61,12 +70,13 @@ SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc"}
 EXEMPT = {
     "raw-mutex": {"src/common/thread_annotations.hpp"},
     "sim-determinism": {"src/common/rng.hpp"},
+    "trace-per-record": {"src/trace/source.hpp"},
 }
 
 ALLOW_RE = re.compile(r"lint:allow\s+([\w-]+)")
 
 RULES = ["status-discard", "sim-determinism", "unordered-iter",
-         "raw-mutex"]
+         "raw-mutex", "trace-per-record"]
 
 
 def strip_comments_and_strings(text):
@@ -324,6 +334,46 @@ def check_raw_mutex(path, text, raw_lines, report):
                "analysis sees the acquire/release" % match.group(0))
 
 
+# Any concrete or abstract trace source (TraceSource,
+# VectorTraceSource, BorrowedTraceSource, future subclasses). Declared
+# by value, reference, pointer or smart pointer in the same file.
+TRACE_SOURCE_CLASS_RE = r"\w*TraceSource"
+TRACE_SOURCE_VAR_DECL_RES = [
+    re.compile(r"\b" + TRACE_SOURCE_CLASS_RE +
+               r"\b(?:\s|&|\*)+(\w+)\s*[;,)({=]"),
+    re.compile(r"_ptr<\s*(?:const\s+)?" + TRACE_SOURCE_CLASS_RE +
+               r"\s*>\s+(\w+)"),
+]
+
+
+def trace_source_vars(text):
+    names = set()
+    for decl_re in TRACE_SOURCE_VAR_DECL_RES:
+        names.update(m.group(1) for m in decl_re.finditer(text))
+    return names
+
+
+def check_trace_per_record(path, text, raw_lines, report):
+    receiver_vars = trace_source_vars(text)
+    if not receiver_vars:
+        return
+    # Only member calls on a known trace-source receiver: bare next(
+    # (std::next, iterator helpers) is never ambiguous here.
+    call_re = re.compile(r"\b(\w+)\s*(?:\.|->)\s*next\s*\(")
+    for match in call_re.finditer(text):
+        if match.group(1) not in receiver_vars:
+            continue
+        lineno = text.count("\n", 0, match.start()) + 1
+        if neighborhood_allows(raw_lines, lineno, "trace-per-record"):
+            continue
+        report(path, lineno, "trace-per-record",
+               "per-record next() on trace source '%s' is the "
+               "deprecated compat shim: iterate nextBlock() spans "
+               "instead (docs/PERF.md), or suppress with a "
+               "justification for a measured legacy baseline"
+               % match.group(1))
+
+
 def lint_file(path, rel, status_functions, report):
     raw = path.read_text(encoding="utf-8")
     raw_lines = raw.splitlines()
@@ -343,6 +393,8 @@ def lint_file(path, rel, status_functions, report):
         check_unordered_iter(path, text, raw_lines, report)
     if gate("raw-mutex"):
         check_raw_mutex(path, text, raw_lines, report)
+    if gate("trace-per-record"):
+        check_trace_per_record(path, text, raw_lines, report)
 
 
 def run_lint(paths, root):

@@ -28,6 +28,18 @@ for bench in "$build"/bench/*; do
             "$bench" --benchmark_list_tests=true > /dev/null ||
                 { echo "FAIL: $name" >&2; failed=1; }
             continue ;;
+        perf_harness)
+            # Timing output can't be byte-identical across runs;
+            # validate the JSON schema instead (docs/PERF.md).
+            echo "== $name (JSON schema)"
+            "$bench" --insts 2000 --benchmarks go,compress --repeats 1 \
+                --trace-cache-dir "$cache" > "$work/$name.json" \
+                2> /dev/null ||
+                { echo "FAIL: $name" >&2; failed=1; continue; }
+            python3 "$(dirname "$0")/perf_report.py" --validate \
+                "$work/$name.json" ||
+                { echo "FAIL: $name (schema)" >&2; failed=1; }
+            continue ;;
         table3_2_pipeline_example)
             # Fixed 8-instruction worked example: no --insts/--benchmarks.
             echo "== $name"

@@ -44,6 +44,13 @@ DidCollector::observe(const TraceRecord &record)
         lastWriter[record.rd] = record.seq;
 }
 
+void
+DidCollector::observe(TraceSpan records)
+{
+    for (const TraceRecord &record : records)
+        observe(record);
+}
+
 DidAnalysis
 DidCollector::finish() const
 {
@@ -73,11 +80,23 @@ DidCollector::finish() const
 }
 
 DidAnalysis
-analyzeDid(const std::vector<TraceRecord> &records)
+analyzeDid(TraceSpan records)
 {
     DidCollector collector;
-    for (const TraceRecord &record : records)
-        collector.observe(record);
+    collector.observe(records);
+    return collector.finish();
+}
+
+DidAnalysis
+analyzeDid(TraceSource &source)
+{
+    // The collector keys arcs on each record's own seq field, so
+    // block-at-a-time delivery needs no cross-block bookkeeping.
+    DidCollector collector;
+    source.reset();
+    TraceSpan block;
+    while (source.nextBlock(block))
+        collector.observe(block);
     return collector.finish();
 }
 

@@ -18,6 +18,7 @@
 
 #include "common/histogram.hpp"
 #include "trace/record.hpp"
+#include "trace/source.hpp"
 
 namespace vpsim
 {
@@ -47,9 +48,13 @@ struct DidAnalysis
 
 /**
  * Walk @p records, build the trace-wide DFG arcs via last-writer
- * tracking, and accumulate the DID statistics.
+ * tracking, and accumulate the DID statistics. A
+ * std::vector<TraceRecord> converts implicitly.
  */
-DidAnalysis analyzeDid(const std::vector<TraceRecord> &records);
+DidAnalysis analyzeDid(TraceSpan records);
+
+/** DID sweep over @p source (rewound first), block at a time. */
+DidAnalysis analyzeDid(TraceSource &source);
 
 /**
  * Streaming DID collector, for callers that do not hold the whole trace.
@@ -61,6 +66,9 @@ class DidCollector
 
     /** Feed the next record in program order. */
     void observe(const TraceRecord &record);
+
+    /** Feed a whole block of records in program order. */
+    void observe(TraceSpan records);
 
     /** Finalize and return the analysis. */
     DidAnalysis finish() const;

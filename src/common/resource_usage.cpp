@@ -1,0 +1,89 @@
+#include "common/resource_usage.hpp"
+
+#include <cstdio>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+namespace vpsim
+{
+
+std::size_t
+RssSampler::currentRssBytes()
+{
+    // /proc/self/statm: "size resident shared ..." in pages.
+    std::FILE *statm = std::fopen("/proc/self/statm", "r");
+    if (statm == nullptr)
+        return 0;
+    unsigned long long size_pages = 0;
+    unsigned long long resident_pages = 0;
+    const int parsed =
+        std::fscanf(statm, "%llu %llu", &size_pages, &resident_pages);
+    std::fclose(statm);
+    if (parsed != 2)
+        return 0;
+    const long page = ::sysconf(_SC_PAGESIZE);
+    return static_cast<std::size_t>(resident_pages) *
+           static_cast<std::size_t>(page > 0 ? page : 4096);
+}
+
+std::size_t
+RssSampler::processPeakRssBytes()
+{
+    struct rusage usage
+    {};
+    if (::getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    // ru_maxrss is kilobytes on Linux.
+    return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+}
+
+RssSampler::RssSampler(std::chrono::milliseconds period)
+    : samplePeriod(period), worker([this] { samplerLoop(); })
+{
+}
+
+RssSampler::~RssSampler()
+{
+    {
+        MutexLock lock(mutex);
+        stopRequested = true;
+    }
+    wakeup.notify_one();
+    worker.join();
+}
+
+void
+RssSampler::beginPhase()
+{
+    const std::size_t now = currentRssBytes();
+    MutexLock lock(mutex);
+    peak = now;
+}
+
+std::size_t
+RssSampler::peakBytes() const
+{
+    MutexLock lock(mutex);
+    return peak;
+}
+
+void
+RssSampler::samplerLoop()
+{
+    while (true) {
+        // Sample outside the lock: the read walks procfs and must not
+        // stall a caller's beginPhase()/peakBytes().
+        const std::size_t now = currentRssBytes();
+        MutexLock lock(mutex);
+        if (now > peak)
+            peak = now;
+        if (stopRequested)
+            return;
+        wakeup.wait_for(lock.native(), samplePeriod);
+        if (stopRequested)
+            return;
+    }
+}
+
+} // namespace vpsim

@@ -11,25 +11,23 @@
 namespace vpsim
 {
 
-IdealMachineResult
-runIdealMachine(const std::vector<TraceRecord> &records,
-                const IdealMachineConfig &config, bool keep_schedule)
+namespace
 {
-    fatalIf(config.fetchRate == 0, "fetch rate must be positive");
-    fatalIf(config.windowSize == 0, "window size must be positive");
 
-    IdealMachineResult result;
-    result.instructions = records.size();
-    if (records.empty())
-        return result;
-
-    std::unique_ptr<ClassifiedPredictor> predictor;
-    if (config.useValuePrediction && !config.perfectValuePrediction) {
-        predictor = makeClassifiedPredictor(
-            config.predictorKind, config.tableCapacity,
-            config.counterBits, config.missPolicy);
-    }
-
+/**
+ * The span-iterating ideal-machine engine.
+ *
+ * All loop state lives here so the per-block worker can be specialized
+ * at compile time: processBlock<UseVp, FullChecks> is instantiated per
+ * (value prediction, deep-check) combination and dispatched once per
+ * delivered block, so the per-instruction path of a plain baseline run
+ * carries no dead prediction branches and no invariant polling at all.
+ * Record index, window-ring slot (== i % windowSize) and fetch cycle
+ * (== i / fetchRate + 1) are carried incrementally across blocks: the
+ * batched loop pays no per-record divide or modulo.
+ */
+struct IdealEngine
+{
     /** What consumers need to know about a register's last writer. */
     struct Writer
     {
@@ -38,29 +36,88 @@ runIdealMachine(const std::vector<TraceRecord> &records,
         bool predicted = false;
         bool correct = false;
     };
-    std::vector<Writer> lastWriter(numArchRegs);
 
-    // Ring buffer of the last windowSize execute cycles.
-    std::vector<Cycle> windowExec(config.windowSize, 0);
+    const IdealMachineConfig &config;
+    IdealMachineResult &result;
+    const bool keepSchedule;
+    ClassifiedPredictor *predictor = nullptr;
 
-    if (keep_schedule)
-        result.execCycle.resize(records.size());
+    std::vector<Writer> lastWriter;
+    /** Ring buffer of the last windowSize execute cycles. */
+    std::vector<Cycle> windowExec;
 
-    Cycle max_exec = 0;
-    for (std::size_t i = 0; i < records.size(); ++i) {
-        // Progress heartbeat for the --job-timeout watchdog, amortized
-        // so the untimed hot path stays a single thread-local load.
-        if ((i & 0xfff) == 0)
-            simHeartbeat(i);
-        const TraceRecord &record = records[i];
-        const Cycle fetch_cycle = i / config.fetchRate + 1;
-        Cycle earliest = fetch_cycle + config.frontendLatency;
+    Cycle maxExec = 0;
+    std::uint64_t i = 0;
+    std::size_t windowSlot = 0;
+    Cycle fetchCycle = 1;
+    unsigned fetchSlot = 0;
 
-        // Window constraint: the slot of instruction i - windowSize must
-        // have freed (at its execute) before i can execute.
-        if (i >= config.windowSize) {
-            earliest = std::max(earliest,
-                                windowExec[i % config.windowSize] + 1);
+    /**
+     * The writer table spans the full RegIndex range so operand lookup
+     * can index by raw register byte with no validity pre-check:
+     * producesValue() never marks r0 or invalidReg as written, so
+     * those entries stay !exists forever and read as "no producer".
+     */
+    static constexpr std::size_t writerTableSize = 256;
+
+    IdealEngine(const IdealMachineConfig &machine_config,
+                IdealMachineResult &machine_result, bool keep_schedule)
+        : config(machine_config), result(machine_result),
+          keepSchedule(keep_schedule), lastWriter(writerTableSize),
+          windowExec(machine_config.windowSize, 0)
+    {
+    }
+
+    void
+    dispatchBlock(TraceSpan block, bool full_checks)
+    {
+        if (config.useValuePrediction) {
+            if (full_checks)
+                keepSchedule ? processBlock<true, true, true>(block)
+                             : processBlock<true, true, false>(block);
+            else
+                keepSchedule ? processBlock<true, false, true>(block)
+                             : processBlock<true, false, false>(block);
+        } else {
+            if (full_checks)
+                keepSchedule ? processBlock<false, true, true>(block)
+                             : processBlock<false, true, false>(block);
+            else
+                keepSchedule ? processBlock<false, false, true>(block)
+                             : processBlock<false, false, false>(block);
+        }
+    }
+
+    template <bool UseVp, bool FullChecks, bool KeepSchedule> void
+    processBlock(TraceSpan block)
+    {
+        const unsigned window_size = config.windowSize;
+        const unsigned fetch_rate = config.fetchRate;
+        const Cycle frontend_latency = config.frontendLatency;
+        Writer *const writers = lastWriter.data();
+        Cycle *const window = windowExec.data();
+
+        // Loop state lives in locals for the duration of the block and
+        // is written back once at the end: in the <false, false, false>
+        // instantiation the inner loop then makes no opaque calls at
+        // all, so everything below stays in registers.
+        std::uint64_t i = this->i;
+        std::size_t window_slot = this->windowSlot;
+        Cycle fetch_cycle = this->fetchCycle;
+        unsigned fetch_slot = this->fetchSlot;
+        Cycle max_exec = this->maxExec;
+        std::uint64_t stalling_uses = 0;
+        std::uint64_t correctly_predicted_uses = 0;
+        std::uint64_t useful_predictions = 0;
+        std::uint64_t perfect_predictions = 0;
+
+        for (const TraceRecord &record : block) {
+        Cycle earliest = fetch_cycle + frontend_latency;
+
+        // Window constraint: the slot of instruction i - windowSize
+        // must have freed (at its execute) before i can execute.
+        if (i >= window_size) {
+            earliest = std::max(earliest, window[window_slot] + 1);
         }
 
         // Operand constraints. A consumer issues as soon as its
@@ -78,122 +135,193 @@ runIdealMachine(const std::vector<TraceRecord> &records,
             /** 0 = not predicted, 1 = predicted correct, 2 = wrong. */
             int kind = 0;
         };
-        OperandUse uses[2];
-        unsigned num_uses = 0;
+        [[maybe_unused]] OperandUse uses[2];
+        [[maybe_unused]] unsigned num_uses = 0;
 
+        // Issue time: non-predicted operands bind, and a use stalls
+        // (capacity statistic) when its real value arrives after the
+        // machine could otherwise issue the consumer. Without value
+        // prediction every operand binds, so the use list is not even
+        // materialized.
+        Cycle issue = earliest;
         const auto consume = [&](RegIndex reg) {
-            if (reg == invalidReg || reg == 0)
-                return;
-            const Writer &writer = lastWriter[reg];
+            const Writer &writer = writers[reg];
             if (!writer.exists)
                 return;
-            OperandUse use;
-            use.readyNoVp = writer.execCycle + 1;
-            if (config.useValuePrediction && writer.predicted)
-                use.kind = writer.correct ? 1 : 2;
-            uses[num_uses++] = use;
+            const Cycle ready = writer.execCycle + 1;
+            if (ready > earliest)
+                ++stalling_uses;
+            if constexpr (UseVp) {
+                OperandUse use;
+                use.readyNoVp = ready;
+                if (writer.predicted)
+                    use.kind = writer.correct ? 1 : 2;
+                uses[num_uses++] = use;
+                if (use.kind == 0)
+                    issue = std::max(issue, ready);
+            } else {
+                issue = std::max(issue, ready);
+            }
         };
         consume(record.rs1);
         consume(record.rs2);
 
-        // Capacity statistic: a use stalls when its real value arrives
-        // after the machine could otherwise issue the consumer.
-        for (unsigned u = 0; u < num_uses; ++u) {
-            if (uses[u].readyNoVp > earliest)
-                ++result.stallingUses;
-        }
-
-        // Issue time: non-predicted operands bind.
-        Cycle issue = earliest;
-        for (unsigned u = 0; u < num_uses; ++u) {
-            if (uses[u].kind == 0)
-                issue = std::max(issue, uses[u].readyNoVp);
-        }
         // Completion: wrong speculations reissue after the real value,
         // in ascending ready order (a later wrong operand sees the
-        // delay already caused by an earlier one).
+        // delay already caused by an earlier one). Without value
+        // prediction exec == issue and the speculation bookkeeping
+        // below compiles away.
         Cycle exec = issue;
-        if (num_uses == 2 && uses[0].kind == 2 && uses[1].kind == 2 &&
-            uses[0].readyNoVp > uses[1].readyNoVp) {
-            std::swap(uses[0], uses[1]);
-        }
-        for (unsigned u = 0; u < num_uses; ++u) {
-            if (uses[u].kind != 2)
-                continue;
-            if (uses[u].readyNoVp <= exec) {
-                // Real value available by then: no speculation needed.
-                exec = std::max(exec, uses[u].readyNoVp);
-            } else {
-                exec = uses[u].readyNoVp + config.vpPenalty;
+        if constexpr (UseVp) {
+            if (num_uses == 2 && uses[0].kind == 2 &&
+                uses[1].kind == 2 &&
+                uses[0].readyNoVp > uses[1].readyNoVp) {
+                std::swap(uses[0], uses[1]);
+            }
+            for (unsigned u = 0; u < num_uses; ++u) {
+                if (uses[u].kind != 2)
+                    continue;
+                if (uses[u].readyNoVp <= exec) {
+                    // Real value available by then: no speculation
+                    // needed.
+                    exec = std::max(exec, uses[u].readyNoVp);
+                } else {
+                    exec = uses[u].readyNoVp + config.vpPenalty;
+                }
+            }
+            // A correct prediction was useful when the operand would
+            // otherwise have delayed the consumer past its actual
+            // execute.
+            for (unsigned u = 0; u < num_uses; ++u) {
+                if (uses[u].kind != 1)
+                    continue;
+                ++correctly_predicted_uses;
+                if (uses[u].readyNoVp > exec)
+                    ++useful_predictions;
             }
         }
-        // A correct prediction was useful when the operand would
-        // otherwise have delayed the consumer past its actual execute.
-        for (unsigned u = 0; u < num_uses; ++u) {
-            if (uses[u].kind != 1)
-                continue;
-            ++result.correctlyPredictedUses;
-            if (uses[u].readyNoVp > exec)
-                ++result.usefulPredictions;
+        if (FullChecks) {
+            // Deep audit: the slot being recycled must have freed
+            // before this execute (re-reads the ring buffer the
+            // scheduler used, so a future refactor that drops the
+            // window bound is caught).
+            if (i >= window_size) {
+                checkInvariant(
+                    InvariantLevel::Full,
+                    exec >= window[window_slot] + 1,
+                    "ideal.window_slot_reuse", [&] {
+                        return "inst " + std::to_string(i) +
+                               " executes in " + std::to_string(exec) +
+                               " but its window slot frees in " +
+                               std::to_string(window[window_slot]);
+                    });
+            }
+            checkInvariant(InvariantLevel::Full,
+                           exec >= fetch_cycle + frontend_latency,
+                           "ideal.frontend_latency", [&] {
+                               return "inst " + std::to_string(i) +
+                                      " executes in " +
+                                      std::to_string(exec) +
+                                      " before fetch " +
+                                      std::to_string(fetch_cycle) +
+                                      " + frontend latency";
+                           });
         }
-        // Deep audit: the slot being recycled must have freed before
-        // this execute (re-reads the ring buffer the scheduler used, so
-        // a future refactor that drops the window bound is caught).
-        if (i >= config.windowSize) {
-            checkInvariant(
-                InvariantLevel::Full,
-                exec >= windowExec[i % config.windowSize] + 1,
-                "ideal.window_slot_reuse", [&] {
-                    return "inst " + std::to_string(i) + " executes in " +
-                           std::to_string(exec) +
-                           " but its window slot frees in " +
-                           std::to_string(
-                               windowExec[i % config.windowSize]);
-                });
-        }
-        checkInvariant(InvariantLevel::Full,
-                       exec >= fetch_cycle + config.frontendLatency,
-                       "ideal.frontend_latency", [&] {
-                           return "inst " + std::to_string(i) +
-                                  " executes in " + std::to_string(exec) +
-                                  " before fetch " +
-                                  std::to_string(fetch_cycle) +
-                                  " + frontend latency";
-                       });
-        windowExec[i % config.windowSize] = exec;
-        if (keep_schedule)
-            result.execCycle[i] = exec;
+        window[window_slot] = exec;
+        if (KeepSchedule)
+            result.execCycle.push_back(exec);
         max_exec = std::max(max_exec, exec);
 
-        // Record this instruction as the new last writer of rd, with its
-        // own prediction outcome for downstream consumers.
+        // Record this instruction as the new last writer of rd, with
+        // its own prediction outcome for downstream consumers.
         if (record.producesValue()) {
             Writer writer;
             writer.exists = true;
             writer.execCycle = exec;
-            const bool in_scope =
-                config.vpScope == VpScope::AllInstructions ||
-                record.instClass() == InstClass::Load;
-            if (config.useValuePrediction && in_scope) {
-                if (config.perfectValuePrediction) {
-                    writer.predicted = true;
-                    writer.correct = true;
-                    ++result.predictionsMade;
-                    ++result.predictionsCorrect;
-                } else {
-                    const ClassifiedPrediction prediction =
-                        predictor->predict(record.pc);
-                    writer.predicted = prediction.predicted;
-                    writer.correct = prediction.predicted &&
-                                     prediction.value == record.result;
-                    predictor->update(record.pc, prediction,
-                                      record.result);
+            if (UseVp) {
+                const bool in_scope =
+                    config.vpScope == VpScope::AllInstructions ||
+                    record.instClass() == InstClass::Load;
+                if (in_scope) {
+                    if (config.perfectValuePrediction) {
+                        writer.predicted = true;
+                        writer.correct = true;
+                        ++perfect_predictions;
+                    } else {
+                        const ClassifiedPrediction prediction =
+                            predictor->predict(record.pc);
+                        writer.predicted = prediction.predicted;
+                        writer.correct =
+                            prediction.predicted &&
+                            prediction.value == record.result;
+                        predictor->update(record.pc, prediction,
+                                          record.result);
+                    }
                 }
             }
-            lastWriter[record.rd] = writer;
+            writers[record.rd] = writer;
         }
+
+        ++i;
+        if (++window_slot == window_size)
+            window_slot = 0;
+        if (++fetch_slot == fetch_rate) {
+            fetch_slot = 0;
+            ++fetch_cycle;
+        }
+        }
+
+        this->i = i;
+        this->windowSlot = window_slot;
+        this->fetchCycle = fetch_cycle;
+        this->fetchSlot = fetch_slot;
+        this->maxExec = max_exec;
+        result.stallingUses += stalling_uses;
+        result.correctlyPredictedUses += correctly_predicted_uses;
+        result.usefulPredictions += useful_predictions;
+        result.predictionsMade += perfect_predictions;
+        result.predictionsCorrect += perfect_predictions;
+    }
+};
+
+} // namespace
+
+IdealMachineResult
+runIdealMachine(TraceSource &source, const IdealMachineConfig &config,
+                bool keep_schedule)
+{
+    fatalIf(config.fetchRate == 0, "fetch rate must be positive");
+    fatalIf(config.windowSize == 0, "window size must be positive");
+
+    IdealMachineResult result;
+
+    std::unique_ptr<ClassifiedPredictor> predictor;
+    if (config.useValuePrediction && !config.perfectValuePrediction) {
+        predictor = makeClassifiedPredictor(
+            config.predictorKind, config.tableCapacity,
+            config.counterBits, config.missPolicy);
     }
 
+    IdealEngine engine(config, result, keep_schedule);
+    engine.predictor = predictor.get();
+
+    source.reset();
+    TraceSpan block;
+    while (source.nextBlock(block)) {
+        // Progress heartbeat for the --job-timeout watchdog and the
+        // self-check level poll, hoisted to block granularity: one
+        // thread-local store and one relaxed atomic load per <= 4096
+        // records instead of per instruction.
+        simHeartbeat(engine.i);
+        engine.dispatchBlock(block,
+                             invariantsActive(InvariantLevel::Full));
+    }
+
+    result.instructions = engine.i;
+    if (engine.i == 0)
+        return result;
+
+    const Cycle max_exec = engine.maxExec;
     if (predictor) {
         result.predictionsMade = predictor->predictionsMade();
         result.predictionsCorrect = predictor->predictionsCorrect();
@@ -242,6 +370,14 @@ runIdealMachine(const std::vector<TraceRecord> &records,
     return result;
 }
 
+IdealMachineResult
+runIdealMachine(const std::vector<TraceRecord> &records,
+                const IdealMachineConfig &config, bool keep_schedule)
+{
+    BorrowedTraceSource source{TraceSpan(records)};
+    return runIdealMachine(source, config, keep_schedule);
+}
+
 std::string
 IdealMachineResult::report() const
 {
@@ -258,20 +394,27 @@ IdealMachineResult::report() const
 }
 
 double
-idealVpSpeedup(const std::vector<TraceRecord> &records,
-               const IdealMachineConfig &config)
+idealVpSpeedup(TraceSource &source, const IdealMachineConfig &config)
 {
     IdealMachineConfig base = config;
     base.useValuePrediction = false;
     IdealMachineConfig vp = config;
     vp.useValuePrediction = true;
 
-    const IdealMachineResult base_result = runIdealMachine(records, base);
-    const IdealMachineResult vp_result = runIdealMachine(records, vp);
+    const IdealMachineResult base_result = runIdealMachine(source, base);
+    const IdealMachineResult vp_result = runIdealMachine(source, vp);
     if (vp_result.cycles == 0)
         return 1.0;
     return static_cast<double>(base_result.cycles) /
            static_cast<double>(vp_result.cycles);
+}
+
+double
+idealVpSpeedup(const std::vector<TraceRecord> &records,
+               const IdealMachineConfig &config)
+{
+    BorrowedTraceSource source{TraceSpan(records)};
+    return idealVpSpeedup(source, config);
 }
 
 } // namespace vpsim

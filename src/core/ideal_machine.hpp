@@ -28,6 +28,7 @@
 #include "common/types.hpp"
 #include "predictor/factory.hpp"
 #include "trace/record.hpp"
+#include "trace/source.hpp"
 
 namespace vpsim
 {
@@ -108,13 +109,22 @@ struct IdealMachineResult
 };
 
 /**
- * Run the ideal machine over @p records.
+ * Run the ideal machine over @p source (rewound first).
  *
- * @param records Trace in program order.
+ * This is the primary entry point: the hot loop iterates borrowed
+ * spans from TraceSource::nextBlock(), so per-instruction work is a
+ * pointer walk with no virtual dispatch.
+ *
+ * @param source Trace in program order; reset() is called before use.
  * @param config Machine configuration.
  * @param keep_schedule Also return per-instruction execute cycles (used
  *        by the Table 3.2 reproduction test).
  */
+IdealMachineResult runIdealMachine(TraceSource &source,
+                                   const IdealMachineConfig &config,
+                                   bool keep_schedule = false);
+
+/** Convenience overload over an in-memory trace (borrows @p records). */
 IdealMachineResult runIdealMachine(const std::vector<TraceRecord> &records,
                                    const IdealMachineConfig &config,
                                    bool keep_schedule = false);
@@ -122,8 +132,13 @@ IdealMachineResult runIdealMachine(const std::vector<TraceRecord> &records,
 /**
  * Convenience for the Figure 3.1 experiment: the speedup of value
  * prediction at a given fetch rate, i.e. cycles(no VP) / cycles(VP) on
- * machines with identical fetch rate.
+ * machines with identical fetch rate. Runs @p source twice (rewinding
+ * each time).
  */
+double idealVpSpeedup(TraceSource &source,
+                      const IdealMachineConfig &config);
+
+/** Convenience overload over an in-memory trace (borrows @p records). */
 double idealVpSpeedup(const std::vector<TraceRecord> &records,
                       const IdealMachineConfig &config);
 

@@ -73,8 +73,7 @@ struct WriterInfo
 } // namespace
 
 PipelineResult
-runPipelineMachine(const std::vector<TraceRecord> &records,
-                   const PipelineConfig &config)
+runPipelineMachine(TraceSpan records, const PipelineConfig &config)
 {
     fatalIf(config.windowSize == 0, "window size must be positive");
     fatalIf(config.issueWidth == 0, "issue width must be positive");
@@ -598,6 +597,14 @@ runPipelineMachine(const std::vector<TraceRecord> &records,
     return result;
 }
 
+PipelineResult
+runPipelineMachine(TraceSource &source, const PipelineConfig &config)
+{
+    std::vector<TraceRecord> storage;
+    const TraceSpan records = materializeTrace(source, storage);
+    return runPipelineMachine(records, config);
+}
+
 std::string
 PipelineResult::report() const
 {
@@ -629,8 +636,7 @@ PipelineResult::report() const
 }
 
 double
-pipelineVpSpeedup(const std::vector<TraceRecord> &records,
-                  const PipelineConfig &config)
+pipelineVpSpeedup(TraceSpan records, const PipelineConfig &config)
 {
     PipelineConfig base = config;
     base.useValuePrediction = false;
@@ -643,6 +649,14 @@ pipelineVpSpeedup(const std::vector<TraceRecord> &records,
         return 1.0;
     return static_cast<double>(base_result.cycles) /
            static_cast<double>(vp_result.cycles);
+}
+
+double
+pipelineVpSpeedup(TraceSource &source, const PipelineConfig &config)
+{
+    std::vector<TraceRecord> storage;
+    const TraceSpan records = materializeTrace(source, storage);
+    return pipelineVpSpeedup(records, config);
 }
 
 } // namespace vpsim

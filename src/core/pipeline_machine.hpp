@@ -186,12 +186,28 @@ struct PipelineResult
     std::string report() const;
 };
 
-/** Run the Section 5 machine over @p records. */
-PipelineResult runPipelineMachine(const std::vector<TraceRecord> &records,
+/**
+ * Run the Section 5 machine over @p records.
+ *
+ * Takes a span: the cycle-driven model's front ends need random access
+ * into the dynamic trace (trace-cache line construction, wrong-path
+ * navigation), so block-at-a-time delivery does not fit it — sources
+ * are materialized first (see the TraceSource overload). A
+ * std::vector<TraceRecord> converts implicitly.
+ */
+PipelineResult runPipelineMachine(TraceSpan records,
+                                  const PipelineConfig &config);
+
+/** Pipeline run over a source: materializes, then simulates. */
+PipelineResult runPipelineMachine(TraceSource &source,
                                   const PipelineConfig &config);
 
 /** Speedup of value prediction: cycles(VP off) / cycles(VP on). */
-double pipelineVpSpeedup(const std::vector<TraceRecord> &records,
+double pipelineVpSpeedup(TraceSpan records,
+                         const PipelineConfig &config);
+
+/** Pipeline speedup over a source: materializes, then simulates. */
+double pipelineVpSpeedup(TraceSource &source,
                          const PipelineConfig &config);
 
 } // namespace vpsim

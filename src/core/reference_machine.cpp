@@ -35,8 +35,7 @@ inVpScope(const IdealMachineConfig &config, const TraceRecord &record)
  * separate from the scheduling pass.
  */
 PredictionReplay
-replayPredictions(const std::vector<TraceRecord> &records,
-                  const IdealMachineConfig &config)
+replayPredictions(TraceSpan records, const IdealMachineConfig &config)
 {
     PredictionReplay replay;
     replay.predicted.assign(records.size(), 0);
@@ -83,7 +82,7 @@ replayPredictions(const std::vector<TraceRecord> &records,
 } // namespace
 
 IdealMachineResult
-runReferenceIdealMachine(const std::vector<TraceRecord> &records,
+runReferenceIdealMachine(TraceSpan records,
                          const IdealMachineConfig &config)
 {
     fatalIf(config.fetchRate == 0, "fetch rate must be positive");
@@ -176,8 +175,17 @@ runReferenceIdealMachine(const std::vector<TraceRecord> &records,
     return result;
 }
 
+IdealMachineResult
+runReferenceIdealMachine(TraceSource &source,
+                         const IdealMachineConfig &config)
+{
+    std::vector<TraceRecord> storage;
+    const TraceSpan records = materializeTrace(source, storage);
+    return runReferenceIdealMachine(records, config);
+}
+
 double
-referenceIdealVpSpeedup(const std::vector<TraceRecord> &records,
+referenceIdealVpSpeedup(TraceSpan records,
                         const IdealMachineConfig &config)
 {
     IdealMachineConfig base = config;
@@ -193,6 +201,15 @@ referenceIdealVpSpeedup(const std::vector<TraceRecord> &records,
         return 1.0;
     return static_cast<double>(base_result.cycles) /
            static_cast<double>(vp_result.cycles);
+}
+
+double
+referenceIdealVpSpeedup(TraceSource &source,
+                        const IdealMachineConfig &config)
+{
+    std::vector<TraceRecord> storage;
+    const TraceSpan records = materializeTrace(source, storage);
+    return referenceIdealVpSpeedup(records, config);
 }
 
 } // namespace vpsim

@@ -33,13 +33,26 @@
 namespace vpsim
 {
 
-/** Naive re-simulation of runIdealMachine() (same result contract). */
+/**
+ * Naive re-simulation of runIdealMachine() (same result contract).
+ * Takes a span: the two-phase algorithm needs random access to the
+ * whole trace (exec[producer] lookups), so block-at-a-time delivery
+ * does not fit it — sources are materialized first (see the
+ * TraceSource overload).
+ */
 IdealMachineResult runReferenceIdealMachine(
-    const std::vector<TraceRecord> &records,
-    const IdealMachineConfig &config);
+    TraceSpan records, const IdealMachineConfig &config);
+
+/** Reference run over a source: materializes, then re-simulates. */
+IdealMachineResult runReferenceIdealMachine(
+    TraceSource &source, const IdealMachineConfig &config);
 
 /** Naive re-computation of idealVpSpeedup(). */
-double referenceIdealVpSpeedup(const std::vector<TraceRecord> &records,
+double referenceIdealVpSpeedup(TraceSpan records,
+                               const IdealMachineConfig &config);
+
+/** Reference speedup over a source: materializes, then re-simulates. */
+double referenceIdealVpSpeedup(TraceSource &source,
                                const IdealMachineConfig &config);
 
 } // namespace vpsim

@@ -7,7 +7,7 @@ namespace vpsim
 {
 
 BranchAddressCacheFetch::BranchAddressCacheFetch(
-    const std::vector<TraceRecord> &trace_records,
+    TraceSpan trace_records,
     BranchPredictor &branch_predictor, const BacConfig &config)
     : TraceFetchBase(trace_records, branch_predictor),
       cfg(config)

@@ -46,7 +46,7 @@ struct BacConfig
 class BranchAddressCacheFetch : public TraceFetchBase
 {
   public:
-    BranchAddressCacheFetch(const std::vector<TraceRecord> &trace_records,
+    BranchAddressCacheFetch(TraceSpan trace_records,
                             BranchPredictor &branch_predictor,
                             const BacConfig &config = {});
 

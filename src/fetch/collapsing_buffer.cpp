@@ -6,7 +6,7 @@ namespace vpsim
 {
 
 CollapsingBufferFetch::CollapsingBufferFetch(
-    const std::vector<TraceRecord> &trace_records,
+    TraceSpan trace_records,
     BranchPredictor &branch_predictor,
     const CollapsingBufferConfig &config)
     : TraceFetchBase(trace_records, branch_predictor),

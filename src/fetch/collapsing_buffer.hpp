@@ -40,7 +40,7 @@ struct CollapsingBufferConfig
 class CollapsingBufferFetch : public TraceFetchBase
 {
   public:
-    CollapsingBufferFetch(const std::vector<TraceRecord> &trace_records,
+    CollapsingBufferFetch(TraceSpan trace_records,
                           BranchPredictor &branch_predictor,
                           const CollapsingBufferConfig &config = {});
 

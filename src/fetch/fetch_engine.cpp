@@ -7,7 +7,7 @@ namespace vpsim
 {
 
 TraceFetchBase::TraceFetchBase(
-    const std::vector<TraceRecord> &trace_records,
+    TraceSpan trace_records,
     BranchPredictor &branch_predictor)
     : trace(trace_records),
       bpred(branch_predictor)

@@ -22,6 +22,7 @@
 #include "bpred/branch_predictor.hpp"
 #include "common/types.hpp"
 #include "trace/record.hpp"
+#include "trace/span.hpp"
 
 namespace vpsim
 {
@@ -76,7 +77,12 @@ class FetchEngine
 class TraceFetchBase : public FetchEngine
 {
   public:
-    TraceFetchBase(const std::vector<TraceRecord> &trace_records,
+    /**
+     * @param trace_records Borrowed view of the dynamic trace; the
+     *        viewed storage must outlive the engine. A
+     *        std::vector<TraceRecord> converts implicitly.
+     */
+    TraceFetchBase(TraceSpan trace_records,
                    BranchPredictor &branch_predictor);
 
     bool done() const override { return cursor >= trace.size(); }
@@ -100,7 +106,7 @@ class TraceFetchBase : public FetchEngine
      */
     bool consumeRecord(std::vector<FetchedInst> &out);
 
-    const std::vector<TraceRecord> &trace;
+    const TraceSpan trace;
     BranchPredictor &bpred;
     std::size_t cursor = 0;
 

@@ -6,7 +6,7 @@ namespace vpsim
 {
 
 SequentialFetch::SequentialFetch(
-    const std::vector<TraceRecord> &trace_records,
+    TraceSpan trace_records,
     BranchPredictor &branch_predictor, unsigned max_taken_branches,
     InstructionCache *instruction_cache,
     const Program *wrong_path_program)

@@ -33,7 +33,7 @@ class SequentialFetch : public TraceFetchBase
      *        the branch; those instructions are marked wrongPath and
      *        squashed at resolution (not owned).
      */
-    SequentialFetch(const std::vector<TraceRecord> &trace_records,
+    SequentialFetch(TraceSpan trace_records,
                     BranchPredictor &branch_predictor,
                     unsigned max_taken_branches,
                     InstructionCache *instruction_cache = nullptr,

@@ -8,7 +8,7 @@ namespace vpsim
 {
 
 TraceCacheFetch::TraceCacheFetch(
-    const std::vector<TraceRecord> &trace_records,
+    TraceSpan trace_records,
     BranchPredictor &branch_predictor, const TraceCacheConfig &config)
     : TraceFetchBase(trace_records, branch_predictor),
       cfg(config)

@@ -40,7 +40,7 @@ struct TraceCacheConfig
 class TraceCacheFetch : public TraceFetchBase
 {
   public:
-    TraceCacheFetch(const std::vector<TraceRecord> &trace_records,
+    TraceCacheFetch(TraceSpan trace_records,
                     BranchPredictor &branch_predictor,
                     const TraceCacheConfig &config = {});
 

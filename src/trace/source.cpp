@@ -1,0 +1,32 @@
+#include "trace/source.hpp"
+
+namespace vpsim
+{
+
+TraceSpan
+materializeTrace(TraceSource &source, std::vector<TraceRecord> &storage)
+{
+    source.reset();
+    TraceSpan first;
+    if (!source.nextBlock(first, TraceSpan::noLimit))
+        return TraceSpan();
+
+    // Common case: the whole trace arrived as one borrowed block. The
+    // probe reporting exhaustion leaves `first` valid (see the span
+    // lifetime rules in source.hpp).
+    TraceSpan probe;
+    if (!source.nextBlock(probe, 1))
+        return first;
+
+    // Streaming source: a successful second delivery may have
+    // invalidated `first`, so rewind and copy every block into owned
+    // storage.
+    source.reset();
+    storage.clear();
+    TraceSpan block;
+    while (source.nextBlock(block, TraceSpan::noLimit))
+        storage.insert(storage.end(), block.begin(), block.end());
+    return TraceSpan(storage);
+}
+
+} // namespace vpsim

@@ -8,66 +8,100 @@
 namespace vpsim
 {
 
-TraceStats
-computeTraceStats(const std::vector<TraceRecord> &records)
+namespace
+{
+
+/** Running totals shared by the span and streaming entry points. */
+struct StatsAccumulator
 {
     TraceStats stats;
-    stats.totalInsts = records.size();
     std::unordered_set<Addr> pcs;
-    std::uint64_t taken_transfers = 0;
+    std::uint64_t takenTransfers = 0;
     std::uint64_t blocks = 0;
 
-    for (const TraceRecord &rec : records) {
-        pcs.insert(rec.pc);
-        switch (rec.instClass()) {
-          case InstClass::IntAlu:
-            ++stats.aluOps;
-            break;
-          case InstClass::IntMul:
-          case InstClass::IntDiv:
-            ++stats.mulDivOps;
-            break;
-          case InstClass::Load:
-            ++stats.loads;
-            break;
-          case InstClass::Store:
-            ++stats.stores;
-            break;
-          case InstClass::Branch:
-            ++stats.condBranches;
-            if (rec.taken)
-                ++stats.takenCondBranches;
-            break;
-          case InstClass::Jump:
-            ++stats.jumps;
-            break;
-          case InstClass::Nop:
-          case InstClass::Halt:
-            break;
-        }
-        if (rec.producesValue())
-            ++stats.valueProducers;
-        if (rec.isControlFlow()) {
-            ++blocks;
-            if (rec.taken)
-                ++taken_transfers;
+    void
+    fold(TraceSpan records)
+    {
+        stats.totalInsts += records.size();
+        for (const TraceRecord &rec : records) {
+            pcs.insert(rec.pc);
+            switch (rec.instClass()) {
+              case InstClass::IntAlu:
+                ++stats.aluOps;
+                break;
+              case InstClass::IntMul:
+              case InstClass::IntDiv:
+                ++stats.mulDivOps;
+                break;
+              case InstClass::Load:
+                ++stats.loads;
+                break;
+              case InstClass::Store:
+                ++stats.stores;
+                break;
+              case InstClass::Branch:
+                ++stats.condBranches;
+                if (rec.taken)
+                    ++stats.takenCondBranches;
+                break;
+              case InstClass::Jump:
+                ++stats.jumps;
+                break;
+              case InstClass::Nop:
+              case InstClass::Halt:
+                break;
+            }
+            if (rec.producesValue())
+                ++stats.valueProducers;
+            if (rec.isControlFlow()) {
+                ++blocks;
+                if (rec.taken)
+                    ++takenTransfers;
+            }
         }
     }
 
-    stats.distinctPcs = pcs.size();
-    stats.takenRate = stats.condBranches == 0
-        ? 0.0
-        : static_cast<double>(stats.takenCondBranches) /
-          static_cast<double>(stats.condBranches);
-    stats.takenTransferRate = stats.totalInsts == 0
-        ? 0.0
-        : static_cast<double>(taken_transfers) /
-          static_cast<double>(stats.totalInsts);
-    stats.avgBasicBlock = blocks == 0
-        ? static_cast<double>(stats.totalInsts)
-        : static_cast<double>(stats.totalInsts) /
-          static_cast<double>(blocks);
-    return stats;
+    TraceStats
+    finish()
+    {
+        stats.distinctPcs = pcs.size();
+        stats.takenRate = stats.condBranches == 0
+            ? 0.0
+            : static_cast<double>(stats.takenCondBranches) /
+              static_cast<double>(stats.condBranches);
+        stats.takenTransferRate = stats.totalInsts == 0
+            ? 0.0
+            : static_cast<double>(takenTransfers) /
+              static_cast<double>(stats.totalInsts);
+        stats.avgBasicBlock = blocks == 0
+            ? static_cast<double>(stats.totalInsts)
+            : static_cast<double>(stats.totalInsts) /
+              static_cast<double>(blocks);
+        return stats;
+    }
+};
+
+} // namespace
+
+TraceStats
+computeTraceStats(TraceSpan records)
+{
+    StatsAccumulator acc;
+    acc.fold(records);
+    return acc.finish();
+}
+
+TraceStats
+computeTraceStats(TraceSource &source)
+{
+    // Every counter folds across block boundaries, so the stream is
+    // never materialized: each borrowed block is accumulated in turn.
+    StatsAccumulator acc;
+    source.reset();
+    TraceSpan block;
+    while (source.nextBlock(block))
+        acc.fold(block);
+    return acc.finish();
 }
 
 std::vector<TraceRecord>

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "trace/record.hpp"
+#include "trace/source.hpp"
 
 namespace vpsim
 {
@@ -41,8 +42,14 @@ struct TraceStats
     std::string report(const std::string &name) const;
 };
 
-/** Compute summary statistics over @p records. */
-TraceStats computeTraceStats(const std::vector<TraceRecord> &records);
+/**
+ * Compute summary statistics over @p records. A
+ * std::vector<TraceRecord> converts implicitly.
+ */
+TraceStats computeTraceStats(TraceSpan records);
+
+/** Compute summary statistics over @p source (rewound first). */
+TraceStats computeTraceStats(TraceSource &source);
 
 /**
  * Cut @p records down to [skip, skip + length) and renumber the

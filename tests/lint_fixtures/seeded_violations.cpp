@@ -88,4 +88,31 @@ class SeededRawMutex
     std::mutex rawMutex; // lint:expect raw-mutex
 };
 
+std::uint64_t
+seededPerRecordLoop(vpsim::TraceSource &source)
+{
+    // [trace-per-record] The deprecated one-record shim in a loop: a
+    // virtual call per instruction where nextBlock() would amortize
+    // it over a whole span.
+    vpsim::TraceRecord record;
+    std::uint64_t count = 0;
+    while (source.next(record)) // lint:expect trace-per-record
+        ++count;
+
+    // The batched API must NOT fire.
+    vpsim::TraceSpan block;
+    while (source.nextBlock(block))
+        count += block.size();
+
+    // std::next and other free next() calls must NOT fire either.
+    std::vector<int> values{1, 2, 3};
+    count += static_cast<std::uint64_t>(*std::next(values.begin()));
+
+    // Suppressed, justified shim use must NOT fire.
+    // lint:allow trace-per-record — fixture models a measured baseline.
+    while (source.next(record))
+        ++count;
+    return count;
+}
+
 } // namespace vpsim_lint_fixture

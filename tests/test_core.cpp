@@ -10,6 +10,7 @@
 
 #include "core/ideal_machine.hpp"
 #include "core/pipeline_machine.hpp"
+#include "core/reference_machine.hpp"
 #include "core/speedup.hpp"
 #include "vm/interpreter.hpp"
 #include "vm/program_builder.hpp"
@@ -635,6 +636,88 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, PipelineProperty,
     ::testing::Combine(::testing::Values(0u, 1u, 2u, 4u),
                        ::testing::Bool(), ::testing::Bool()));
+
+/** Field-by-field equality for the span-API equivalence tests. */
+void
+expectSameIdealResult(const IdealMachineResult &a,
+                      const IdealMachineResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.predictionsMade, b.predictionsMade);
+    EXPECT_EQ(a.predictionsCorrect, b.predictionsCorrect);
+    EXPECT_EQ(a.predictionsWrong, b.predictionsWrong);
+    EXPECT_EQ(a.correctlyPredictedUses, b.correctlyPredictedUses);
+    EXPECT_EQ(a.stallingUses, b.stallingUses);
+    EXPECT_EQ(a.usefulPredictions, b.usefulPredictions);
+    EXPECT_EQ(a.execCycle, b.execCycle);
+}
+
+/** Long enough to cross several defaultBlockRecords boundaries. */
+std::vector<TraceRecord>
+longMixedTrace()
+{
+    std::vector<TraceRecord> trace = serialChain(6000);
+    const auto extra = independent(4500);
+    trace.insert(trace.end(), extra.begin(), extra.end());
+    for (SeqNum seq = 0; seq < trace.size(); ++seq)
+        trace[seq].seq = seq;
+    return trace;
+}
+
+TEST(IdealMachine, SourceOverloadMatchesVectorOverload)
+{
+    const auto trace = longMixedTrace();
+    for (const bool vp : {false, true}) {
+        IdealMachineConfig config;
+        config.useValuePrediction = vp;
+        const IdealMachineResult from_vector =
+            runIdealMachine(trace, config, /*keep_schedule=*/true);
+        VectorTraceSource source{trace};
+        const IdealMachineResult from_source =
+            runIdealMachine(source, config, /*keep_schedule=*/true);
+        expectSameIdealResult(from_vector, from_source);
+    }
+}
+
+TEST(IdealMachine, SpeedupOverloadsAgree)
+{
+    const auto trace = serialChain(5000);
+    IdealMachineConfig config;
+    VectorTraceSource source{trace};
+    EXPECT_DOUBLE_EQ(idealVpSpeedup(trace, config),
+                     idealVpSpeedup(source, config));
+}
+
+TEST(ReferenceMachine, SourceOverloadMatchesSpanOverload)
+{
+    const auto trace = figure32();
+    IdealMachineConfig config;
+    config.useValuePrediction = true;
+    const IdealMachineResult from_span =
+        runReferenceIdealMachine(TraceSpan(trace), config);
+    VectorTraceSource source{trace};
+    const IdealMachineResult from_source =
+        runReferenceIdealMachine(source, config);
+    expectSameIdealResult(from_span, from_source);
+}
+
+TEST(PipelineMachine, SourceOverloadMatchesSpanOverload)
+{
+    const auto trace = loopTrace(200, 4);
+    PipelineConfig config;
+    config.useValuePrediction = true;
+    const PipelineResult from_span = runPipelineMachine(trace, config);
+    VectorTraceSource source{trace};
+    const PipelineResult from_source =
+        runPipelineMachine(source, config);
+    EXPECT_EQ(from_span.cycles, from_source.cycles);
+    EXPECT_EQ(from_span.instructions, from_source.instructions);
+    EXPECT_EQ(from_span.branchMispredicts,
+              from_source.branchMispredicts);
+    EXPECT_EQ(from_span.vpPredictionsMade,
+              from_source.vpPredictionsMade);
+}
 
 } // namespace
 } // namespace vpsim

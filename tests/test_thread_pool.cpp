@@ -7,14 +7,17 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/logging.hpp"
+#include "common/resource_usage.hpp"
 #include "common/thread_pool.hpp"
 
 namespace vpsim
@@ -133,6 +136,59 @@ TEST(ThreadPool, ConcurrentWarningsNeverTear)
         EXPECT_EQ(line.rfind("warn: stress line ", 0), 0u)
             << "torn or interleaved line: " << line;
     }
+}
+
+TEST(RssSampler, ReportsCurrentAndProcessPeak)
+{
+    const std::size_t current = RssSampler::currentRssBytes();
+    EXPECT_GT(current, 0u);
+    const std::size_t process_peak = RssSampler::processPeakRssBytes();
+    EXPECT_GE(process_peak, current / 2);
+}
+
+TEST(RssSampler, PhasePeaksTrackAllocations)
+{
+    // A fast sampling period so the worker observes the allocation
+    // within the test's lifetime; under TSan this exercises the
+    // sampler thread against beginPhase()/peakBytes() callers.
+    RssSampler sampler{std::chrono::milliseconds(1)};
+    sampler.beginPhase();
+    std::vector<char> ballast(16u << 20, 1);
+    // Touch every page so the kernel actually backs the allocation.
+    for (std::size_t i = 0; i < ballast.size(); i += 4096)
+        ballast[i] = static_cast<char>(i);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const std::size_t with_ballast = sampler.peakBytes();
+    EXPECT_GT(with_ballast, 0u);
+
+    ballast.clear();
+    ballast.shrink_to_fit();
+    sampler.beginPhase();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // The new phase's peak restarts from the current footprint rather
+    // than carrying the ballast phase forward.
+    EXPECT_LE(sampler.peakBytes(), with_ballast);
+}
+
+TEST(RssSampler, ConcurrentPhaseResetsAndReadsAreSafe)
+{
+    RssSampler sampler{std::chrono::milliseconds(1)};
+    std::atomic<bool> stop{false};
+    ThreadPool pool(4);
+    for (int worker = 0; worker < 4; ++worker) {
+        pool.submit([&sampler, &stop, worker] {
+            for (int round = 0; round < 200 && !stop.load(); ++round) {
+                if (worker % 2 == 0)
+                    sampler.beginPhase();
+                else
+                    (void)sampler.peakBytes();
+            }
+        });
+    }
+    pool.wait();
+    stop.store(true);
+    // beginPhase() restarts the peak from the live RSS, never zero.
+    EXPECT_GT(sampler.peakBytes(), 0u);
 }
 
 } // namespace

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "trace/source.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/trace_stats.hpp"
 #include "workloads/workload.hpp"
@@ -277,6 +278,54 @@ TEST(TraceStatsTest, EmptyTrace)
     const TraceStats stats = computeTraceStats({});
     EXPECT_EQ(stats.totalInsts, 0u);
     EXPECT_DOUBLE_EQ(stats.takenRate, 0.0);
+}
+
+TEST(TraceIo, SpanIterationMatchesNextAfterRoundTrip)
+{
+    const auto original = captureWorkloadTrace("go", 4000);
+    const std::string path = tempPath("vpsim_span_roundtrip.vptrace");
+    writeTraceFile(path, original);
+    const auto reloaded = readTraceFile(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(reloaded.size(), original.size());
+
+    // The reloaded trace must deliver identically through both halves
+    // of the TraceSource API: batched spans and the deprecated
+    // per-record shim, record for record.
+    VectorTraceSource span_source{reloaded};
+    VectorTraceSource shim_source{reloaded};
+    std::size_t index = 0;
+    TraceSpan block;
+    TraceRecord from_shim;
+    while (span_source.nextBlock(block, 123)) {
+        for (const TraceRecord &from_span : block) {
+            // lint:allow trace-per-record — shim/span cross-check.
+            ASSERT_TRUE(shim_source.next(from_shim));
+            ASSERT_LT(index, original.size());
+            EXPECT_EQ(from_span.seq, from_shim.seq);
+            EXPECT_EQ(from_span.pc, original[index].pc);
+            EXPECT_EQ(from_shim.pc, original[index].pc);
+            EXPECT_EQ(from_span.result, original[index].result);
+            EXPECT_EQ(from_shim.taken, original[index].taken);
+            ++index;
+        }
+    }
+    EXPECT_FALSE(shim_source.next(from_shim));
+    EXPECT_EQ(index, original.size());
+}
+
+TEST(TraceStatsTest, SourceOverloadMatchesSpanOverload)
+{
+    const auto trace = captureWorkloadTrace("compress", 3000);
+    const TraceStats from_span = computeTraceStats(trace);
+    VectorTraceSource source{trace};
+    const TraceStats from_source = computeTraceStats(source);
+    EXPECT_EQ(from_span.totalInsts, from_source.totalInsts);
+    EXPECT_EQ(from_span.distinctPcs, from_source.distinctPcs);
+    EXPECT_EQ(from_span.valueProducers, from_source.valueProducers);
+    EXPECT_DOUBLE_EQ(from_span.takenRate, from_source.takenRate);
+    EXPECT_DOUBLE_EQ(from_span.avgBasicBlock,
+                     from_source.avgBasicBlock);
 }
 
 } // namespace
