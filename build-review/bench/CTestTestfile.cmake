@@ -5,6 +5,6 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(bench_smoke "/usr/bin/cmake" "-E" "env" "/root/repo/bench/../scripts/smoke_bench.sh" "/root/repo/build-review")
-set_tests_properties(bench_smoke PROPERTIES  LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_smoke PROPERTIES  LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(fault_soak "/usr/bin/cmake" "-E" "env" "/root/repo/bench/../scripts/fault_soak.sh" "/root/repo/build-review")
-set_tests_properties(fault_soak PROPERTIES  LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(fault_soak PROPERTIES  LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;54;add_test;/root/repo/bench/CMakeLists.txt;0;")

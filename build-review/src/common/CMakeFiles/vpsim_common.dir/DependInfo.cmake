@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/io.cpp" "src/common/CMakeFiles/vpsim_common.dir/io.cpp.o" "gcc" "src/common/CMakeFiles/vpsim_common.dir/io.cpp.o.d"
   "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/vpsim_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/vpsim_common.dir/logging.cpp.o.d"
   "/root/repo/src/common/options.cpp" "src/common/CMakeFiles/vpsim_common.dir/options.cpp.o" "gcc" "src/common/CMakeFiles/vpsim_common.dir/options.cpp.o.d"
+  "/root/repo/src/common/resource_usage.cpp" "src/common/CMakeFiles/vpsim_common.dir/resource_usage.cpp.o" "gcc" "src/common/CMakeFiles/vpsim_common.dir/resource_usage.cpp.o.d"
   "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/vpsim_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/vpsim_common.dir/stats.cpp.o.d"
   "/root/repo/src/common/table_printer.cpp" "src/common/CMakeFiles/vpsim_common.dir/table_printer.cpp.o" "gcc" "src/common/CMakeFiles/vpsim_common.dir/table_printer.cpp.o.d"
   "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/vpsim_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/vpsim_common.dir/thread_pool.cpp.o.d"

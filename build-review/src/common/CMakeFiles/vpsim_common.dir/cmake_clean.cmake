@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/vpsim_common.dir/logging.cpp.o.d"
   "CMakeFiles/vpsim_common.dir/options.cpp.o"
   "CMakeFiles/vpsim_common.dir/options.cpp.o.d"
+  "CMakeFiles/vpsim_common.dir/resource_usage.cpp.o"
+  "CMakeFiles/vpsim_common.dir/resource_usage.cpp.o.d"
   "CMakeFiles/vpsim_common.dir/stats.cpp.o"
   "CMakeFiles/vpsim_common.dir/stats.cpp.o.d"
   "CMakeFiles/vpsim_common.dir/table_printer.cpp.o"

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/source.cpp" "src/trace/CMakeFiles/vpsim_trace.dir/source.cpp.o" "gcc" "src/trace/CMakeFiles/vpsim_trace.dir/source.cpp.o.d"
   "/root/repo/src/trace/trace_cache_store.cpp" "src/trace/CMakeFiles/vpsim_trace.dir/trace_cache_store.cpp.o" "gcc" "src/trace/CMakeFiles/vpsim_trace.dir/trace_cache_store.cpp.o.d"
   "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/vpsim_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/vpsim_trace.dir/trace_io.cpp.o.d"
   "/root/repo/src/trace/trace_stats.cpp" "src/trace/CMakeFiles/vpsim_trace.dir/trace_stats.cpp.o" "gcc" "src/trace/CMakeFiles/vpsim_trace.dir/trace_stats.cpp.o.d"

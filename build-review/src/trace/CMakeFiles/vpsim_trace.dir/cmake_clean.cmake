@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/vpsim_trace.dir/source.cpp.o"
+  "CMakeFiles/vpsim_trace.dir/source.cpp.o.d"
   "CMakeFiles/vpsim_trace.dir/trace_cache_store.cpp.o"
   "CMakeFiles/vpsim_trace.dir/trace_cache_store.cpp.o.d"
   "CMakeFiles/vpsim_trace.dir/trace_io.cpp.o"

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_trace_source.cpp" "tests/CMakeFiles/test_trace_source.dir/test_trace_source.cpp.o" "gcc" "tests/CMakeFiles/test_trace_source.dir/test_trace_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/vpsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/vpsim_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/vpsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workloads/CMakeFiles/vpsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vptable/CMakeFiles/vpsim_vptable.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fetch/CMakeFiles/vpsim_fetch.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/bpred/CMakeFiles/vpsim_bpred.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/predictor/CMakeFiles/vpsim_predictor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vm/CMakeFiles/vpsim_vm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/vpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/isa/CMakeFiles/vpsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/vpsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

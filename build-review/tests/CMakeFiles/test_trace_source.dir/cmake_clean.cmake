@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_source.dir/test_trace_source.cpp.o"
+  "CMakeFiles/test_trace_source.dir/test_trace_source.cpp.o.d"
+  "test_trace_source"
+  "test_trace_source.pdb"
+  "test_trace_source[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -13,6 +13,7 @@ include("/root/repo/build-review/tests/test_assembler[1]_include.cmake")
 include("/root/repo/build-review/tests/test_fuzz[1]_include.cmake")
 include("/root/repo/build-review/tests/test_workloads[1]_include.cmake")
 include("/root/repo/build-review/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build-review/tests/test_trace_source[1]_include.cmake")
 include("/root/repo/build-review/tests/test_predictor[1]_include.cmake")
 include("/root/repo/build-review/tests/test_bpred[1]_include.cmake")
 include("/root/repo/build-review/tests/test_fetch[1]_include.cmake")
@@ -24,6 +25,6 @@ include("/root/repo/build-review/tests/test_validation[1]_include.cmake")
 include("/root/repo/build-review/tests/test_extensions[1]_include.cmake")
 include("/root/repo/build-review/tests/test_integration[1]_include.cmake")
 add_test(lint_project_selftest "/root/.pyenv/shims/python3" "/root/repo/scripts/lint_project.py" "--self-test" "--root" "/root/repo")
-set_tests_properties(lint_project_selftest PROPERTIES  LABELS "lint" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;39;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(lint_project_selftest PROPERTIES  LABELS "lint" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;40;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(lint_project "/root/.pyenv/shims/python3" "/root/repo/scripts/lint_project.py" "--root" "/root/repo")
-set_tests_properties(lint_project PROPERTIES  LABELS "lint" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;43;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(lint_project PROPERTIES  LABELS "lint" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")
