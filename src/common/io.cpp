@@ -1,5 +1,10 @@
 #include "common/io.hpp"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <csignal>
 #include <cstdlib>
@@ -293,6 +298,62 @@ File::close()
         return;
     std::fclose(file);
     file = nullptr;
+    filePath.clear();
+}
+
+Status
+MappedFile::map(const std::string &file_path)
+{
+    panicIf(isMapped(), "io::MappedFile remapped while mapped: " +
+                            file_path);
+    const FaultKind fault = applyControlFaults(
+        faultInjector().next("open"), "open " + file_path);
+    if (fault != FaultKind::None) {
+        return Status::error(StatusCode::kIo,
+                             "cannot open " + file_path + ": " +
+                                 injectedErrnoDetail(fault));
+    }
+    const int fd = ::open(file_path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        return Status::error(StatusCode::kIo,
+                             "cannot open " + file_path +
+                                 " for reading: " + errnoDetail());
+    }
+    struct stat info = {};
+    if (::fstat(fd, &info) != 0 || !S_ISREG(info.st_mode)) {
+        const std::string detail = errnoDetail();
+        ::close(fd);
+        return Status::error(StatusCode::kIo,
+                             "cannot stat " + file_path + ": " + detail);
+    }
+    if (info.st_size == 0) {
+        // mmap rejects zero-length mappings; an empty file has nothing
+        // to parse in place anyway, so let the caller fall back.
+        ::close(fd);
+        return Status::error(StatusCode::kIo,
+                             "cannot map empty file " + file_path);
+    }
+    void *mapping = ::mmap(nullptr, static_cast<std::size_t>(info.st_size),
+                           PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // The mapping keeps its own reference to the file.
+    if (mapping == MAP_FAILED) {
+        return Status::error(StatusCode::kIo, "cannot map " + file_path +
+                                                  ": " + errnoDetail());
+    }
+    base = mapping;
+    length = static_cast<std::uint64_t>(info.st_size);
+    filePath = file_path;
+    return Status::ok();
+}
+
+void
+MappedFile::unmap()
+{
+    if (!base)
+        return;
+    ::munmap(base, static_cast<std::size_t>(length));
+    base = nullptr;
+    length = 0;
     filePath.clear();
 }
 

@@ -162,6 +162,56 @@ class File
     std::string filePath;
 };
 
+/**
+ * Read-only memory mapping of a whole file.
+ *
+ * The mapping is the bulk-read counterpart of File::readExact: callers
+ * that validate and decode a complete file (the trace reader) map it
+ * once and parse in place instead of issuing one buffered read per
+ * record. map() consults the global FaultInjector's "open" counter like
+ * File::openForRead, so injected open faults hit both paths alike;
+ * callers that need injected *read* faults must use File, which is why
+ * the trace reader only takes the mapped path while the injector is
+ * inactive and falls back to buffered reads otherwise.
+ *
+ * Any map() failure (open error, empty or unmappable file) is reported
+ * as a Status and leaves the object unmapped; callers are expected to
+ * fall back to File rather than treat it as fatal.
+ */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile() { unmap(); }
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /** Map @p file_path read-only in its entirety (kIo on failure). */
+    [[nodiscard]] Status map(const std::string &file_path);
+
+    bool isMapped() const { return base != nullptr; }
+
+    /** First byte of the mapping (nullptr when not mapped). */
+    const unsigned char *data() const
+    {
+        return static_cast<const unsigned char *>(base);
+    }
+
+    /** File size in bytes (0 when not mapped). */
+    std::uint64_t size() const { return length; }
+
+    const std::string &path() const { return filePath; }
+
+    /** Release the mapping (idempotent). */
+    void unmap();
+
+  private:
+    void *base = nullptr;
+    std::uint64_t length = 0;
+    std::string filePath;
+};
+
 /** std::remove with a Status and strerror detail. */
 [[nodiscard]] Status removeFile(const std::string &path);
 

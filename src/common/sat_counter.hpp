@@ -56,6 +56,25 @@ class SatCounter
     /** Reset to zero (strongest "do not predict"). */
     void reset() { count = 0; }
 
+    /**
+     * One training step as straight-line selects: increment() when
+     * @p up; otherwise reset() when @p reset_on_down, else
+     * decrement(). Confidence outcomes flip with the simulated data,
+     * so the branchy equivalents mispredict; hot classifier paths use
+     * this form.
+     */
+    void
+    train(bool up, bool reset_on_down)
+    {
+        const std::uint16_t raised =
+            count < maxValue ? static_cast<std::uint16_t>(count + 1)
+                             : count;
+        const std::uint16_t dropped =
+            count > 0 ? static_cast<std::uint16_t>(count - 1) : count;
+        const std::uint16_t lowered = reset_on_down ? 0 : dropped;
+        count = up ? raised : lowered;
+    }
+
     /** True when the counter is in the upper half of its range. */
     bool isSet() const { return count >= threshold; }
 

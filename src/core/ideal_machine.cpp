@@ -15,6 +15,45 @@ namespace
 {
 
 /**
+ * Field accessors over an AoS block (a TraceSpan). The engine's block
+ * worker is templated over this interface so the same loop body
+ * compiles once against record gathers and once against columnar
+ * array loads.
+ */
+struct SpanBlockView
+{
+    const TraceRecord *records;
+    std::size_t count;
+
+    std::size_t size() const { return count; }
+    Addr pc(std::size_t k) const { return records[k].pc; }
+    Value result(std::size_t k) const { return records[k].result; }
+    OpCode op(std::size_t k) const { return records[k].op; }
+    RegIndex rd(std::size_t k) const { return records[k].rd; }
+    RegIndex rs1(std::size_t k) const { return records[k].rs1; }
+    RegIndex rs2(std::size_t k) const { return records[k].rs2; }
+};
+
+/**
+ * Field accessors over a SoA block (TraceColumns): each field is a
+ * sequential stream over its own contiguous array, so the block loop
+ * touches only the ~20 bytes per instruction it actually uses instead
+ * of pulling whole 48-byte records through the cache.
+ */
+struct ColumnsBlockView
+{
+    TraceColumns cols;
+
+    std::size_t size() const { return cols.count; }
+    Addr pc(std::size_t k) const { return cols.pc[k]; }
+    Value result(std::size_t k) const { return cols.result[k]; }
+    OpCode op(std::size_t k) const { return cols.op[k]; }
+    RegIndex rd(std::size_t k) const { return cols.rd[k]; }
+    RegIndex rs1(std::size_t k) const { return cols.rs1[k]; }
+    RegIndex rs2(std::size_t k) const { return cols.rs2[k]; }
+};
+
+/**
  * The span-iterating ideal-machine engine.
  *
  * All loop state lives here so the per-block worker can be specialized
@@ -45,6 +84,8 @@ struct IdealEngine
     std::vector<Writer> lastWriter;
     /** Ring buffer of the last windowSize execute cycles. */
     std::vector<Cycle> windowExec;
+    /** Scratch for the per-block batched table probe. */
+    std::vector<Addr> probePcs;
 
     Cycle maxExec = 0;
     std::uint64_t i = 0;
@@ -68,8 +109,8 @@ struct IdealEngine
     {
     }
 
-    void
-    dispatchBlock(TraceSpan block, bool full_checks)
+    template <typename Block> void
+    dispatchBlock(const Block &block, bool full_checks)
     {
         if (config.useValuePrediction) {
             if (full_checks)
@@ -88,12 +129,52 @@ struct IdealEngine
         }
     }
 
-    template <bool UseVp, bool FullChecks, bool KeepSchedule> void
-    processBlock(TraceSpan block)
+    /**
+     * Batched predictor-table probe (one call per delivered block):
+     * gathers the in-scope value-producing pcs and lets every table on
+     * the predictor's path prefetch its slots before the sequential
+     * walk below probes them one by one.
+     */
+    void
+    probeBlockTables(const SpanBlockView &block)
+    {
+        probePcs.clear();
+        const std::size_t n = block.size();
+        for (std::size_t k = 0; k < n; ++k) {
+            const OpCode op = block.op(k);
+            const RegIndex rd = block.rd(k);
+            const bool produces_value =
+                writesDest(op) && rd != invalidReg && rd != 0;
+            if (!produces_value)
+                continue;
+            if (config.vpScope != VpScope::AllInstructions &&
+                instClassOf(op) != InstClass::Load)
+                continue;
+            probePcs.push_back(block.pc(k));
+        }
+        if (!probePcs.empty())
+            predictor->probeBlock(probePcs.data(), probePcs.size());
+    }
+
+    void
+    probeBlockTables(const ColumnsBlockView &block)
+    {
+        // The pc column is already contiguous: hand it to the tables
+        // whole instead of paying a gather pass. The few non-value-
+        // producing pcs prefetch a line that goes unused; that costs
+        // less than filtering them out.
+        if (block.cols.count != 0)
+            predictor->probeBlock(block.cols.pc, block.cols.count);
+    }
+
+    template <bool UseVp, bool FullChecks, bool KeepSchedule,
+              typename Block> void
+    processBlock(const Block &block)
     {
         const unsigned window_size = config.windowSize;
         const unsigned fetch_rate = config.fetchRate;
         const Cycle frontend_latency = config.frontendLatency;
+        const Cycle vp_penalty = config.vpPenalty;
         Writer *const writers = lastWriter.data();
         Cycle *const window = windowExec.data();
 
@@ -111,7 +192,8 @@ struct IdealEngine
         std::uint64_t useful_predictions = 0;
         std::uint64_t perfect_predictions = 0;
 
-        for (const TraceRecord &record : block) {
+        const std::size_t block_size = block.size();
+        for (std::size_t k = 0; k < block_size; ++k) {
         Cycle earliest = fetch_cycle + frontend_latency;
 
         // Window constraint: the slot of instruction i - windowSize
@@ -129,76 +211,56 @@ struct IdealEngine
         // when the consumer issues late anyway, it reads the real value
         // and the prediction is merely useless, exactly the paper's
         // "the prediction becomes useless" case.
-        struct OperandUse
-        {
-            Cycle readyNoVp = 0;
-            /** 0 = not predicted, 1 = predicted correct, 2 = wrong. */
-            int kind = 0;
-        };
-        [[maybe_unused]] OperandUse uses[2];
-        [[maybe_unused]] unsigned num_uses = 0;
+        //
+        // Everything below is straight-line select arithmetic, not
+        // branches: whether an operand was predicted / correct flips
+        // with the simulated values, so a branchy encoding pays a
+        // branch misprediction per dependent instruction. A missing
+        // operand (no writer, r0, invalid) reads as ready == 0, which
+        // every max/compare treats as "imposes nothing".
+        const Writer &wr1 = writers[block.rs1(k)];
+        const Writer &wr2 = writers[block.rs2(k)];
+        const Cycle ready1 = wr1.exists ? wr1.execCycle + 1 : 0;
+        const Cycle ready2 = wr2.exists ? wr2.execCycle + 1 : 0;
+        stalling_uses += ready1 > earliest ? 1 : 0;
+        stalling_uses += ready2 > earliest ? 1 : 0;
 
-        // Issue time: non-predicted operands bind, and a use stalls
-        // (capacity statistic) when its real value arrives after the
-        // machine could otherwise issue the consumer. Without value
-        // prediction every operand binds, so the use list is not even
-        // materialized.
+        // Issue: non-predicted operands bind. Completion: wrong
+        // speculations reissue after the real value, in ascending
+        // ready order (a later wrong operand sees the delay already
+        // caused by an earlier one); an operand whose real value
+        // arrived by the current execute never speculated, so it
+        // imposes nothing.
         Cycle issue = earliest;
-        const auto consume = [&](RegIndex reg) {
-            const Writer &writer = writers[reg];
-            if (!writer.exists)
-                return;
-            const Cycle ready = writer.execCycle + 1;
-            if (ready > earliest)
-                ++stalling_uses;
-            if constexpr (UseVp) {
-                OperandUse use;
-                use.readyNoVp = ready;
-                if (writer.predicted)
-                    use.kind = writer.correct ? 1 : 2;
-                uses[num_uses++] = use;
-                if (use.kind == 0)
-                    issue = std::max(issue, ready);
-            } else {
-                issue = std::max(issue, ready);
-            }
-        };
-        consume(record.rs1);
-        consume(record.rs2);
-
-        // Completion: wrong speculations reissue after the real value,
-        // in ascending ready order (a later wrong operand sees the
-        // delay already caused by an earlier one). Without value
-        // prediction exec == issue and the speculation bookkeeping
-        // below compiles away.
-        Cycle exec = issue;
+        Cycle exec;
         if constexpr (UseVp) {
-            if (num_uses == 2 && uses[0].kind == 2 &&
-                uses[1].kind == 2 &&
-                uses[0].readyNoVp > uses[1].readyNoVp) {
-                std::swap(uses[0], uses[1]);
-            }
-            for (unsigned u = 0; u < num_uses; ++u) {
-                if (uses[u].kind != 2)
-                    continue;
-                if (uses[u].readyNoVp <= exec) {
-                    // Real value available by then: no speculation
-                    // needed.
-                    exec = std::max(exec, uses[u].readyNoVp);
-                } else {
-                    exec = uses[u].readyNoVp + config.vpPenalty;
-                }
-            }
+            // 0 = binds at issue, 1 = predicted correct, 2 = wrong.
+            const unsigned kind1 =
+                (wr1.exists && wr1.predicted) ? (wr1.correct ? 1u : 2u)
+                                              : 0u;
+            const unsigned kind2 =
+                (wr2.exists && wr2.predicted) ? (wr2.correct ? 1u : 2u)
+                                              : 0u;
+            issue = std::max(issue, kind1 == 0 ? ready1 : Cycle{0});
+            issue = std::max(issue, kind2 == 0 ? ready2 : Cycle{0});
+            exec = issue;
+            const Cycle wrong1 = kind1 == 2 ? ready1 : Cycle{0};
+            const Cycle wrong2 = kind2 == 2 ? ready2 : Cycle{0};
+            const Cycle lo = std::min(wrong1, wrong2);
+            const Cycle hi = std::max(wrong1, wrong2);
+            exec = lo > exec ? lo + vp_penalty : exec;
+            exec = hi > exec ? hi + vp_penalty : exec;
             // A correct prediction was useful when the operand would
             // otherwise have delayed the consumer past its actual
             // execute.
-            for (unsigned u = 0; u < num_uses; ++u) {
-                if (uses[u].kind != 1)
-                    continue;
-                ++correctly_predicted_uses;
-                if (uses[u].readyNoVp > exec)
-                    ++useful_predictions;
-            }
+            correctly_predicted_uses +=
+                (kind1 == 1 ? 1 : 0) + (kind2 == 1 ? 1 : 0);
+            useful_predictions += (kind1 == 1 && ready1 > exec) ? 1 : 0;
+            useful_predictions += (kind2 == 1 && ready2 > exec) ? 1 : 0;
+        } else {
+            issue = std::max(issue, ready1);
+            issue = std::max(issue, ready2);
+            exec = issue;
         }
         if (FullChecks) {
             // Deep audit: the slot being recycled must have freed
@@ -234,32 +296,35 @@ struct IdealEngine
 
         // Record this instruction as the new last writer of rd, with
         // its own prediction outcome for downstream consumers.
-        if (record.producesValue()) {
+        const OpCode op = block.op(k);
+        const RegIndex rd = block.rd(k);
+        const bool produces_value =
+            writesDest(op) && rd != invalidReg && rd != 0;
+        if (produces_value) {
             Writer writer;
             writer.exists = true;
             writer.execCycle = exec;
             if (UseVp) {
                 const bool in_scope =
                     config.vpScope == VpScope::AllInstructions ||
-                    record.instClass() == InstClass::Load;
+                    instClassOf(op) == InstClass::Load;
                 if (in_scope) {
                     if (config.perfectValuePrediction) {
                         writer.predicted = true;
                         writer.correct = true;
                         ++perfect_predictions;
                     } else {
+                        const Value actual = block.result(k);
                         const ClassifiedPrediction prediction =
-                            predictor->predict(record.pc);
+                            predictor->predictAndTrain(block.pc(k),
+                                                       actual);
                         writer.predicted = prediction.predicted;
-                        writer.correct =
-                            prediction.predicted &&
-                            prediction.value == record.result;
-                        predictor->update(record.pc, prediction,
-                                          record.result);
+                        writer.correct = prediction.predicted &&
+                                         prediction.value == actual;
                     }
                 }
             }
-            writers[record.rd] = writer;
+            writers[rd] = writer;
         }
 
         ++i;
@@ -306,15 +371,32 @@ runIdealMachine(TraceSource &source, const IdealMachineConfig &config,
     engine.predictor = predictor.get();
 
     source.reset();
-    TraceSpan block;
-    while (source.nextBlock(block)) {
-        // Progress heartbeat for the --job-timeout watchdog and the
-        // self-check level poll, hoisted to block granularity: one
-        // thread-local store and one relaxed atomic load per <= 4096
-        // records instead of per instruction.
-        simHeartbeat(engine.i);
-        engine.dispatchBlock(block,
-                             invariantsActive(InvariantLevel::Full));
+    if (source.supportsColumns()) {
+        // Columnar fast path: the block loop streams per-field arrays
+        // (SoA) instead of gathering from 48-byte records.
+        TraceColumns cols;
+        while (source.nextColumns(cols)) {
+            simHeartbeat(engine.i);
+            const ColumnsBlockView view{cols};
+            if (predictor)
+                engine.probeBlockTables(view);
+            engine.dispatchBlock(view,
+                                 invariantsActive(InvariantLevel::Full));
+        }
+    } else {
+        TraceSpan block;
+        while (source.nextBlock(block)) {
+            // Progress heartbeat for the --job-timeout watchdog and the
+            // self-check level poll, hoisted to block granularity: one
+            // thread-local store and one relaxed atomic load per <= 4096
+            // records instead of per instruction.
+            simHeartbeat(engine.i);
+            const SpanBlockView view{block.data(), block.size()};
+            if (predictor)
+                engine.probeBlockTables(view);
+            engine.dispatchBlock(view,
+                                 invariantsActive(InvariantLevel::Full));
+        }
     }
 
     result.instructions = engine.i;

@@ -1,8 +1,5 @@
 #include "fetch/fetch_engine.hpp"
 
-#include "common/invariant.hpp"
-#include "common/logging.hpp"
-
 namespace vpsim
 {
 
@@ -27,37 +24,6 @@ TraceFetchBase::branchResolved(SeqNum seq, Cycle resolve_cycle)
         return;
     pendingBranch = invalidSeqNum;
     resumeCycle = resolve_cycle + 1;
-}
-
-bool
-TraceFetchBase::consumeRecord(std::vector<FetchedInst> &out)
-{
-    panicIf(cursor >= trace.size(), "fetch past the end of the trace");
-    const TraceRecord &record = trace[cursor];
-    FetchedInst inst;
-    inst.record = record;
-    if (record.isControlFlow()) {
-        const BranchPrediction prediction = bpred.predict(record);
-        bpred.update(record, prediction);
-        inst.mispredicted = !BranchPredictor::correct(record, prediction);
-        if (inst.mispredicted) {
-            pendingBranch = record.seq;
-            pendingPrediction = prediction;
-            ++numMispredicts;
-        }
-    }
-    out.push_back(inst);
-    ++cursor;
-    ++numFetched;
-    // Every fetched instruction is a trace record consumed exactly
-    // once; a drift here means duplicated or dropped delivery.
-    checkInvariant(InvariantLevel::Cheap, numFetched == cursor,
-                   "fetch.delivered_matches_consumed", [&] {
-                       return std::to_string(numFetched) +
-                              " fetched but trace cursor at " +
-                              std::to_string(cursor);
-                   });
-    return inst.mispredicted;
 }
 
 } // namespace vpsim

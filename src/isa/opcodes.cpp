@@ -5,59 +5,11 @@
 namespace vpsim
 {
 
-InstClass
-instClassOf(OpCode op)
+void
+invalidOpcodePanic(const char *where, unsigned value)
 {
-    switch (op) {
-      case OpCode::Add:
-      case OpCode::Sub:
-      case OpCode::And:
-      case OpCode::Or:
-      case OpCode::Xor:
-      case OpCode::Slt:
-      case OpCode::Sltu:
-      case OpCode::Sll:
-      case OpCode::Srl:
-      case OpCode::Sra:
-      case OpCode::Addi:
-      case OpCode::Andi:
-      case OpCode::Ori:
-      case OpCode::Xori:
-      case OpCode::Slti:
-      case OpCode::Slli:
-      case OpCode::Srli:
-      case OpCode::Srai:
-      case OpCode::Lui:
-        return InstClass::IntAlu;
-      case OpCode::Mul:
-        return InstClass::IntMul;
-      case OpCode::Div:
-      case OpCode::Rem:
-        return InstClass::IntDiv;
-      case OpCode::Ld:
-      case OpCode::Lbu:
-        return InstClass::Load;
-      case OpCode::St:
-      case OpCode::Sb:
-        return InstClass::Store;
-      case OpCode::Beq:
-      case OpCode::Bne:
-      case OpCode::Blt:
-      case OpCode::Bge:
-      case OpCode::Bltu:
-      case OpCode::Bgeu:
-        return InstClass::Branch;
-      case OpCode::Jal:
-      case OpCode::Jalr:
-        return InstClass::Jump;
-      case OpCode::Nop:
-        return InstClass::Nop;
-      case OpCode::Halt:
-        return InstClass::Halt;
-      case OpCode::NumOpCodes:
-        break;
-    }
-    panic("instClassOf: invalid opcode");
+    panic(std::string(where) + ": invalid opcode " +
+          std::to_string(value));
 }
 
 std::string_view
@@ -103,92 +55,6 @@ opcodeName(OpCode op)
       case OpCode::NumOpCodes: break;
     }
     panic("opcodeName: invalid opcode");
-}
-
-bool
-isConditionalBranch(OpCode op)
-{
-    return instClassOf(op) == InstClass::Branch;
-}
-
-bool
-isControl(OpCode op)
-{
-    const InstClass cls = instClassOf(op);
-    return cls == InstClass::Branch || cls == InstClass::Jump;
-}
-
-bool
-writesDest(OpCode op)
-{
-    switch (instClassOf(op)) {
-      case InstClass::IntAlu:
-      case InstClass::IntMul:
-      case InstClass::IntDiv:
-      case InstClass::Load:
-        return true;
-      case InstClass::Jump:
-        // jal/jalr link into rd (rd may be r0 for a plain jump).
-        return true;
-      case InstClass::Store:
-      case InstClass::Branch:
-      case InstClass::Nop:
-      case InstClass::Halt:
-        return false;
-    }
-    panic("writesDest: invalid opcode");
-}
-
-bool
-readsSrc1(OpCode op)
-{
-    switch (op) {
-      case OpCode::Lui:
-      case OpCode::Jal:
-      case OpCode::Nop:
-      case OpCode::Halt:
-        return false;
-      default:
-        return true;
-    }
-}
-
-bool
-readsSrc2(OpCode op)
-{
-    switch (op) {
-      case OpCode::Add:
-      case OpCode::Sub:
-      case OpCode::And:
-      case OpCode::Or:
-      case OpCode::Xor:
-      case OpCode::Slt:
-      case OpCode::Sltu:
-      case OpCode::Sll:
-      case OpCode::Srl:
-      case OpCode::Sra:
-      case OpCode::Mul:
-      case OpCode::Div:
-      case OpCode::Rem:
-      case OpCode::Beq:
-      case OpCode::Bne:
-      case OpCode::Blt:
-      case OpCode::Bge:
-      case OpCode::Bltu:
-      case OpCode::Bgeu:
-      case OpCode::St:
-      case OpCode::Sb:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-isMemory(OpCode op)
-{
-    const InstClass cls = instClassOf(op);
-    return cls == InstClass::Load || cls == InstClass::Store;
 }
 
 } // namespace vpsim

@@ -54,29 +54,171 @@ enum class InstClass : std::uint8_t
     Halt,
 };
 
-/** Functional class of @p op. */
-InstClass instClassOf(OpCode op);
+/**
+ * Abort on a classification query for a byte that is not a valid
+ * opcode (defined out of line; classification itself is inline).
+ */
+[[noreturn]] void invalidOpcodePanic(const char *where, unsigned value);
+
+/**
+ * Functional class of @p op.
+ *
+ * The classification queries below run once or twice per simulated
+ * instruction in every machine model, so they are inline: the switch
+ * compiles to a lookup, and callers that branch on the result keep
+ * everything in registers instead of paying an out-of-line call (the
+ * old opcodes.cpp definitions showed up as whole percents of the
+ * pipeline-machine profile; see docs/PERF.md).
+ */
+constexpr InstClass
+instClassOf(OpCode op)
+{
+    switch (op) {
+      case OpCode::Add:
+      case OpCode::Sub:
+      case OpCode::And:
+      case OpCode::Or:
+      case OpCode::Xor:
+      case OpCode::Slt:
+      case OpCode::Sltu:
+      case OpCode::Sll:
+      case OpCode::Srl:
+      case OpCode::Sra:
+      case OpCode::Addi:
+      case OpCode::Andi:
+      case OpCode::Ori:
+      case OpCode::Xori:
+      case OpCode::Slti:
+      case OpCode::Slli:
+      case OpCode::Srli:
+      case OpCode::Srai:
+      case OpCode::Lui:
+        return InstClass::IntAlu;
+      case OpCode::Mul:
+        return InstClass::IntMul;
+      case OpCode::Div:
+      case OpCode::Rem:
+        return InstClass::IntDiv;
+      case OpCode::Ld:
+      case OpCode::Lbu:
+        return InstClass::Load;
+      case OpCode::St:
+      case OpCode::Sb:
+        return InstClass::Store;
+      case OpCode::Beq:
+      case OpCode::Bne:
+      case OpCode::Blt:
+      case OpCode::Bge:
+      case OpCode::Bltu:
+      case OpCode::Bgeu:
+        return InstClass::Branch;
+      case OpCode::Jal:
+      case OpCode::Jalr:
+        return InstClass::Jump;
+      case OpCode::Nop:
+        return InstClass::Nop;
+      case OpCode::Halt:
+        return InstClass::Halt;
+      case OpCode::NumOpCodes:
+        break;
+    }
+    invalidOpcodePanic("instClassOf", static_cast<unsigned>(op));
+}
 
 /** Mnemonic for @p op, e.g. "add". */
 std::string_view opcodeName(OpCode op);
 
 /** True for conditional branches. */
-bool isConditionalBranch(OpCode op);
+constexpr bool
+isConditionalBranch(OpCode op)
+{
+    return instClassOf(op) == InstClass::Branch;
+}
 
 /** True for any control-transfer instruction (branch or jump). */
-bool isControl(OpCode op);
+constexpr bool
+isControl(OpCode op)
+{
+    const InstClass cls = instClassOf(op);
+    return cls == InstClass::Branch || cls == InstClass::Jump;
+}
 
 /** True when the instruction writes a destination register. */
-bool writesDest(OpCode op);
+constexpr bool
+writesDest(OpCode op)
+{
+    switch (instClassOf(op)) {
+      case InstClass::IntAlu:
+      case InstClass::IntMul:
+      case InstClass::IntDiv:
+      case InstClass::Load:
+        return true;
+      case InstClass::Jump:
+        // jal/jalr link into rd (rd may be r0 for a plain jump).
+        return true;
+      case InstClass::Store:
+      case InstClass::Branch:
+      case InstClass::Nop:
+      case InstClass::Halt:
+        return false;
+    }
+    invalidOpcodePanic("writesDest", static_cast<unsigned>(op));
+}
 
 /** True when the opcode reads rs1. */
-bool readsSrc1(OpCode op);
+constexpr bool
+readsSrc1(OpCode op)
+{
+    switch (op) {
+      case OpCode::Lui:
+      case OpCode::Jal:
+      case OpCode::Nop:
+      case OpCode::Halt:
+        return false;
+      default:
+        return true;
+    }
+}
 
 /** True when the opcode reads rs2. */
-bool readsSrc2(OpCode op);
+constexpr bool
+readsSrc2(OpCode op)
+{
+    switch (op) {
+      case OpCode::Add:
+      case OpCode::Sub:
+      case OpCode::And:
+      case OpCode::Or:
+      case OpCode::Xor:
+      case OpCode::Slt:
+      case OpCode::Sltu:
+      case OpCode::Sll:
+      case OpCode::Srl:
+      case OpCode::Sra:
+      case OpCode::Mul:
+      case OpCode::Div:
+      case OpCode::Rem:
+      case OpCode::Beq:
+      case OpCode::Bne:
+      case OpCode::Blt:
+      case OpCode::Bge:
+      case OpCode::Bltu:
+      case OpCode::Bgeu:
+      case OpCode::St:
+      case OpCode::Sb:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** True for loads and stores. */
-bool isMemory(OpCode op);
+constexpr bool
+isMemory(OpCode op)
+{
+    const InstClass cls = instClassOf(op);
+    return cls == InstClass::Load || cls == InstClass::Store;
+}
 
 } // namespace vpsim
 

@@ -12,6 +12,13 @@ ClassifiedPredictor::ClassifiedPredictor(
       counters(counter_capacity)
 {
     panicIf(!rawPredictor, "ClassifiedPredictor needs a raw predictor");
+    rawClass = rawPredictor->fusedClass();
+    // Mirror SatCounter(counterBits)'s geometry for the co-located
+    // fast path (the SatCounter ctor validates the width).
+    const SatCounter reference(counterBits);
+    counterThreshold = static_cast<std::uint16_t>(reference.max() / 2 + 1);
+    counterMax = static_cast<std::uint16_t>(reference.max());
+    resetOnMiss = missPolicy == MissPolicy::Reset;
 }
 
 ClassifiedPrediction

@@ -25,7 +25,45 @@ class LastValuePredictor : public ValuePredictor
     RawPrediction lookup(Addr pc) override;
     void train(Addr pc, Value actual,
                bool spec_was_correct = false) override;
+
+    /**
+     * Fused lookup() + train() on one probe. A fresh allocation reads
+     * as "no history" exactly like lookup()'s find() miss (including
+     * the finite-table eviction case: the evicted victim had a
+     * different tag, so lookup() would have missed too). Inline for
+     * the fusedClass() devirtualized path.
+     */
+    RawPrediction
+    lookupTrain(Addr pc, Value actual) override
+    {
+        ClassifierState *ignored;
+        return lookupTrain(pc, actual, ignored);
+    }
+
+    RawPrediction
+    lookupTrain(Addr pc, Value actual, ClassifierState *&cls) override
+    {
+        Entry &entry = table.findOrAllocateFused(pc);
+        cls = table.isInfinite() ? &entry.cls : nullptr;
+        RawPrediction raw;
+        if (entry.seen)
+            raw = {true, entry.lastValue};
+        entry.lastValue = actual;
+        entry.seen = true;
+        return raw;
+    }
+
+    FusedClass
+    fusedClass() const override
+    {
+        return FusedClass::LastValue;
+    }
+
     StrideInfo strideInfo(Addr pc) const override;
+    void prefetchBlock(const Addr *pcs, std::size_t n) override
+    {
+        table.probeBlock(pcs, n);
+    }
     std::string name() const override { return "last-value"; }
     void reset() override { table.clear(); }
 
@@ -37,6 +75,8 @@ class LastValuePredictor : public ValuePredictor
     {
         Value lastValue = 0;
         bool seen = false;
+        /** Classifier scratch (owned by ClassifiedPredictor). */
+        ClassifierState cls;
     };
 
     PredictionTable<Entry> table;

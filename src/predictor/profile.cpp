@@ -60,7 +60,7 @@ ProfileHints::profile(const std::vector<TraceRecord> &training_records,
                 hint = ValueHint::Stride;
             }
         }
-        result.hints.emplace(pc, hint);
+        result.hints.findOrAllocate(pc).hint = hint;
         switch (hint) {
           case ValueHint::LastValue:
             ++result.numLastValue;
@@ -79,8 +79,14 @@ ProfileHints::profile(const std::vector<TraceRecord> &training_records,
 ValueHint
 ProfileHints::hintFor(Addr pc) const
 {
-    const auto it = hints.find(pc);
-    return it == hints.end() ? ValueHint::NotPredictable : it->second;
+    const HintEntry *entry = hints.find(pc);
+    return entry == nullptr ? ValueHint::NotPredictable : entry->hint;
+}
+
+void
+ProfileHints::prefetchHints(const Addr *pcs, std::size_t n) const
+{
+    hints.probeBlock(pcs, n);
 }
 
 HintedHybridPredictor::HintedHybridPredictor(
@@ -188,6 +194,18 @@ HintedHybridPredictor::strideInfo(Addr pc) const
       }
     }
     panic("invalid value hint");
+}
+
+void
+HintedHybridPredictor::prefetchBlock(const Addr *pcs, std::size_t n)
+{
+    // The hint decides which component table a pc will touch, but the
+    // hint probe itself is the first dependent load — warm it, plus
+    // both component tables (over-prefetching a small table is cheaper
+    // than a second classification pass).
+    profile.prefetchHints(pcs, n);
+    lastTable.probeBlock(pcs, n);
+    strideTable.probeBlock(pcs, n);
 }
 
 void

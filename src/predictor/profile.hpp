@@ -19,7 +19,6 @@
 #ifndef VPSIM_PREDICTOR_PROFILE_HPP
 #define VPSIM_PREDICTOR_PROFILE_HPP
 
-#include <unordered_map>
 #include <vector>
 
 #include "predictor/table_storage.hpp"
@@ -63,6 +62,9 @@ class ProfileHints
     /** Hint for @p pc; unseen instructions are NotPredictable. */
     ValueHint hintFor(Addr pc) const;
 
+    /** Warm the hint-table slots for a block of upcoming pcs. */
+    void prefetchHints(const Addr *pcs, std::size_t n) const;
+
     /** @name Summary statistics */
     /// @{
     std::uint64_t staticInstructions() const { return hints.size(); }
@@ -72,7 +74,14 @@ class ProfileHints
     /// @}
 
   private:
-    std::unordered_map<Addr, ValueHint> hints;
+    /** One hint per static pc; open-addressed (hintFor() runs on the
+     *  per-instruction path of the hinted hybrid predictor). */
+    struct HintEntry
+    {
+        ValueHint hint = ValueHint::NotPredictable;
+    };
+
+    PredictionTable<HintEntry> hints;
     std::uint64_t numLastValue = 0;
     std::uint64_t numStride = 0;
     std::uint64_t numNot = 0;
@@ -100,6 +109,7 @@ class HintedHybridPredictor : public ValuePredictor
                bool spec_was_correct = false) override;
     void abandon(Addr pc) override;
     StrideInfo strideInfo(Addr pc) const override;
+    void prefetchBlock(const Addr *pcs, std::size_t n) override;
     std::string name() const override { return "hinted-hybrid"; }
     void reset() override;
 

@@ -38,8 +38,69 @@ class StridePredictor : public ValuePredictor
     RawPrediction lookup(Addr pc) override;
     void train(Addr pc, Value actual,
                bool spec_was_correct = false) override;
+
+    /**
+     * Fusion of lookup() + train() on one table probe, with the state
+     * transitions of the unfused pair applied in their original order.
+     * Two algebraic simplifications fall out of the fusion: lookup's
+     * ++inFlight is immediately undone by train's decrement (no other
+     * observer runs in between), and the wrong-speculation repair
+     * projects over the *pre-lookup* in-flight count, so inFlight is
+     * read but never written. The data-dependent decisions are ternary
+     * selects rather than branches: prediction correctness flips with
+     * the simulated values, and a mispredicted branch per instruction
+     * would dominate this whole path. Defined inline so callers that
+     * devirtualize via fusedClass() absorb the body into their loop.
+     *
+     * The three-argument form also hands out the entry's co-located
+     * classifier slot (infinite tables only — see the base class).
+     */
+    RawPrediction
+    lookupTrain(Addr pc, Value actual) override
+    {
+        ClassifierState *ignored;
+        return lookupTrain(pc, actual, ignored);
+    }
+
+    RawPrediction
+    lookupTrain(Addr pc, Value actual, ClassifierState *&cls) override
+    {
+        Entry &entry = table.findOrAllocateFused(pc);
+        cls = table.isInfinite() ? &entry.cls : nullptr;
+        const bool has_history = entry.timesSeen != 0;
+        const Value predicted = entry.specValue + entry.stride;
+        RawPrediction raw;
+        raw.hasPrediction = has_history;
+        raw.value = has_history ? predicted : Value{0};
+        const bool spec_advance = speculativeUpdate && has_history;
+        const bool spec_was_correct = has_history && predicted == actual;
+
+        const Value observed = actual - entry.lastValue;
+        const bool stable = has_history && observed == entry.stride;
+        entry.stride = has_history ? observed : entry.stride;
+        entry.lastValue = actual;
+        const Value repaired = stable
+            ? actual + entry.stride * static_cast<Value>(entry.inFlight)
+            : actual;
+        // Wrong speculation → repair; correct speculation keeps lookup's
+        // advance (specValue = predicted); no history → specValue would
+        // only be touched by train's plain repair.
+        entry.specValue = spec_was_correct
+            ? (spec_advance ? predicted : entry.specValue)
+            : repaired;
+        entry.timesSeen = entry.timesSeen < 2
+            ? static_cast<std::uint8_t>(entry.timesSeen + 1)
+            : entry.timesSeen;
+        return raw;
+    }
+
+    FusedClass fusedClass() const override { return FusedClass::Stride; }
     void abandon(Addr pc) override;
     StrideInfo strideInfo(Addr pc) const override;
+    void prefetchBlock(const Addr *pcs, std::size_t n) override
+    {
+        table.probeBlock(pcs, n);
+    }
     std::string name() const override { return "stride"; }
     void reset() override { table.clear(); }
 
@@ -63,6 +124,8 @@ class StridePredictor : public ValuePredictor
          * behind them.
          */
         std::uint32_t inFlight = 0;
+        /** Classifier scratch (owned by ClassifiedPredictor). */
+        ClassifierState cls;
     };
 
     PredictionTable<Entry> table;

@@ -2,18 +2,34 @@
  * @file
  * Prediction-table storage shared by all predictors.
  *
- * capacity == 0 models the paper's "infinite table" assumption (§3.1)
- * with a hash map; a nonzero capacity models a real direct-mapped, tagged
- * table (entries are evicted on index conflicts), used by the finite
- * configurations in Section 5 style experiments and the hybrid predictor's
- * "relatively small stride table".
+ * capacity == 0 models the paper's "infinite table" assumption (§3.1);
+ * a nonzero capacity models a real direct-mapped, tagged table (entries
+ * are evicted on index conflicts), used by the finite configurations in
+ * Section 5 style experiments and the hybrid predictor's "relatively
+ * small stride table".
+ *
+ * The infinite table is an open-addressed, linearly probed hash table
+ * with inline tags (it grows, it never evicts). It replaced a
+ * std::unordered_map: the per-probe pointer chase and per-insert node
+ * allocation of the map dominated the whole value-prediction hot path
+ * (see docs/PERF.md). Every probe now touches one contiguous slot
+ * array, a repeated probe of the same pc (the predict/update pairs all
+ * predictors issue) is served by a one-entry memo without re-hashing,
+ * and probeBlock() lets machines prefetch a whole span's slots ahead
+ * of the scheduling loop.
+ *
+ * Pointer/reference validity: a pointer returned by find()/
+ * findOrAllocate() stays valid only until the next findOrAllocate()
+ * on the same table (the open-addressed array may grow). All callers
+ * in this repository finish with an entry before the next probe; new
+ * callers must do the same. (The old map kept pointers stable forever
+ * — code relying on that was never written, and must not be.)
  */
 
 #ifndef VPSIM_PREDICTOR_TABLE_STORAGE_HPP
 #define VPSIM_PREDICTOR_TABLE_STORAGE_HPP
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/logging.hpp"
@@ -22,6 +38,17 @@
 
 namespace vpsim
 {
+
+/** Portable best-effort cache prefetch of the line holding @p addr. */
+inline void
+prefetchForRead(const void *addr)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(addr, 0 /*read*/, 3 /*high locality*/);
+#else
+    (void)addr;
+#endif
+}
 
 /**
  * Keyed storage for per-static-instruction predictor state.
@@ -43,6 +70,9 @@ class PredictionTable
             fatalIf((capacity & (capacity - 1)) != 0,
                     "prediction table capacity must be a power of two");
             slots.resize(capacity);
+        } else {
+            open.resize(initialOpenSlots);
+            openMask = initialOpenSlots - 1;
         }
     }
 
@@ -51,8 +81,14 @@ class PredictionTable
     find(Addr pc)
     {
         if (capacity == 0) {
-            const auto it = entries.find(pc);
-            return it == entries.end() ? nullptr : &it->second;
+            if (pc == memoKey)
+                return &open[memoIndex].entry;
+            const std::size_t index = probe(pc);
+            if (open[index].key != pc)
+                return nullptr;
+            memoKey = pc;
+            memoIndex = index;
+            return &open[index].entry;
         }
         Slot &slot = slots[indexOf(pc)];
         return (slot.valid && slot.tag == pc) ? &slot.entry : nullptr;
@@ -74,10 +110,30 @@ class PredictionTable
     findOrAllocate(Addr pc, bool *allocated = nullptr)
     {
         if (capacity == 0) {
-            const auto [it, fresh] = entries.try_emplace(pc);
+            if (pc == memoKey) {
+                if (allocated)
+                    *allocated = false;
+                return open[memoIndex].entry;
+            }
+            std::size_t index = probe(pc);
+            const bool fresh = open[index].key != pc;
+            if (fresh) {
+                fatalIf(pc == emptyKey,
+                        "prediction table key collides with the empty "
+                        "sentinel");
+                if ((numLive + 1) * 4 > (openMask + 1) * 3) {
+                    grow();
+                    index = probe(pc);
+                }
+                open[index].key = pc;
+                open[index].entry = Entry{};
+                ++numLive;
+            }
             if (allocated)
                 *allocated = fresh;
-            return it->second;
+            memoKey = pc;
+            memoIndex = index;
+            return open[index].entry;
         }
         Slot &slot = slots[indexOf(pc)];
         const bool fresh = !slot.valid || slot.tag != pc;
@@ -91,12 +147,91 @@ class PredictionTable
         return slot.entry;
     }
 
+    /**
+     * findOrAllocate() for straight-line fused paths (lookupTrain):
+     * identical semantics, but skips the one-entry memo. Fused callers
+     * probe each pc exactly once per dynamic event, so the memo never
+     * hits for them and its read-compare-update is pure overhead on
+     * the hottest loop in the simulator. Any memo left behind by other
+     * paths stays valid: entries only move in grow(), which resets it.
+     */
+    Entry &
+    findOrAllocateFused(Addr pc)
+    {
+        if (capacity == 0) {
+            std::size_t index = probe(pc);
+            if (open[index].key != pc) {
+                fatalIf(pc == emptyKey,
+                        "prediction table key collides with the empty "
+                        "sentinel");
+                if ((numLive + 1) * 4 > (openMask + 1) * 3) {
+                    grow();
+                    index = probe(pc);
+                }
+                open[index].key = pc;
+                open[index].entry = Entry{};
+                ++numLive;
+            }
+            return open[index].entry;
+        }
+        return findOrAllocate(pc);
+    }
+
+    /**
+     * Warm the cache lines @p pc's probe would touch. Best effort: a
+     * prefetched slot may still move before the probe (growth), and the
+     * memo is untouched.
+     */
+    void
+    prefetch(Addr pc) const
+    {
+        if (capacity == 0) {
+            prefetchForRead(&open[hashOf(pc) & openMask]);
+        } else {
+            prefetchForRead(&slots[indexOf(pc)]);
+        }
+    }
+
+    /**
+     * Batched probe warm-up: prefetch the slots for a whole block of
+     * upcoming lookups (one call per trace span / fetch bundle, see
+     * docs/PERF.md) so the scheduling loop's probes hit warm lines
+     * instead of paying a dependent-load miss per instruction.
+     *
+     * Self-gating: when the whole slot array fits comfortably in L1
+     * (small working sets keep these tables at their initial size),
+     * every probe already hits cache and the prefetch pass is pure
+     * overhead — one hash and one load-port slot per pc for nothing —
+     * so it is skipped.
+     */
+    void
+    probeBlock(const Addr *pcs, std::size_t n) const
+    {
+        if (!prefetchWorthwhile())
+            return;
+        for (std::size_t i = 0; i < n; ++i)
+            prefetch(pcs[i]);
+    }
+
+    /** True when the resident slot array exceeds ~L1 capacity. */
+    bool
+    prefetchWorthwhile() const
+    {
+        const std::size_t resident = capacity == 0
+            ? (openMask + 1) * sizeof(OpenSlot)
+            : capacity * sizeof(Slot);
+        return resident > prefetchResidencyBytes;
+    }
+
+    /** True for the capacity == 0 "infinite table" configuration. */
+    bool isInfinite() const { return capacity == 0; }
+
     /** Number of live entries (resident static instructions). */
     std::size_t
     size() const
     {
         if (capacity == 0)
-            return entries.size();
+            return numLive;
         std::size_t live = 0;
         for (const Slot &slot : slots)
             live += slot.valid ? 1 : 0;
@@ -107,16 +242,44 @@ class PredictionTable
     void
     clear()
     {
-        entries.clear();
+        for (OpenSlot &slot : open)
+            slot.key = emptyKey;
+        numLive = 0;
+        memoKey = emptyKey;
+        memoIndex = 0;
         for (Slot &slot : slots)
             slot.valid = false;
     }
 
   private:
+    /** Direct-mapped slot of the finite, tagged configuration. */
     struct Slot
     {
         bool valid = false;
         Addr tag = 0;
+        Entry entry{};
+    };
+
+    /**
+     * Never a valid instruction address (instructions are word
+     * aligned); marks unoccupied open-addressed slots.
+     */
+    static constexpr Addr emptyKey = ~Addr{0};
+
+    /** Initial open-addressed size; must be a power of two. */
+    static constexpr std::size_t initialOpenSlots = 1024;
+
+    /**
+     * Tables whose slots fit under this many bytes are assumed cache
+     * resident and skip prefetch passes (typical L1d is 32-48 KiB;
+     * stay under half so the trace stream keeps its share).
+     */
+    static constexpr std::size_t prefetchResidencyBytes = 16 * 1024;
+
+    /** Open-addressed slot: inline tag, no indirection. */
+    struct OpenSlot
+    {
+        Addr key = emptyKey;
         Entry entry{};
     };
 
@@ -127,8 +290,69 @@ class PredictionTable
         return (pc / instBytes) & (capacity - 1);
     }
 
+    /** Fibonacci hash of the word-aligned pc, full 64-bit mix. */
+    static std::size_t
+    hashOf(Addr pc)
+    {
+        std::uint64_t h =
+            (pc / instBytes) * 0x9E3779B97F4A7C15ull;
+        h ^= h >> 29;
+        return static_cast<std::size_t>(h);
+    }
+
+    /**
+     * Linear probe: the slot holding @p pc, or the empty slot where it
+     * would be inserted. The load factor stays <= 3/4, so an empty
+     * slot always terminates the walk.
+     */
+    std::size_t
+    probe(Addr pc) const
+    {
+        std::size_t index = hashOf(pc) & openMask;
+        while (open[index].key != pc && open[index].key != emptyKey)
+            index = (index + 1) & openMask;
+        return index;
+    }
+
+    void
+    grow()
+    {
+        std::vector<OpenSlot> old;
+        old.swap(open);
+        const std::size_t new_size = (openMask + 1) * 2;
+        open.resize(new_size);
+        openMask = new_size - 1;
+        memoKey = emptyKey;
+        memoIndex = 0;
+        for (OpenSlot &slot : old) {
+            if (slot.key == emptyKey)
+                continue;
+            std::size_t index = hashOf(slot.key) & openMask;
+            while (open[index].key != emptyKey)
+                index = (index + 1) & openMask;
+            open[index].key = slot.key;
+            open[index].entry = slot.entry;
+        }
+    }
+
     std::size_t capacity;
-    std::unordered_map<Addr, Entry> entries;
+
+    /** @name Infinite (capacity == 0) open-addressed storage */
+    /// @{
+    std::vector<OpenSlot> open;
+    std::size_t openMask = 0;
+    std::size_t numLive = 0;
+    /**
+     * One-entry memo of the last probe: predictors probe the same pc
+     * 2-4 times per dynamic instruction (lookup + classifier counter +
+     * train), and every repeat skips the hash and walk entirely.
+     * mutable: a const find() is still a cache-warming event.
+     */
+    mutable Addr memoKey = emptyKey;
+    mutable std::size_t memoIndex = 0;
+    /// @}
+
+    /** Finite direct-mapped storage. */
     std::vector<Slot> slots;
 };
 

@@ -31,8 +31,63 @@ class TwoDeltaStridePredictor : public ValuePredictor
     RawPrediction lookup(Addr pc) override;
     void train(Addr pc, Value actual,
                bool spec_was_correct = false) override;
+
+    /**
+     * Fusion of lookup() + train() on one table probe, with the same
+     * algebraic simplifications and branch-to-select conversions as
+     * StridePredictor::lookupTrain (see the comment there). Inline for
+     * the fusedClass() devirtualized path.
+     */
+    RawPrediction
+    lookupTrain(Addr pc, Value actual) override
+    {
+        ClassifierState *ignored;
+        return lookupTrain(pc, actual, ignored);
+    }
+
+    RawPrediction
+    lookupTrain(Addr pc, Value actual, ClassifierState *&cls) override
+    {
+        Entry &entry = table.findOrAllocateFused(pc);
+        cls = table.isInfinite() ? &entry.cls : nullptr;
+        const bool has_history = entry.timesSeen != 0;
+        const Value predicted = entry.specValue + entry.stride1;
+        RawPrediction raw;
+        raw.hasPrediction = has_history;
+        raw.value = has_history ? predicted : Value{0};
+        const bool spec_advance = speculativeUpdate && has_history;
+        const bool spec_was_correct = has_history && predicted == actual;
+
+        const Value observed = actual - entry.lastValue;
+        const bool promote = has_history && observed == entry.stride2;
+        entry.stride1 = promote ? observed : entry.stride1;
+        const bool stable = has_history && observed == entry.stride1;
+        entry.stride2 = has_history ? observed : entry.stride2;
+        entry.lastValue = actual;
+        const Value repaired = stable
+            ? actual + entry.stride1 * static_cast<Value>(entry.inFlight)
+            : actual;
+        entry.specValue = spec_was_correct
+            ? (spec_advance ? predicted : entry.specValue)
+            : repaired;
+        entry.timesSeen = entry.timesSeen < 2
+            ? static_cast<std::uint8_t>(entry.timesSeen + 1)
+            : entry.timesSeen;
+        return raw;
+    }
+
+    FusedClass
+    fusedClass() const override
+    {
+        return FusedClass::TwoDeltaStride;
+    }
+
     void abandon(Addr pc) override;
     StrideInfo strideInfo(Addr pc) const override;
+    void prefetchBlock(const Addr *pcs, std::size_t n) override
+    {
+        table.probeBlock(pcs, n);
+    }
     std::string name() const override { return "2-delta-stride"; }
     void reset() override { table.clear(); }
 
@@ -50,6 +105,8 @@ class TwoDeltaStridePredictor : public ValuePredictor
         std::uint8_t timesSeen = 0;
         /** Lookups not yet trained (see StridePredictor::Entry). */
         std::uint32_t inFlight = 0;
+        /** Classifier scratch (owned by ClassifiedPredictor). */
+        ClassifierState cls;
     };
 
     PredictionTable<Entry> table;

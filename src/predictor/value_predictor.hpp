@@ -14,6 +14,8 @@
 #ifndef VPSIM_PREDICTOR_VALUE_PREDICTOR_HPP
 #define VPSIM_PREDICTOR_VALUE_PREDICTOR_HPP
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "common/types.hpp"
@@ -39,6 +41,26 @@ struct StrideInfo
 };
 
 /**
+ * Classifier scratch co-located in a predictor's table entry.
+ *
+ * The paper's classifier (§3.1) is a saturating counter stored *in* the
+ * value-prediction table entry, not a separate structure. Predictors
+ * reserve this slot in their entries and hand it to the classifier via
+ * lookupTrain()'s @c cls output so the classification probe rides on
+ * the table walk the raw prediction already paid for. The predictor
+ * itself never reads or writes the field; the counter geometry (width,
+ * threshold, miss policy) lives in the classifier.
+ *
+ * Zero-initialized state is exactly a fresh counter (SatCounter's
+ * initial value is 0 for every width), so allocation needs no extra
+ * bookkeeping.
+ */
+struct ClassifierState
+{
+    std::uint16_t count = 0;
+};
+
+/**
  * A raw (unclassified) value predictor.
  *
  * Call order per dynamic instruction: lookup(pc) at fetch, then
@@ -47,7 +69,25 @@ struct StrideInfo
 class ValuePredictor
 {
   public:
+    /**
+     * Concrete identity for devirtualized hot paths. A caller holding a
+     * ValuePredictor* may switch on fusedClass() and static_cast to the
+     * named type so the fused lookupTrain() body inlines into its loop;
+     * Generic means "stay on the virtual interface". The tag is
+     * per-class constant, so the switch branch predicts perfectly.
+     */
+    enum class FusedClass
+    {
+        Generic,
+        LastValue,
+        Stride,
+        TwoDeltaStride,
+    };
+
     virtual ~ValuePredictor() = default;
+
+    /** Which concrete fused fast path this predictor supports. */
+    virtual FusedClass fusedClass() const { return FusedClass::Generic; }
 
     /** Predict the destination value of the instruction at @p pc. */
     virtual RawPrediction lookup(Addr pc) = 0;
@@ -70,6 +110,48 @@ class ValuePredictor
                        bool spec_was_correct = false) = 0;
 
     /**
+     * Fused lookup() + train() for callers that learn the actual value
+     * in the same step as the prediction (the ideal machine verifies
+     * each instruction immediately). Semantically identical to
+     *
+     *   raw = lookup(pc);
+     *   train(pc, actual, raw.hasPrediction && raw.value == actual);
+     *   return raw;
+     *
+     * but table-backed predictors override it to do both halves on a
+     * single table probe, which halves the hot-loop hash work and
+     * drops one virtual call per predicted instruction.
+     */
+    virtual RawPrediction
+    lookupTrain(Addr pc, Value actual)
+    {
+        const RawPrediction raw = lookup(pc);
+        train(pc, actual, raw.hasPrediction && raw.value == actual);
+        return raw;
+    }
+
+    /**
+     * lookupTrain() that additionally exposes the classifier scratch
+     * co-located in this pc's table entry (see ClassifierState), so the
+     * classifier's confidence probe shares the raw prediction's table
+     * walk instead of paying its own hash and slot load.
+     *
+     * @p cls is set to the entry's classifier slot, or nullptr when
+     * this predictor cannot co-locate — no table, or a *finite* table:
+     * a finite raw table evicts entries on index conflicts at lookup
+     * time, while the classifier's own finite counter table evicts at
+     * first-confidence time, so co-locating would change Section-5
+     * eviction interleavings. Callers must fall back to their own
+     * counter storage when @p cls is nullptr.
+     */
+    virtual RawPrediction
+    lookupTrain(Addr pc, Value actual, ClassifierState *&cls)
+    {
+        cls = nullptr;
+        return lookupTrain(pc, actual);
+    }
+
+    /**
      * Abandon one outstanding lookup for @p pc without training: the
      * instruction was squashed (wrong-path fetch), so its outcome never
      * materializes. Predictors tracking in-flight lookups release the
@@ -84,6 +166,18 @@ class ValuePredictor
      * predictors report a zero stride.
      */
     virtual StrideInfo strideInfo(Addr pc) const = 0;
+
+    /**
+     * Batched probe warm-up: prefetch the table slots the given block
+     * of upcoming lookup pcs will touch (one call per trace span or
+     * fetch bundle). Purely a cache hint — no predictor state changes,
+     * and the default is a no-op.
+     */
+    virtual void prefetchBlock(const Addr *pcs, std::size_t n)
+    {
+        (void)pcs;
+        (void)n;
+    }
 
     /** Human-readable predictor name. */
     virtual std::string name() const = 0;

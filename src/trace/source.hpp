@@ -32,6 +32,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "trace/record.hpp"
 #include "trace/span.hpp"
 
@@ -72,6 +73,34 @@ class TraceSource
 
     /** Rewind to the beginning of the trace. */
     virtual void reset() = 0;
+
+    /**
+     * True when this source can also deliver blocks in columnar (SoA)
+     * form via nextColumns(). Hot consumers that stream only a few
+     * record fields (the ideal machine) check this once per run and
+     * take the columnar loop when available; nextBlock() remains the
+     * universal path.
+     */
+    virtual bool supportsColumns() const { return false; }
+
+    /**
+     * Columnar counterpart of nextBlock(): deliver the next block as a
+     * borrowed TraceColumns view over the same stream cursor (the two
+     * APIs advance the same position; callers use one or the other).
+     * Same block-size and lifetime rules as nextBlock().
+     *
+     * Only valid on sources where supportsColumns() is true; the
+     * default implementation aborts.
+     */
+    virtual bool
+    nextColumns(TraceColumns &out,
+                std::size_t max_records = defaultBlockRecords)
+    {
+        (void)out;
+        (void)max_records;
+        panic("trace source has no columnar path "
+              "(check supportsColumns() first)");
+    }
 
     /**
      * Fetch the next record.
@@ -123,6 +152,28 @@ class VectorTraceSource : public TraceSource
 
     void reset() override { position = 0; }
 
+    bool supportsColumns() const override { return true; }
+
+    bool
+    nextColumns(TraceColumns &out,
+                std::size_t max_records = defaultBlockRecords) override
+    {
+        const std::size_t remaining = backing.size() - position;
+        if (remaining == 0) {
+            out = TraceColumns();
+            return false;
+        }
+        // One-time transpose, amortized across every subsequent pass
+        // (figure sweeps re-run the same captured trace many times).
+        if (soa.size() != backing.size())
+            soa.assign(TraceSpan(backing));
+        const std::size_t count =
+            max_records < remaining ? max_records : remaining;
+        out = soa.columns(position, count);
+        position += count;
+        return true;
+    }
+
     /** Number of records in the backing vector. */
     std::size_t size() const { return backing.size(); }
 
@@ -142,6 +193,7 @@ class VectorTraceSource : public TraceSource
 
   private:
     std::vector<TraceRecord> backing;
+    TraceSoa soa;
     std::size_t position = 0;
 };
 
@@ -156,6 +208,22 @@ class BorrowedTraceSource : public TraceSource
     explicit BorrowedTraceSource(TraceSpan trace_records)
         : span(trace_records)
     {}
+
+    /**
+     * Borrow both layouts of the same trace: @p trace_records (AoS)
+     * and @p trace_columns (its SoA transpose, e.g. a TraceSoa built
+     * once at capture time). The source then serves nextColumns()
+     * zero-copy. The two views must describe the same records in the
+     * same order; both must outlive the source.
+     */
+    BorrowedTraceSource(TraceSpan trace_records,
+                        TraceColumns trace_columns)
+        : span(trace_records), cols(trace_columns)
+    {
+        panicIf(cols.count != span.size(),
+                "BorrowedTraceSource: AoS and SoA views disagree on "
+                "record count");
+    }
 
     bool
     nextBlock(TraceSpan &out,
@@ -175,11 +243,34 @@ class BorrowedTraceSource : public TraceSource
 
     void reset() override { position = 0; }
 
+    bool
+    supportsColumns() const override
+    {
+        return cols.count != 0 && cols.count == span.size();
+    }
+
+    bool
+    nextColumns(TraceColumns &out,
+                std::size_t max_records = defaultBlockRecords) override
+    {
+        const std::size_t remaining = span.size() - position;
+        if (remaining == 0) {
+            out = TraceColumns();
+            return false;
+        }
+        const std::size_t count =
+            max_records < remaining ? max_records : remaining;
+        out = cols.subcolumns(position, count);
+        position += count;
+        return true;
+    }
+
     /** Number of records in the viewed storage. */
     std::size_t size() const { return span.size(); }
 
   private:
     TraceSpan span;
+    TraceColumns cols;
     std::size_t position = 0;
 };
 

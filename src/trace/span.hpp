@@ -1,18 +1,31 @@
 /**
  * @file
- * TraceSpan: a borrowed, contiguous view over trace records.
+ * TraceSpan: a borrowed, contiguous view over trace records, plus the
+ * structure-of-arrays (SoA) companion types TraceColumns / TraceSoa.
  *
  * The batched trace-delivery API (TraceSource::nextBlock) hands machine
  * models whole blocks of records at a time instead of one record per
  * virtual call, so the per-instruction simulation path is a plain
  * pointer walk over cache-resident memory. A TraceSpan never owns its
  * records; its lifetime contract is documented on TraceSource.
+ *
+ * The SoA layout exists because the simulation hot loops touch only a
+ * minority of each 48-byte TraceRecord (the ideal machine reads pc,
+ * result, op and the three register bytes — about 20 bytes). Iterating
+ * the array-of-structs wastes more than half the fetched cache lines;
+ * parallel per-field arrays let a block loop stream exactly the columns
+ * it uses. TraceColumns is the borrowed view (the SoA analogue of
+ * TraceSpan); TraceSoa is the owning backing store. The AoS view stays
+ * the interchange format: every column set can reconstitute full
+ * TraceRecords via record(), so existing record-oriented consumers keep
+ * working against the same data.
  */
 
 #ifndef VPSIM_TRACE_SPAN_HPP
 #define VPSIM_TRACE_SPAN_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "trace/record.hpp"
@@ -81,6 +94,180 @@ class TraceSpan
   private:
     const TraceRecord *ptr = nullptr;
     std::size_t count = 0;
+};
+
+/**
+ * Non-owning columnar (SoA) view of a contiguous run of trace records:
+ * one parallel array per TraceRecord field. The pointers borrow storage
+ * owned by a TraceSoa (or a source's internal buffers) and follow the
+ * same lifetime rules as TraceSpan.
+ *
+ * `taken` is stored as uint8_t (0/1) rather than bool so the backing
+ * store can be a plain contiguous vector (std::vector<bool> is a
+ * bitset and has no element pointers).
+ */
+struct TraceColumns
+{
+    const SeqNum *seq = nullptr;
+    const Addr *pc = nullptr;
+    const Addr *nextPc = nullptr;
+    const Addr *memAddr = nullptr;
+    const Value *result = nullptr;
+    const OpCode *op = nullptr;
+    const RegIndex *rd = nullptr;
+    const RegIndex *rs1 = nullptr;
+    const RegIndex *rs2 = nullptr;
+    const std::uint8_t *taken = nullptr;
+    std::size_t count = 0;
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    /** Reconstitute the AoS view of element @p index (a gather). */
+    TraceRecord
+    record(std::size_t index) const
+    {
+        TraceRecord r;
+        r.seq = seq[index];
+        r.pc = pc[index];
+        r.nextPc = nextPc[index];
+        r.memAddr = memAddr[index];
+        r.result = result[index];
+        r.op = op[index];
+        r.rd = rd[index];
+        r.rs1 = rs1[index];
+        r.rs2 = rs2[index];
+        r.taken = taken[index] != 0;
+        return r;
+    }
+
+    /** Columns for elements [offset, offset + n), clamped like subspan. */
+    TraceColumns
+    subcolumns(std::size_t offset, std::size_t n = TraceSpan::noLimit) const
+    {
+        const std::size_t start = offset < count ? offset : count;
+        const std::size_t avail = count - start;
+        TraceColumns out = *this;
+        out.seq += start;
+        out.pc += start;
+        out.nextPc += start;
+        out.memAddr += start;
+        out.result += start;
+        out.op += start;
+        out.rd += start;
+        out.rs1 += start;
+        out.rs2 += start;
+        out.taken += start;
+        out.count = n < avail ? n : avail;
+        return out;
+    }
+};
+
+/**
+ * Owning SoA backing store for trace records: the parallel arrays a
+ * TraceColumns view points into. Sources that can afford a one-time
+ * transpose (VectorTraceSource) or that decode records field-by-field
+ * anyway (the trace-file readers) build one of these and serve
+ * columnar blocks at zero per-block cost.
+ */
+class TraceSoa
+{
+  public:
+    std::size_t size() const { return seqs.size(); }
+    bool empty() const { return seqs.empty(); }
+
+    void
+    clear()
+    {
+        seqs.clear();
+        pcs.clear();
+        nextPcs.clear();
+        memAddrs.clear();
+        results.clear();
+        ops.clear();
+        rds.clear();
+        rs1s.clear();
+        rs2s.clear();
+        takens.clear();
+    }
+
+    void
+    reserve(std::size_t n)
+    {
+        seqs.reserve(n);
+        pcs.reserve(n);
+        nextPcs.reserve(n);
+        memAddrs.reserve(n);
+        results.reserve(n);
+        ops.reserve(n);
+        rds.reserve(n);
+        rs1s.reserve(n);
+        rs2s.reserve(n);
+        takens.reserve(n);
+    }
+
+    void
+    push_back(const TraceRecord &r)
+    {
+        seqs.push_back(r.seq);
+        pcs.push_back(r.pc);
+        nextPcs.push_back(r.nextPc);
+        memAddrs.push_back(r.memAddr);
+        results.push_back(r.result);
+        ops.push_back(r.op);
+        rds.push_back(r.rd);
+        rs1s.push_back(r.rs1);
+        rs2s.push_back(r.rs2);
+        takens.push_back(r.taken ? 1 : 0);
+    }
+
+    /** Replace the contents with a transpose of @p records. */
+    void
+    assign(TraceSpan records)
+    {
+        clear();
+        reserve(records.size());
+        for (const TraceRecord &r : records)
+            push_back(r);
+    }
+
+    /** Borrowed columnar view of the whole store. */
+    TraceColumns
+    columns() const
+    {
+        TraceColumns c;
+        c.seq = seqs.data();
+        c.pc = pcs.data();
+        c.nextPc = nextPcs.data();
+        c.memAddr = memAddrs.data();
+        c.result = results.data();
+        c.op = ops.data();
+        c.rd = rds.data();
+        c.rs1 = rs1s.data();
+        c.rs2 = rs2s.data();
+        c.taken = takens.data();
+        c.count = seqs.size();
+        return c;
+    }
+
+    /** Borrowed view of elements [offset, offset + n), clamped. */
+    TraceColumns
+    columns(std::size_t offset, std::size_t n) const
+    {
+        return columns().subcolumns(offset, n);
+    }
+
+  private:
+    std::vector<SeqNum> seqs;
+    std::vector<Addr> pcs;
+    std::vector<Addr> nextPcs;
+    std::vector<Addr> memAddrs;
+    std::vector<Value> results;
+    std::vector<OpCode> ops;
+    std::vector<RegIndex> rds;
+    std::vector<RegIndex> rs1s;
+    std::vector<RegIndex> rs2s;
+    std::vector<std::uint8_t> takens;
 };
 
 } // namespace vpsim

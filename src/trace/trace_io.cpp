@@ -56,6 +56,92 @@ unpackU32(const unsigned char *in)
     return value;
 }
 
+/**
+ * Decode a complete in-memory trace image (a mapped file) into @p out.
+ *
+ * Must stay behaviourally identical to the buffered loop in
+ * readTrace(): same validation order, same StatusCode classes, and the
+ * same messages — the corruption tests and the trace cache's
+ * quarantine logic match on both.
+ */
+Status
+parseTraceImage(const unsigned char *data, std::uint64_t size,
+                const std::string &path, std::vector<TraceRecord> *out)
+{
+    const auto truncated = [&path](const std::string &where) {
+        // Wording matches io::File::readExact for a short file.
+        return Status::error(StatusCode::kCorrupt,
+                             where + ": unexpected end of file in " +
+                                 path + " (truncated?)");
+    };
+
+    if (size < 16)
+        return truncated("trace header");
+    if (std::memcmp(data, traceMagic, 4) != 0)
+        return Status::error(StatusCode::kCorrupt,
+                             "bad trace file magic: " + path);
+    if (data[4] != traceFormatVersion) {
+        return Status::error(
+            StatusCode::kCorrupt,
+            "unsupported trace file version " +
+                std::to_string(data[4]) + " in " + path + " (expected " +
+                std::to_string(traceFormatVersion) + ")");
+    }
+    const std::uint64_t count = unpackU64(data + 8);
+
+    // Decode whole records in place; whether the header's count is a
+    // lie is settled when the payload runs out or the footer mismatches.
+    const std::uint64_t whole_records = (size - 16) / packedRecordBytes;
+    const std::uint64_t available = std::min(count, whole_records);
+    out->reserve(static_cast<std::size_t>(available));
+    const unsigned char *p = data + 16;
+    for (std::uint64_t i = 0; i < available; ++i) {
+        TraceRecord rec;
+        rec.seq = unpackU64(p); p += 8;
+        rec.pc = unpackU64(p); p += 8;
+        rec.nextPc = unpackU64(p); p += 8;
+        rec.memAddr = unpackU64(p); p += 8;
+        rec.result = unpackU64(p); p += 8;
+        if (*p >= static_cast<unsigned char>(OpCode::NumOpCodes))
+            return Status::error(StatusCode::kCorrupt,
+                                 "corrupt opcode in trace file: " +
+                                     path);
+        rec.op = static_cast<OpCode>(*p); ++p;
+        rec.rd = *p++;
+        rec.rs1 = *p++;
+        rec.rs2 = *p++;
+        rec.taken = *p++ != 0;
+        out->push_back(rec);
+    }
+    if (available < count) {
+        return truncated("trace record " + std::to_string(available) +
+                         " of " + std::to_string(count));
+    }
+
+    const std::uint64_t payload_end =
+        16 + count * packedRecordBytes;
+    if (size - payload_end < footerBytes)
+        return truncated("trace footer");
+    Crc32 crc;
+    crc.update(data, static_cast<std::size_t>(payload_end));
+    const std::uint32_t stored = unpackU32(data + payload_end);
+    if (stored != crc.value()) {
+        char detail[64];
+        std::snprintf(detail, sizeof(detail),
+                      "stored %08x, computed %08x", stored, crc.value());
+        return Status::error(StatusCode::kCorrupt,
+                             "trace checksum mismatch in " + path +
+                                 " (" + detail + ")");
+    }
+    if (size != payload_end + footerBytes) {
+        return Status::error(StatusCode::kCorrupt,
+                             "trailing bytes after " +
+                                 std::to_string(count) +
+                                 " records in trace file: " + path);
+    }
+    return Status::ok();
+}
+
 } // namespace
 
 Status
@@ -110,6 +196,19 @@ readTrace(const std::string &path, std::vector<TraceRecord> *out)
 {
     panicIf(out == nullptr, "readTrace needs an output vector");
     out->clear();
+
+    // Fast path: map the whole file and decode in place — no per-record
+    // read calls, one bulk CRC pass. Only taken while the fault
+    // injector is inactive so injected read faults keep hitting the
+    // buffered loop below with deterministic operation counts; any
+    // map() failure (including an empty file) falls back the same way.
+    if (!io::faultInjector().active()) {
+        io::MappedFile mapped;
+        if (mapped.map(path).isOk())
+            return parseTraceImage(mapped.data(), mapped.size(), path,
+                                   out);
+        out->clear();
+    }
 
     io::File file;
     if (Status opened = file.openForRead(path); !opened.isOk())

@@ -466,6 +466,75 @@ TEST(IoFile, TornWriteLosesTheTailSilently)
     std::remove(path.c_str());
 }
 
+TEST(MappedFile, MapsWholeFileContents)
+{
+    const std::string path = "/tmp/vpsim_io_mapped.bin";
+    const std::string payload = "mapped file payload bytes";
+    {
+        io::File file;
+        ASSERT_TRUE(file.openForWrite(path).isOk());
+        ASSERT_TRUE(
+            file.writeAll(payload.data(), payload.size()).isOk());
+    }
+    io::MappedFile mapped;
+    ASSERT_TRUE(mapped.map(path).isOk());
+    EXPECT_TRUE(mapped.isMapped());
+    ASSERT_EQ(mapped.size(), payload.size());
+    EXPECT_EQ(std::string(reinterpret_cast<const char *>(mapped.data()),
+                          mapped.size()),
+              payload);
+    mapped.unmap();
+    EXPECT_FALSE(mapped.isMapped());
+    EXPECT_EQ(mapped.size(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(MappedFile, MissingFileIsAnIoError)
+{
+    io::MappedFile mapped;
+    const Status got = mapped.map("/tmp/vpsim_io_mapped_missing.bin");
+    ASSERT_FALSE(got.isOk());
+    EXPECT_EQ(got.code(), StatusCode::kIo);
+    EXPECT_FALSE(mapped.isMapped());
+    EXPECT_NE(got.message().find("vpsim_io_mapped_missing"),
+              std::string::npos)
+        << got.message();
+}
+
+TEST(MappedFile, EmptyFileDeclinesSoCallersFallBack)
+{
+    const std::string path = "/tmp/vpsim_io_mapped_empty.bin";
+    {
+        io::File file;
+        ASSERT_TRUE(file.openForWrite(path).isOk());
+    }
+    io::MappedFile mapped;
+    const Status got = mapped.map(path);
+    ASSERT_FALSE(got.isOk());
+    EXPECT_EQ(got.code(), StatusCode::kIo);
+    EXPECT_FALSE(mapped.isMapped());
+    std::remove(path.c_str());
+}
+
+TEST(MappedFile, InjectedOpenFaultFails)
+{
+    InjectorGuard guard;
+    const std::string path = "/tmp/vpsim_io_mapped_fault.bin";
+    {
+        io::File file;
+        ASSERT_TRUE(file.openForWrite(path).isOk());
+        ASSERT_TRUE(file.writeAll("abc", 3).isOk());
+    }
+    io::configureFaultInjection("open:1:eio");
+    io::MappedFile mapped;
+    const Status got = mapped.map(path);
+    ASSERT_FALSE(got.isOk());
+    EXPECT_EQ(got.code(), StatusCode::kIo);
+    EXPECT_NE(got.message().find("(injected)"), std::string::npos)
+        << got.message();
+    std::remove(path.c_str());
+}
+
 TEST(IoFile, ShortFileReadsAsCorruptNotIo)
 {
     const std::string path = "/tmp/vpsim_io_short.bin";

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/io.hpp"
 #include "trace/source.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/trace_stats.hpp"
@@ -220,6 +221,130 @@ TEST(TraceIo, MissingFooterIsCorrupt)
     std::remove(path.c_str());
 }
 
+/**
+ * Forces readTrace() onto its buffered-read fallback by arming the
+ * fault injector with a clause that never fires: the mapped fast path
+ * is gated on the injector being inactive. Restores a clean injector
+ * on scope exit.
+ */
+struct BufferedReadScope
+{
+    BufferedReadScope()
+    {
+        io::configureFaultInjection("flush:1000000:eio");
+    }
+    ~BufferedReadScope() { io::configureFaultInjection(""); }
+};
+
+TEST(TraceIo, MappedAndBufferedReadsAgree)
+{
+    const auto original = captureWorkloadTrace("li", 3000);
+    const std::string path = tempPath("vpsim_mmap_parity.vptrace");
+    writeTraceFile(path, original);
+
+    std::vector<TraceRecord> via_mapped;
+    ASSERT_TRUE(readTrace(path, &via_mapped).isOk());
+
+    std::vector<TraceRecord> via_buffered;
+    {
+        BufferedReadScope buffered;
+        ASSERT_TRUE(readTrace(path, &via_buffered).isOk());
+    }
+
+    ASSERT_EQ(via_mapped.size(), original.size());
+    ASSERT_EQ(via_mapped.size(), via_buffered.size());
+    for (std::size_t i = 0; i < via_mapped.size(); ++i) {
+        EXPECT_EQ(via_mapped[i].seq, via_buffered[i].seq);
+        EXPECT_EQ(via_mapped[i].pc, via_buffered[i].pc);
+        EXPECT_EQ(via_mapped[i].result, via_buffered[i].result);
+        EXPECT_EQ(via_mapped[i].op, via_buffered[i].op);
+        EXPECT_EQ(via_mapped[i].taken, via_buffered[i].taken);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MappedAndBufferedCorruptionMessagesAgree)
+{
+    // Every corruption class must fail identically on both read paths:
+    // the trace cache quarantines based on code and message, so the
+    // fast path may not drift. Each corruptor mutates a fresh copy of
+    // a valid trace file.
+    const auto trace = captureWorkloadTrace("go", 120);
+    const std::string path = tempPath("vpsim_mmap_corrupt.vptrace");
+    const auto corrupt_then_compare = [&](auto &&corruptor) {
+        writeTraceFile(path, trace);
+        corruptor(path);
+
+        std::vector<TraceRecord> out;
+        const Status mapped = readTrace(path, &out);
+        Status buffered = Status::ok();
+        {
+            BufferedReadScope scope;
+            buffered = readTrace(path, &out);
+        }
+        ASSERT_FALSE(mapped.isOk());
+        EXPECT_EQ(mapped.code(), buffered.code());
+        EXPECT_EQ(mapped.message(), buffered.message());
+        std::remove(path.c_str());
+    };
+
+    // Payload bit flip -> checksum mismatch.
+    corrupt_then_compare([](const std::string &p) {
+        std::FILE *file = std::fopen(p.c_str(), "rb+");
+        ASSERT_NE(file, nullptr);
+        std::fseek(file, 16 + 5, SEEK_SET);
+        const int byte = std::fgetc(file);
+        std::fseek(file, 16 + 5, SEEK_SET);
+        std::fputc(byte ^ 0x10, file);
+        std::fclose(file);
+    });
+    // Truncation mid-record -> per-record truncated message.
+    corrupt_then_compare([](const std::string &p) {
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(p, ec);
+        ASSERT_FALSE(ec);
+        ASSERT_EQ(truncate(p.c_str(), static_cast<off_t>(size / 2)), 0);
+    });
+    // Missing footer.
+    corrupt_then_compare([](const std::string &p) {
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(p, ec);
+        ASSERT_FALSE(ec);
+        ASSERT_EQ(truncate(p.c_str(), static_cast<off_t>(size - 3)), 0);
+    });
+    // Trailing junk.
+    corrupt_then_compare([](const std::string &p) {
+        std::FILE *file = std::fopen(p.c_str(), "ab");
+        ASSERT_NE(file, nullptr);
+        std::fwrite("??", 1, 2, file);
+        std::fclose(file);
+    });
+    // Bad magic.
+    corrupt_then_compare([](const std::string &p) {
+        std::FILE *file = std::fopen(p.c_str(), "rb+");
+        ASSERT_NE(file, nullptr);
+        std::fwrite("JUNK", 1, 4, file);
+        std::fclose(file);
+    });
+    // Stale version byte.
+    corrupt_then_compare([](const std::string &p) {
+        std::FILE *file = std::fopen(p.c_str(), "rb+");
+        ASSERT_NE(file, nullptr);
+        std::fseek(file, 4, SEEK_SET);
+        std::fputc(1, file);
+        std::fclose(file);
+    });
+    // Header undercounts: extra whole records read as trailing bytes
+    // or a checksum mismatch, identically on both paths.
+    corrupt_then_compare([](const std::string &p) {
+        std::FILE *file = std::fopen(p.c_str(), "rb+");
+        ASSERT_NE(file, nullptr);
+        std::fseek(file, 8, SEEK_SET);
+        std::fputc(10, file); // count := 10 (file holds 120 records)
+        std::fclose(file);
+    });
+}
+
 TEST(TraceStatsTest, CountsAreConsistent)
 {
     const auto trace = captureWorkloadTrace("gcc", 20000);
@@ -310,6 +435,8 @@ TEST(TraceIo, SpanIterationMatchesNextAfterRoundTrip)
             ++index;
         }
     }
+    // lint:allow trace-per-record — asserts the shim's exhaustion
+    // contract; not a simulation loop.
     EXPECT_FALSE(shim_source.next(from_shim));
     EXPECT_EQ(index, original.size());
 }
