@@ -23,8 +23,11 @@
  * BENCH_*.json snapshots should prefer the min (see perf_report.py).
  */
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -38,6 +41,8 @@
 #include "isa/instruction.hpp"
 #include "sim/experiment.hpp"
 #include "trace/source.hpp"
+#include "trace/streaming_source.hpp"
+#include "trace/trace_v3.hpp"
 
 namespace vpsim
 {
@@ -482,6 +487,57 @@ main(int argc, char **argv)
                  "  span/per-record results verified identical on %zu "
                  "benchmarks\n",
                  bench.size());
+
+    // Streaming phase: the same ideal-machine sweep, but fed from v3
+    // files through the bounded-memory StreamingTraceSource instead of
+    // the materialized spans — the cost of block decode + the sliding
+    // window, measured against ideal_span above. The digest must match
+    // the in-memory path exactly, and with --mem-budget set the phase's
+    // peak RSS must stay under it (note the budget must also cover the
+    // materialized captures the harness itself holds).
+    {
+        const char *tmp = std::getenv("TMPDIR");
+        const std::string v3_stem =
+            std::string(tmp ? tmp : "/tmp") + "/vpsim-perf-v3-" +
+            std::to_string(::getpid()) + "-";
+        std::vector<std::string> v3_paths;
+        for (std::size_t b = 0; b < bench.size(); ++b) {
+            v3_paths.push_back(v3_stem + bench.names[b] + ".vptrace");
+            fatalIf(!writeTraceV3(v3_paths[b], bench.trace(b)).isOk(),
+                    "cannot write v3 copy of " + bench.names[b]);
+        }
+        StreamingOptions streaming;
+        streaming.memBudgetBytes =
+            static_cast<std::uint64_t>(options.getInt("mem-budget"))
+            << 20;
+        models.push_back(measureModel(
+            "ideal_span_streaming_v3", total_insts, repeats, sampler,
+            [&] {
+                std::uint64_t digest = 0;
+                for (std::size_t b = 0; b < bench.size(); ++b) {
+                    StreamingTraceSource source;
+                    fatalIf(!source.open(v3_paths[b], streaming).isOk(),
+                            "cannot stream " + v3_paths[b]);
+                    digest +=
+                        runIdealMachine(source, ideal_config).cycles;
+                    fatalIf(!source.status().isOk(),
+                            "streaming " + bench.names[b] +
+                                " failed: " +
+                                source.status().message());
+                }
+                return digest;
+            }));
+        for (const std::string &v3_path : v3_paths)
+            std::remove(v3_path.c_str());
+        const ModelMeasurement &streamed = models.back();
+        fatalIf(streamed.cyclesDigest != models[2].cyclesDigest ||
+                    models[2].name != "ideal_span",
+                "streaming v3 path diverged from the in-memory span "
+                "path");
+        fatalIf(streaming.memBudgetBytes != 0 &&
+                    streamed.peakRssBytes > streaming.memBudgetBytes,
+                "streaming phase peak RSS exceeds --mem-budget");
+    }
 
     models.push_back(measureModel(
         "reference_ideal", total_insts, repeats, sampler, [&] {

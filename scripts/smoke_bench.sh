@@ -40,6 +40,15 @@ for bench in "$build"/bench/*; do
                 "$work/$name.json" ||
                 { echo "FAIL: $name (schema)" >&2; failed=1; }
             continue ;;
+        streaming_soak)
+            # Synthetic-stream soak with its own minimal CLI (no
+            # --benchmarks/--jobs); timing goes to stderr, so just
+            # prove a small bounded-memory round trip passes.
+            echo "== $name (small round trip)"
+            "$bench" --insts 100000 --mem-budget 64 > /dev/null \
+                2> /dev/null ||
+                { echo "FAIL: $name" >&2; failed=1; }
+            continue ;;
         table3_2_pipeline_example)
             # Fixed 8-instruction worked example: no --insts/--benchmarks.
             echo "== $name"

@@ -25,24 +25,29 @@ import zlib
 
 REQUIRED_FIELDS = [
     "schema", "gitDescribe", "traceFormatVersion", "checkInvariants",
-    "crossCheck", "jobTimeout", "fingerprint", "csvFile", "csvBytes",
-    "csvCrc32", "signature",
+    "crossCheck", "jobTimeout", "salvageBlocks", "salvagedFiles",
+    "salvagedBlocks", "salvagedRecordsLost", "fingerprint", "csvFile",
+    "csvBytes", "csvCrc32", "signature",
 ]
 
-SCHEMA = "vpsim-run-manifest 1"
+SCHEMA = "vpsim-run-manifest 2"
 MANIFEST_SUFFIX = ".manifest.json"
 
 
 def signing_string(manifest):
     """The canonical signing string (see run_manifest.cpp)."""
     return (
-        "vpsim-manifest-signing-v1\n"
+        "vpsim-manifest-signing-v2\n"
         f"schema={manifest['schema']}\n"
         f"gitDescribe={manifest['gitDescribe']}\n"
         f"traceFormatVersion={manifest['traceFormatVersion']}\n"
         f"checkInvariants={manifest['checkInvariants']}\n"
         f"crossCheck={manifest['crossCheck']}\n"
         f"jobTimeout={manifest['jobTimeout']}\n"
+        f"salvageBlocks={manifest['salvageBlocks']}\n"
+        f"salvagedFiles={manifest['salvagedFiles']}\n"
+        f"salvagedBlocks={manifest['salvagedBlocks']}\n"
+        f"salvagedRecordsLost={manifest['salvagedRecordsLost']}\n"
         f"fingerprint={manifest['fingerprint']}\n"
         f"csvFile={manifest['csvFile']}\n"
         f"csvBytes={manifest['csvBytes']}\n"

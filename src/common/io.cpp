@@ -29,8 +29,12 @@ faultKindFromString(const std::string &text)
     if (text == "torn") return FaultKind::Torn;
     if (text == "sigint") return FaultKind::Sigint;
     if (text == "throw") return FaultKind::Throw;
+    if (text == "mmap-fail") return FaultKind::MmapFail;
+    if (text == "block-crc") return FaultKind::BlockCrc;
+    if (text == "enospc-capture") return FaultKind::EnospcCapture;
     fatal("unknown fault kind '" + text +
-          "' (expected eio/enospc/torn/sigint/throw)");
+          "' (expected eio/enospc/torn/sigint/throw/mmap-fail/"
+          "block-crc/enospc-capture)");
 }
 
 bool
@@ -38,7 +42,8 @@ isKnownOp(const std::string &op)
 {
     return op == "open" || op == "read" || op == "write" ||
            op == "flush" || op == "rename" || op == "remove" ||
-           op == "job";
+           op == "job" || op == "mmap" || op == "block" ||
+           op == "capture";
 }
 
 std::vector<std::string>
@@ -62,7 +67,10 @@ splitOn(const std::string &text, char sep)
 std::string
 injectedErrnoDetail(FaultKind kind)
 {
-    const int err = kind == FaultKind::Enospc ? ENOSPC : EIO;
+    const int err = (kind == FaultKind::Enospc ||
+                     kind == FaultKind::EnospcCapture)
+                        ? ENOSPC
+                        : EIO;
     return std::string(std::strerror(err)) + " (injected)";
 }
 
@@ -280,6 +288,21 @@ File::flush()
     return Status::ok();
 }
 
+Status
+File::sync()
+{
+    panicIf(!isOpen(), "sync on closed io::File");
+    const Status flushed = flush();
+    if (!flushed.isOk())
+        return flushed;
+    if (::fsync(::fileno(file)) != 0) {
+        return Status::error(StatusCode::kIo,
+                             "I/O error syncing " + filePath + ": " +
+                                 errnoDetail());
+    }
+    return Status::ok();
+}
+
 bool
 File::atEof()
 {
@@ -306,12 +329,30 @@ MappedFile::map(const std::string &file_path)
 {
     panicIf(isMapped(), "io::MappedFile remapped while mapped: " +
                             file_path);
-    const FaultKind fault = applyControlFaults(
+    const FaultKind open_fault = applyControlFaults(
         faultInjector().next("open"), "open " + file_path);
-    if (fault != FaultKind::None) {
+    if (open_fault != FaultKind::None) {
         return Status::error(StatusCode::kIo,
                              "cannot open " + file_path + ": " +
-                                 injectedErrnoDetail(fault));
+                                 injectedErrnoDetail(open_fault));
+    }
+    const FaultKind mmap_fault = applyControlFaults(
+        faultInjector().next("mmap"), "mmap " + file_path);
+    if (mmap_fault != FaultKind::None) {
+        return Status::error(StatusCode::kIo,
+                             "cannot map " + file_path + ": " +
+                                 injectedErrnoDetail(mmap_fault));
+    }
+    // The mapping is one bulk read of the whole file: count it on the
+    // "read" counter so read-class fault specs fire here too, instead
+    // of silently skipping the mmap path (torn reads don't exist, so a
+    // torn kind degrades to a plain read error).
+    const FaultKind read_fault = applyControlFaults(
+        faultInjector().next("read"), "read " + file_path);
+    if (read_fault != FaultKind::None) {
+        return Status::error(StatusCode::kIo,
+                             "read error on " + file_path + ": " +
+                                 injectedErrnoDetail(read_fault));
     }
     const int fd = ::open(file_path.c_str(), O_RDONLY | O_CLOEXEC);
     if (fd < 0) {

@@ -44,6 +44,9 @@ enum class FaultKind
     Torn,   ///< Write only a prefix of the bytes, then report success.
     Sigint, ///< raise(SIGINT) — simulates Ctrl-C at this exact point.
     Throw,  ///< Throw std::runtime_error — simulates a crashing job.
+    MmapFail,      ///< mmap() itself fails; callers must fall back.
+    BlockCrc,      ///< A v3 block CRC check sees a mismatch (bit rot).
+    EnospcCapture, ///< ENOSPC mid-capture on a streaming trace writer.
 };
 
 /**
@@ -54,10 +57,14 @@ enum class FaultKind
  *   <op>:<n>:<kind>    fire <kind> on the n-th (1-based) <op>
  *   seed:<n>           seed the RNG used for torn-write cut points
  *
- * where <op> is one of open, read, write, flush, rename, remove, job
- * and <kind> is eio, enospc, torn, sigint, throw. Example:
+ * where <op> is one of open, read, write, flush, rename, remove, job,
+ * mmap, block, capture and <kind> is eio, enospc, torn, sigint, throw,
+ * mmap-fail, block-crc, enospc-capture. Example:
  *
- *   --fault-inject write:3:torn,write:7:enospc,read:2:eio,job:5:sigint
+ *   --fault-inject write:3:torn,block:2:block-crc,capture:4:enospc-capture
+ *
+ * The mmap op is counted once per MappedFile::map(); block once per v3
+ * block-CRC validation; capture once per streaming-capture append.
  *
  * Operation counters are global to the process and thread-safe, so the
  * n-th write is the n-th write the whole run performs, wherever it
@@ -151,6 +158,14 @@ class File
     /** Flush buffered writes to the OS (kIo on failure). */
     [[nodiscard]] Status flush();
 
+    /**
+     * Flush and fsync(2) so the bytes survive a crash or power loss.
+     * Routed through the "flush" fault counter like flush(); a capture
+     * that skips this before its atomic rename can publish a file whose
+     * tail never reached the disk.
+     */
+    [[nodiscard]] Status sync();
+
     /** True when the read position is at end of file. */
     bool atEof();
 
@@ -169,14 +184,17 @@ class File
  * that validate and decode a complete file (the trace reader) map it
  * once and parse in place instead of issuing one buffered read per
  * record. map() consults the global FaultInjector's "open" counter like
- * File::openForRead, so injected open faults hit both paths alike;
- * callers that need injected *read* faults must use File, which is why
- * the trace reader only takes the mapped path while the injector is
- * inactive and falls back to buffered reads otherwise.
+ * File::openForRead, then the "mmap" counter (for mmap-fail clauses),
+ * then records exactly one "read" occurrence — the bulk read of the
+ * whole file — and honors read-class kinds on it, so `read:` specs fire
+ * on the mmap path too instead of silently skipping it. The v2 trace
+ * reader still prefers buffered reads while the injector is active so
+ * that long-standing per-record op counts in fault specs stay stable;
+ * the v3 streaming sources use the mapping under injection directly.
  *
- * Any map() failure (open error, empty or unmappable file) is reported
- * as a Status and leaves the object unmapped; callers are expected to
- * fall back to File rather than treat it as fatal.
+ * Any map() failure (open error, injected fault, empty or unmappable
+ * file) is reported as a Status and leaves the object unmapped; callers
+ * are expected to fall back to File rather than treat it as fatal.
  */
 class MappedFile
 {

@@ -692,6 +692,9 @@ PipelineResult
 runPipelineMachine(TraceSource &source, const PipelineConfig &config)
 {
     std::vector<TraceRecord> storage;
+    // lint:allow trace-materialize — legacy convenience overload; the
+    // pipeline machine's wrong-path replay needs random access, and
+    // every caller feeds it bounded capture-sized inputs.
     const TraceSpan records = materializeTrace(source, storage);
     return runPipelineMachine(records, config);
 }
@@ -746,6 +749,9 @@ double
 pipelineVpSpeedup(TraceSource &source, const PipelineConfig &config)
 {
     std::vector<TraceRecord> storage;
+    // lint:allow trace-materialize — the speedup ratio replays the
+    // same span twice (VP off/on), so a one-pass stream cannot serve
+    // it; callers pass bounded capture-sized inputs.
     const TraceSpan records = materializeTrace(source, storage);
     return pipelineVpSpeedup(records, config);
 }

@@ -180,6 +180,9 @@ runReferenceIdealMachine(TraceSource &source,
                          const IdealMachineConfig &config)
 {
     std::vector<TraceRecord> storage;
+    // lint:allow trace-materialize — legacy convenience overload; the
+    // reference machine replays the trace multiple times, and every
+    // caller feeds it bounded capture-sized inputs.
     const TraceSpan records = materializeTrace(source, storage);
     return runReferenceIdealMachine(records, config);
 }
@@ -208,6 +211,9 @@ referenceIdealVpSpeedup(TraceSource &source,
                         const IdealMachineConfig &config)
 {
     std::vector<TraceRecord> storage;
+    // lint:allow trace-materialize — the speedup ratio replays the
+    // same span twice (VP off/on), so a one-pass stream cannot serve
+    // it; callers pass bounded capture-sized inputs.
     const TraceSpan records = materializeTrace(source, storage);
     return referenceIdealVpSpeedup(records, config);
 }

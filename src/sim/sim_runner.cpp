@@ -18,6 +18,7 @@
 #include "common/invariant.hpp"
 #include "common/io.hpp"
 #include "common/logging.hpp"
+#include "common/resource_usage.hpp"
 #include "common/stats.hpp"
 #include "trace/trace_stats.hpp"
 
@@ -136,19 +137,36 @@ SimRunner::SimRunner(const Options &options_in)
     jobTimeoutSeconds = options.getDouble("job-timeout");
     fatalIf(jobTimeoutSeconds < 0, "--job-timeout must be >= 0");
 
+    const std::int64_t format = options.getInt("trace-format");
+    fatalIf(format != 2 && format != 3,
+            "--trace-format must be 2 or 3");
+    captureFormatVersion = format >= 3 ? traceFormatVersionV3
+                                       : traceFormatVersion;
+    salvageBlocksEnabled = options.getBool("salvage-blocks");
+    memBudget = static_cast<std::uint64_t>(options.getInt("mem-budget"))
+                << 20;
+
     // Checkpoint cells are keyed by everything that determines results
     // (insts, benchmarks, seed, ...) but not by how the run executes
     // (--jobs, cache dir, fault spec, self-check level): a resumed run
     // may use different parallelism or verification settings, and a
-    // differently-configured sweep never matches.
+    // differently-configured sweep never matches. --trace-format and
+    // --salvage-blocks are in the execution set too: the v3 round trip
+    // is lossless and salvage only matters when disk corruption
+    // strikes, so neither changes what a cell computes.
     configHash = fnv1a(options.fingerprint(
         {"jobs", "trace-cache-dir", "stats", "keep-going", "checkpoint",
          "resume", "fault-inject", "check-invariants", "cross-check",
-         "job-timeout"}));
+         "job-timeout", "trace-format", "salvage-blocks", "mem-budget",
+         "cache-gc-days"}));
 
     const std::string cache_dir = options.getString("trace-cache-dir");
     if (!cache_dir.empty()) {
-        cache = std::make_unique<TraceCacheStore>(cache_dir);
+        const auto gc_age = std::chrono::seconds(
+            options.getInt("cache-gc-days") * 24 * 3600);
+        cache = std::make_unique<TraceCacheStore>(
+            cache_dir, TraceCacheStore::defaultTmpReapAge, gc_age);
+        cache->setSalvageBlocks(salvageBlocksEnabled);
         if (!cache->status().isOk()) {
             warn("trace cache disabled; capturing uncached: " +
                  cache->status().message());
@@ -528,7 +546,7 @@ SimRunner::captureTrace(const std::string &name, std::uint64_t insts,
 {
     fatalIf(insts == 0, "--insts must be positive");
     const TraceCacheKey key{name, insts, skip, params.scale,
-                            params.seed, traceFormatVersion};
+                            params.seed, captureFormatVersion};
     const bool use_cache = cache && !cacheDegraded.load();
     if (use_cache) {
         std::vector<TraceRecord> records;
@@ -559,8 +577,31 @@ SimRunner::captureTrace(const std::string &name, std::uint64_t insts,
                  stored.message());
         }
     }
+
+    // --mem-budget soft guard: materialized captures are the main RSS
+    // driver in a bench process, so crossing the budget here gets one
+    // actionable warning pointing at the streaming alternative instead
+    // of a later OOM kill with no context.
+    if (memBudget != 0 &&
+        RssSampler::currentRssBytes() > memBudget &&
+        !memBudgetWarned.exchange(true)) {
+        warn("process RSS exceeds --mem-budget " +
+             std::to_string(memBudget >> 20) +
+             " MB after capturing '" + name +
+             "'; consider fewer --benchmarks, smaller --insts, or the "
+             "streaming v3 trace path");
+    }
     return std::make_shared<const std::vector<TraceRecord>>(
         std::move(trace));
+}
+
+StreamingOptions
+SimRunner::streamingOptions() const
+{
+    StreamingOptions streaming;
+    streaming.salvage = salvageBlocksEnabled;
+    streaming.memBudgetBytes = memBudget;
+    return streaming;
 }
 
 BenchmarkTraces
@@ -614,6 +655,25 @@ SimRunner::reportStats() const
             static_cast<unsigned long long>(cache->hits()),
             static_cast<unsigned long long>(cache->misses()),
             cache->directory().c_str());
+        if (cache->gcRemovedQuarantineFiles() > 0) {
+            std::fprintf(stderr,
+                         "trace cache: garbage-collected %llu expired "
+                         "quarantine file(s)\n",
+                         static_cast<unsigned long long>(
+                             cache->gcRemovedQuarantineFiles()));
+        }
+    }
+    const SalvageRegistry::Totals salvage = salvageRegistry().totals();
+    if (salvage.files > 0) {
+        std::fprintf(
+            stderr,
+            "sim: salvage (--salvage-blocks): %llu damaged trace "
+            "file(s), %llu block(s) quarantined, %llu record(s) lost, "
+            "%llu byte(s) skipped\n",
+            static_cast<unsigned long long>(salvage.files),
+            static_cast<unsigned long long>(salvage.blocksQuarantined),
+            static_cast<unsigned long long>(salvage.recordsLost),
+            static_cast<unsigned long long>(salvage.bytesSkipped));
     }
     if (resumedCellCount > 0) {
         std::fprintf(stderr,
@@ -704,6 +764,13 @@ SimRunner::reportStats() const
         group.addRatio("trace_cache_hit_rate", cache_hits,
                        cache_lookups, "hits / lookups");
     }
+    Counter salvaged_blocks, salvaged_records_lost;
+    salvaged_blocks += salvage.blocksQuarantined;
+    group.addCounter("salvaged_blocks", salvaged_blocks,
+                     "corrupt v3 blocks quarantined by salvage");
+    salvaged_records_lost += salvage.recordsLost;
+    group.addCounter("salvaged_records_lost", salvaged_records_lost,
+                     "trace records lost to quarantined blocks");
     std::fputs(group.dump().c_str(), stderr);
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/io.hpp"
 #include "common/logging.hpp"
+#include "trace/trace_v3.hpp"
 
 namespace vpsim
 {
@@ -26,6 +27,13 @@ isTemporaryName(const std::string &filename)
     return filename.find(".tmp.") != std::string::npos;
 }
 
+/** True when @p filename is quarantined corruption evidence. */
+bool
+isQuarantineName(const std::string &filename)
+{
+    return filename.rfind(".corrupt-", 0) == 0;
+}
+
 void
 backoff(int attempt)
 {
@@ -37,7 +45,8 @@ backoff(int attempt)
 } // namespace
 
 TraceCacheStore::TraceCacheStore(std::string cache_dir,
-                                 std::chrono::seconds tmp_reap_age)
+                                 std::chrono::seconds tmp_reap_age,
+                                 std::chrono::seconds quarantine_gc_age)
     : dir(std::move(cache_dir))
 {
     fatalIf(dir.empty(), "trace cache directory must not be empty");
@@ -51,6 +60,8 @@ TraceCacheStore::TraceCacheStore(std::string cache_dir,
     }
 
     reapOrphanedTemporaries(tmp_reap_age);
+    if (quarantine_gc_age > std::chrono::seconds::zero())
+        gcQuarantinedEntries(quarantine_gc_age);
 
     // Probe writability now, through the injectable io layer, so an
     // unwritable or full cache directory degrades the whole run to
@@ -98,6 +109,40 @@ TraceCacheStore::reapOrphanedTemporaries(std::chrono::seconds tmp_reap_age)
         if (std::filesystem::remove(entry.path(), ec) && !ec) {
             ++reapedCount;
             warn("reaped orphaned trace cache temporary " +
+                 entry.path().string());
+        }
+        ec.clear();
+    }
+}
+
+void
+TraceCacheStore::gcQuarantinedEntries(std::chrono::seconds quarantine_gc_age)
+{
+    // Quarantined entries exist for post-mortem, and a post-mortem
+    // nobody ran within the retention window is never going to happen.
+    // Best-effort like the temporary reap: errors skip the file, and a
+    // concurrent GC winning the remove race is fine.
+    std::error_code ec;
+    const auto now = std::filesystem::file_time_type::clock::now();
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (ec)
+            break;
+        if (!entry.is_regular_file(ec))
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (!isQuarantineName(name))
+            continue;
+        const auto mtime = entry.last_write_time(ec);
+        if (ec) {
+            ec.clear();
+            continue;
+        }
+        if (now - mtime < quarantine_gc_age)
+            continue;
+        if (std::filesystem::remove(entry.path(), ec) && !ec) {
+            ++gcCount;
+            warn("garbage-collected expired quarantine file " +
                  entry.path().string());
         }
         ec.clear();
@@ -152,9 +197,11 @@ TraceCacheStore::tryLoad(const TraceCacheKey &key,
         return false;
     }
 
+    const bool v3 = key.formatVersion >= traceFormatVersionV3;
     Status read = Status::ok();
     for (int attempt = 1; attempt <= maxIoAttempts; ++attempt) {
-        read = readTrace(path, out);
+        read = v3 ? readTraceV3(path, out, salvageBlocks)
+                  : readTrace(path, out);
         if (read.isOk()) {
             ++hitCount;
             return true;
@@ -198,9 +245,15 @@ TraceCacheStore::store(const TraceCacheKey &key,
     const std::string temp =
         path + ".tmp." + std::to_string(::getpid());
 
+    // The v3 writer fsyncs in finish(), so the rename below publishes
+    // a fully durable entry even if the machine dies right after — and
+    // an ENOSPC mid-write fails here, on the temporary, never the
+    // published name.
+    const bool v3 = key.formatVersion >= traceFormatVersionV3;
     Status result = Status::ok();
     for (int attempt = 1; attempt <= maxIoAttempts; ++attempt) {
-        result = writeTrace(temp, records);
+        result = v3 ? writeTraceV3(temp, records)
+                    : writeTrace(temp, records);
         if (result.isOk()) {
             result = io::renameFile(temp, path);
             if (result.isOk())

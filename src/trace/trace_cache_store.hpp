@@ -25,6 +25,19 @@
  * caller recaptures instead of simulating bit-flipped data. A store
  * whose directory cannot be created or written reports a non-ok
  * status(); callers (SimRunner) degrade to uncached in-memory capture.
+ *
+ * Formats: keys with formatVersion >= 3 are stored and loaded in the
+ * block-framed v3 format (trace_v3.hpp), whose writer fsyncs before the
+ * atomic rename so a capture that hits ENOSPC or a crash never
+ * publishes a torn entry. With salvage enabled (--salvage-blocks), a
+ * v3 entry with rotted blocks loads anyway — the damage is quarantined
+ * block by block and tallied in the global salvage registry — instead
+ * of quarantining the whole file and recapturing.
+ *
+ * Hygiene: alongside the orphaned-temporary reap, quarantined
+ * `.corrupt-*` evidence files are garbage-collected once they are older
+ * than a retention age (--cache-gc-days; default one week), so a flaky
+ * disk cannot slowly fill the cache directory with corpses.
  */
 
 #ifndef VPSIM_TRACE_TRACE_CACHE_STORE_HPP
@@ -64,16 +77,31 @@ class TraceCacheStore
     /** Orphaned `*.tmp.<pid>` files younger than this are left alone. */
     static constexpr std::chrono::seconds defaultTmpReapAge{3600};
 
+    /** Quarantined `.corrupt-*` files younger than this are kept. */
+    static constexpr std::chrono::seconds defaultQuarantineGcAge{
+        7 * 24 * 3600};
+
     /**
      * @param cache_dir Directory for entries; created (with parents)
      *        if it does not exist. Creation or writability failure is
      *        recorded in status(), not fatal — callers degrade.
      * @param tmp_reap_age Orphaned-temporary age threshold (tests
      *        shorten it).
+     * @param quarantine_gc_age Retention age for `.corrupt-*` evidence
+     *        files (zero disables the GC entirely).
      */
     explicit TraceCacheStore(
         std::string cache_dir,
-        std::chrono::seconds tmp_reap_age = defaultTmpReapAge);
+        std::chrono::seconds tmp_reap_age = defaultTmpReapAge,
+        std::chrono::seconds quarantine_gc_age = defaultQuarantineGcAge);
+
+    /**
+     * Load v3 entries in salvage mode: quarantine + skip damaged
+     * blocks (loss tallied in salvageRegistry()) instead of failing
+     * the entry. Call before lookups start; not thread-safe against
+     * concurrent tryLoad().
+     */
+    void setSalvageBlocks(bool salvage) { salvageBlocks = salvage; }
 
     const std::string &directory() const { return dir; }
 
@@ -130,13 +158,19 @@ class TraceCacheStore
     /** Orphaned temporaries deleted by the constructor's reap. */
     std::uint64_t reapedTmpFiles() const { return reapedCount; }
 
+    /** Expired `.corrupt-*` files deleted by the constructor's GC. */
+    std::uint64_t gcRemovedQuarantineFiles() const { return gcCount; }
+
   private:
     void reapOrphanedTemporaries(std::chrono::seconds tmp_reap_age);
+    void gcQuarantinedEntries(std::chrono::seconds quarantine_gc_age);
     void noteError(const Status &error) const EXCLUDES(statsMutex);
 
     std::string dir;
     Status creationStatus = Status::ok();
+    bool salvageBlocks = false;
     std::uint64_t reapedCount = 0;
+    std::uint64_t gcCount = 0;
     mutable std::atomic<std::uint64_t> hitCount{0};
     mutable std::atomic<std::uint64_t> missCount{0};
     /** mutable: tryLoad()/store() are const but record failures. */

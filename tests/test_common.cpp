@@ -535,6 +535,97 @@ TEST(MappedFile, InjectedOpenFaultFails)
     std::remove(path.c_str());
 }
 
+TEST(MappedFile, InjectedReadFaultFiresOnTheMmapPath)
+{
+    // Regression: map() used to consult only the "open" counter, so
+    // `read:` fault specs silently skipped the mmap path. The mapping
+    // counts as exactly one bulk read.
+    InjectorGuard guard;
+    const std::string path = "/tmp/vpsim_io_mapped_read_fault.bin";
+    {
+        io::File file;
+        ASSERT_TRUE(file.openForWrite(path).isOk());
+        ASSERT_TRUE(file.writeAll("abc", 3).isOk());
+    }
+    io::configureFaultInjection("read:1:eio");
+    io::MappedFile mapped;
+    const Status got = mapped.map(path);
+    ASSERT_FALSE(got.isOk());
+    EXPECT_EQ(got.code(), StatusCode::kIo);
+    EXPECT_NE(got.message().find("read error"), std::string::npos)
+        << got.message();
+    EXPECT_FALSE(mapped.isMapped());
+
+    // The clause fired on the mapping, so a retry succeeds and the
+    // read counter advanced exactly once.
+    ASSERT_TRUE(mapped.map(path).isOk());
+    EXPECT_EQ(mapped.size(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(MappedFile, InjectedMmapFailLeavesBufferedFallbackWorking)
+{
+    InjectorGuard guard;
+    const std::string path = "/tmp/vpsim_io_mapped_mmap_fail.bin";
+    {
+        io::File file;
+        ASSERT_TRUE(file.openForWrite(path).isOk());
+        ASSERT_TRUE(file.writeAll("abc", 3).isOk());
+    }
+    io::configureFaultInjection("mmap:1:mmap-fail");
+    io::MappedFile mapped;
+    const Status got = mapped.map(path);
+    ASSERT_FALSE(got.isOk());
+    EXPECT_EQ(got.code(), StatusCode::kIo);
+    EXPECT_NE(got.message().find("cannot map"), std::string::npos)
+        << got.message();
+
+    // The buffered path is untouched by mmap clauses — exactly the
+    // degradation callers rely on.
+    io::File fallback;
+    ASSERT_TRUE(fallback.openForRead(path).isOk());
+    char buffer[3];
+    EXPECT_TRUE(fallback.readExact(buffer, sizeof(buffer)).isOk());
+    fallback.close();
+    std::remove(path.c_str());
+}
+
+TEST(IoFile, SyncFlushesAndSurvivesReopen)
+{
+    const std::string path = "/tmp/vpsim_io_sync.bin";
+    io::File file;
+    ASSERT_TRUE(file.openForWrite(path).isOk());
+    ASSERT_TRUE(file.writeAll("synced", 6).isOk());
+    ASSERT_TRUE(file.sync().isOk());
+    file.close();
+
+    io::File reread;
+    ASSERT_TRUE(reread.openForRead(path).isOk());
+    char buffer[6];
+    ASSERT_TRUE(reread.readExact(buffer, sizeof(buffer)).isOk());
+    EXPECT_EQ(std::string(buffer, 6), "synced");
+    reread.close();
+    std::remove(path.c_str());
+}
+
+TEST(IoFile, SyncRoutesThroughTheFlushFaultCounter)
+{
+    InjectorGuard guard;
+    io::configureFaultInjection("flush:1:enospc");
+    const std::string path = "/tmp/vpsim_io_sync_fault.bin";
+    io::File file;
+    ASSERT_TRUE(file.openForWrite(path).isOk());
+    ASSERT_TRUE(file.writeAll("abc", 3).isOk());
+    const Status synced = file.sync();
+    ASSERT_FALSE(synced.isOk());
+    EXPECT_EQ(synced.code(), StatusCode::kIo);
+    EXPECT_NE(synced.message().find("No space left on device"),
+              std::string::npos)
+        << synced.message();
+    file.close();
+    std::remove(path.c_str());
+}
+
 TEST(IoFile, ShortFileReadsAsCorruptNotIo)
 {
     const std::string path = "/tmp/vpsim_io_short.bin";

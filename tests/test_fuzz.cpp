@@ -6,7 +6,9 @@
  * and trace-file round-trips. Seeds are fixed so failures reproduce.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "core/ideal_machine.hpp"
 #include "core/pipeline_machine.hpp"
 #include "trace/trace_io.hpp"
+#include "trace/trace_v3.hpp"
 #include "vm/interpreter.hpp"
 #include "vm/program_builder.hpp"
 
@@ -299,6 +302,178 @@ TEST_P(FuzzSweep, CorruptTraceFilesNeverCrashTheReader)
     EXPECT_TRUE(readTrace(path, &out).isOk());
     EXPECT_EQ(out.size(), trace.size());
     std::remove(path.c_str());
+}
+
+/** One v3 block frame located by walking the pristine file bytes. */
+struct V3BlockInfo
+{
+    std::size_t offset;       ///< File offset of the "VPB3" magic.
+    std::size_t payloadBytes; ///< Encoded payload size.
+    std::uint32_t count;      ///< Records the frame declares.
+};
+
+std::uint32_t
+leU32(const std::vector<unsigned char> &bytes, std::size_t at)
+{
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(bytes[at + i]) << (8 * i);
+    return value;
+}
+
+/** Walk the block frames of a pristine v3 file (header .. trailer). */
+std::vector<V3BlockInfo>
+walkV3Blocks(const std::vector<unsigned char> &bytes)
+{
+    std::vector<V3BlockInfo> blocks;
+    std::size_t off = v3HeaderBytes;
+    while (off + v3BlockFrameBytes <= bytes.size() &&
+           std::memcmp(bytes.data() + off, "VPB3", 4) == 0) {
+        V3BlockInfo info;
+        info.offset = off;
+        info.count = leU32(bytes, off + 4);
+        info.payloadBytes = leU32(bytes, off + 8);
+        blocks.push_back(info);
+        off += v3BlockFrameBytes + info.payloadBytes + 4;
+    }
+    return blocks;
+}
+
+TEST_P(FuzzSweep, V3SalvageRecoversExactlyTheIntactBlocks)
+{
+    // The containment contract of the v3 format (docs/TRACE_FORMAT.md):
+    // whatever single-block damage is on disk — a flipped bit at the
+    // block boundary, a flip mid-payload, truncation mid-block, or
+    // trailing garbage — a strict read must refuse the file, and a
+    // salvage read must never abort, recovering exactly the records of
+    // every intact block with the loss tallied in the salvage report.
+    salvageRegistry().reset();
+    const auto trace = fuzzTrace(GetParam());
+    ASSERT_FALSE(trace.empty());
+    // Size blocks so every trace yields a handful of boundaries to
+    // attack regardless of how long the fuzz program ran.
+    const auto rpb = static_cast<std::uint32_t>(
+        std::max<std::size_t>(16, (trace.size() + 7) / 8));
+    const std::string path = "/tmp/vpsim_fuzz_v3_" +
+                             std::to_string(GetParam()) + ".vptrace";
+    ASSERT_TRUE(writeTraceV3(path, trace, rpb).isOk());
+
+    std::vector<unsigned char> pristine;
+    {
+        std::FILE *file = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(file, nullptr);
+        std::fseek(file, 0, SEEK_END);
+        pristine.resize(static_cast<std::size_t>(std::ftell(file)));
+        std::fseek(file, 0, SEEK_SET);
+        ASSERT_EQ(std::fread(pristine.data(), 1, pristine.size(), file),
+                  pristine.size());
+        std::fclose(file);
+    }
+    const auto blocks = walkV3Blocks(pristine);
+    ASSERT_GE(blocks.size(), 2u) << "need multiple blocks to attack";
+    std::uint64_t declared = 0;
+    for (const V3BlockInfo &b : blocks)
+        declared += b.count;
+    ASSERT_EQ(declared, trace.size()) << "frame walk lost records";
+
+    const auto rewrite = [&](const std::vector<unsigned char> &bytes) {
+        std::FILE *file = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(file, nullptr);
+        ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), file),
+                  bytes.size());
+        std::fclose(file);
+    };
+
+    // The recovered stream must be the original with exactly block b's
+    // record range cut out (records carry seq == index).
+    const auto expectWithoutBlock =
+        [&](std::size_t b, const std::vector<TraceRecord> &got) {
+            std::size_t first = 0;
+            for (std::size_t i = 0; i < b; ++i)
+                first += blocks[i].count;
+            ASSERT_EQ(got.size(), trace.size() - blocks[b].count);
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                const std::size_t src =
+                    i < first ? i : i + blocks[b].count;
+                ASSERT_EQ(got[i].seq, trace[src].seq)
+                    << "record " << i << " after losing block " << b;
+                ASSERT_EQ(got[i].pc, trace[src].pc);
+                ASSERT_EQ(got[i].result, trace[src].result);
+            }
+        };
+
+    std::vector<TraceRecord> out;
+    BlockSalvageReport report;
+
+    // Pristine file: both modes read everything, salvage stays clean.
+    ASSERT_TRUE(readTraceV3(path, &out, false).isOk());
+    ASSERT_EQ(out.size(), trace.size());
+    ASSERT_TRUE(readTraceV3(path, &out, true, &report).isOk());
+    ASSERT_EQ(out.size(), trace.size());
+    EXPECT_TRUE(report.clean());
+
+    // A flipped bit at every block boundary (the frame magic) and one
+    // mid-payload per block.
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const std::size_t attacks[2] = {
+            blocks[b].offset,
+            blocks[b].offset + v3BlockFrameBytes +
+                blocks[b].payloadBytes / 2};
+        for (const std::size_t at : attacks) {
+            auto mutated = pristine;
+            mutated[at] ^= 0xffu;
+            rewrite(mutated);
+            EXPECT_FALSE(readTraceV3(path, &out, false).isOk())
+                << "strict read must refuse the flip at byte " << at;
+            const Status salvaged = readTraceV3(path, &out, true,
+                                                &report);
+            ASSERT_TRUE(salvaged.isOk())
+                << "salvage must never abort (flip at byte " << at
+                << "): " << salvaged.message();
+            expectWithoutBlock(b, out);
+            EXPECT_GE(report.blocksQuarantined, 1u);
+            EXPECT_EQ(report.recordsLost, blocks[b].count)
+                << "trailer-exact loss accounting for block " << b;
+        }
+    }
+
+    // Truncation mid-block: the cut block is quarantined, everything
+    // before it survives, and salvage tolerates the missing trailer.
+    {
+        const V3BlockInfo &last = blocks.back();
+        const std::size_t cut =
+            last.offset + v3BlockFrameBytes + last.payloadBytes / 2;
+        rewrite({pristine.begin(),
+                 pristine.begin() + static_cast<std::ptrdiff_t>(cut)});
+        EXPECT_FALSE(readTraceV3(path, &out, false).isOk())
+            << "strict read must refuse mid-block truncation";
+        const Status salvaged = readTraceV3(path, &out, true, &report);
+        ASSERT_TRUE(salvaged.isOk())
+            << "salvage must survive truncation: " << salvaged.message();
+        expectWithoutBlock(blocks.size() - 1, out);
+        EXPECT_GE(report.blocksQuarantined, 1u);
+        EXPECT_EQ(report.recordsLost, last.count);
+    }
+
+    // Trailing garbage after a valid trailer: strict refuses, salvage
+    // delivers the complete trace with nothing quarantined.
+    {
+        auto mutated = pristine;
+        mutated.insert(mutated.end(), 64, 0xa5u);
+        rewrite(mutated);
+        EXPECT_FALSE(readTraceV3(path, &out, false).isOk())
+            << "strict read must refuse trailing garbage";
+        const Status salvaged = readTraceV3(path, &out, true, &report);
+        ASSERT_TRUE(salvaged.isOk()) << salvaged.message();
+        ASSERT_EQ(out.size(), trace.size());
+        EXPECT_TRUE(report.clean())
+            << "garbage beyond the trailer costs nothing";
+    }
+
+    std::remove(path.c_str());
+    // Damage above was tallied process-globally; do not leak it into
+    // other tests' view of the registry.
+    salvageRegistry().reset();
 }
 
 TEST_P(FuzzSweep, FrontEndsDeliverIdenticalStreams)

@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 
@@ -15,6 +16,7 @@
 
 #include "common/io.hpp"
 #include "trace/trace_cache_store.hpp"
+#include "trace/trace_v3.hpp"
 #include "workloads/workload.hpp"
 
 namespace vpsim
@@ -248,6 +250,152 @@ TEST_F(TraceCacheTest, StoreRetriesTransientWriteFailures)
         << "one EIO on read must be absorbed by the retry loop: "
         << error.message();
     EXPECT_EQ(out.size(), trace.size());
+}
+
+TEST_F(TraceCacheTest, ExpiredQuarantineFilesAreGarbageCollected)
+{
+    std::filesystem::create_directories(dir);
+    const auto old_corpse = dir / ".corrupt-go-i400.vptrace";
+    const auto fresh_corpse = dir / ".corrupt-gcc-i400.vptrace";
+    const auto old_entry = dir / "go-i400-k0-s1-d0-v2.vptrace";
+    for (const auto &p : {old_corpse, fresh_corpse, old_entry}) {
+        std::FILE *file = std::fopen(p.c_str(), "wb");
+        ASSERT_NE(file, nullptr);
+        std::fputs("evidence", file);
+        std::fclose(file);
+    }
+    const auto two_hours_ago =
+        std::filesystem::file_time_type::clock::now() -
+        std::chrono::hours(2);
+    std::filesystem::last_write_time(old_corpse, two_hours_ago);
+    std::filesystem::last_write_time(old_entry, two_hours_ago);
+
+    TraceCacheStore cache(dir.string(),
+                          TraceCacheStore::defaultTmpReapAge,
+                          std::chrono::hours(1));
+    EXPECT_EQ(cache.gcRemovedQuarantineFiles(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(old_corpse))
+        << "expired quarantine evidence must be collected";
+    EXPECT_TRUE(std::filesystem::exists(fresh_corpse))
+        << "recent evidence stays for post-mortem";
+    EXPECT_TRUE(std::filesystem::exists(old_entry))
+        << "the GC must never touch real cache entries, however old";
+}
+
+TEST_F(TraceCacheTest, QuarantineGcAgeZeroDisablesTheGc)
+{
+    std::filesystem::create_directories(dir);
+    const auto corpse = dir / ".corrupt-go-i400.vptrace";
+    std::FILE *file = std::fopen(corpse.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    std::fputs("evidence", file);
+    std::fclose(file);
+    std::filesystem::last_write_time(
+        corpse, std::filesystem::file_time_type::clock::now() -
+                    std::chrono::hours(24 * 365));
+
+    TraceCacheStore cache(dir.string(),
+                          TraceCacheStore::defaultTmpReapAge,
+                          std::chrono::seconds(0));
+    EXPECT_EQ(cache.gcRemovedQuarantineFiles(), 0u);
+    EXPECT_TRUE(std::filesystem::exists(corpse))
+        << "--cache-gc-days 0 must keep evidence forever";
+}
+
+TEST_F(TraceCacheTest, V3EntriesRoundTripThroughTheCache)
+{
+    TraceCacheStore cache(dir.string());
+    const auto trace = captureWorkloadTrace("compress", 500);
+    TraceCacheKey key = keyFor("compress", 500);
+    key.formatVersion = traceFormatVersionV3;
+
+    std::vector<TraceRecord> out;
+    Status error = Status::ok();
+    EXPECT_FALSE(cache.tryLoad(key, &out, &error));
+    ASSERT_TRUE(cache.store(key, trace).isOk());
+    ASSERT_TRUE(cache.tryLoad(key, &out, &error));
+    EXPECT_TRUE(error.isOk());
+    ASSERT_EQ(out.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); i += 41) {
+        EXPECT_EQ(out[i].pc, trace[i].pc);
+        EXPECT_EQ(out[i].nextPc, trace[i].nextPc);
+        EXPECT_EQ(out[i].result, trace[i].result);
+        EXPECT_EQ(out[i].op, trace[i].op);
+    }
+
+    // The entry really is block-framed v3 on disk (version byte 3).
+    std::FILE *file = std::fopen(cache.pathFor(key).c_str(), "rb");
+    ASSERT_NE(file, nullptr);
+    unsigned char header[5] = {};
+    ASSERT_EQ(std::fread(header, 1, sizeof(header), file),
+              sizeof(header));
+    std::fclose(file);
+    EXPECT_EQ(header[4], 3u) << "v3 keys must store v3 bytes";
+}
+
+TEST_F(TraceCacheTest, SalvageModeLoadsADamagedV3EntryStrictQuarantines)
+{
+    TraceCacheStore strict(dir.string());
+    const auto trace = captureWorkloadTrace("go", 400);
+    ASSERT_GE(trace.size(), 300u);
+    TraceCacheKey key = keyFor("go", 400);
+    key.formatVersion = traceFormatVersionV3;
+    // Plant a multi-block entry directly (small blocks), so one rotted
+    // block cannot take the whole capture with it.
+    const std::string path = strict.pathFor(key);
+    ASSERT_TRUE(writeTraceV3(path, trace, 100).isOk());
+
+    // Walk the frames to the second block and flip one payload byte.
+    std::FILE *file = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(file, nullptr);
+    unsigned char frame[12];
+    std::fseek(file, 16, SEEK_SET); // first block frame
+    ASSERT_EQ(std::fread(frame, 1, sizeof(frame), file), sizeof(frame));
+    std::uint32_t payload0 = 0;
+    std::uint32_t lost = 0;
+    for (int i = 0; i < 4; ++i) {
+        payload0 |= static_cast<std::uint32_t>(frame[8 + i]) << (8 * i);
+    }
+    const long second = 16 + 12 + static_cast<long>(payload0) + 4;
+    std::fseek(file, second, SEEK_SET); // second block frame
+    ASSERT_EQ(std::fread(frame, 1, sizeof(frame), file), sizeof(frame));
+    ASSERT_EQ(std::memcmp(frame, "VPB3", 4), 0);
+    for (int i = 0; i < 4; ++i)
+        lost |= static_cast<std::uint32_t>(frame[4 + i]) << (8 * i);
+    std::fseek(file, second + 12 + 5, SEEK_SET);
+    const int byte = std::fgetc(file);
+    std::fseek(file, second + 12 + 5, SEEK_SET);
+    std::fputc(byte ^ 0x40, file);
+    std::fclose(file);
+
+    // Salvage mode: the damaged entry is a usable hit; exactly the
+    // quarantined block's records are missing and the loss is tallied
+    // in the process-global registry. The file stays in place.
+    salvageRegistry().reset();
+    TraceCacheStore salvaging(dir.string());
+    salvaging.setSalvageBlocks(true);
+    std::vector<TraceRecord> out;
+    Status error = Status::ok();
+    ASSERT_TRUE(salvaging.tryLoad(key, &out, &error))
+        << error.message();
+    EXPECT_TRUE(error.isOk());
+    EXPECT_EQ(out.size(), trace.size() - lost);
+    const SalvageRegistry::Totals totals = salvageRegistry().totals();
+    EXPECT_EQ(totals.files, 1u);
+    EXPECT_EQ(totals.blocksQuarantined, 1u);
+    EXPECT_EQ(totals.recordsLost, lost);
+    EXPECT_TRUE(std::filesystem::exists(path))
+        << "salvage keeps the entry for later loads";
+
+    // Strict mode (the default): same bytes are quarantined wholesale
+    // and reported as a miss, preserving bit-exact figure outputs.
+    error = Status::ok();
+    EXPECT_FALSE(strict.tryLoad(key, &out, &error));
+    EXPECT_FALSE(error.isOk());
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_TRUE(
+        std::filesystem::exists(strict.quarantinePathFor(key)));
+    salvageRegistry().reset();
 }
 
 TEST_F(TraceCacheTest, EntriesLiveInsideTheDirectory)

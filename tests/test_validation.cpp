@@ -447,8 +447,10 @@ TEST(Manifest, WrittenNextToCsvAndChecksumsMatch)
     manifest_text << manifest.rdbuf();
     const std::string text = manifest_text.str();
 
-    EXPECT_NE(text.find("\"schema\": \"vpsim-run-manifest 1\""),
+    EXPECT_NE(text.find("\"schema\": \"vpsim-run-manifest 2\""),
               std::string::npos);
+    EXPECT_NE(text.find("\"salvagedBlocks\": 0"), std::string::npos)
+        << "a clean run must record a zero salvage tally";
     EXPECT_NE(text.find("\"checkInvariants\": \"full\""),
               std::string::npos);
     EXPECT_NE(text.find("\"fingerprint\""), std::string::npos);
