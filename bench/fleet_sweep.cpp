@@ -1,0 +1,24 @@
+/**
+ * fleet_sweep: the multi-process sweep driver.
+ *
+ * Partitions the full experiment grid (workload × predictor × table ×
+ * window × fetch rate × penalty) into shards and runs each in an
+ * isolated worker process under a fault-tolerant supervisor
+ * (src/fleet/supervisor.hpp). `--fleet-workers 0` runs the identical
+ * sweep in-process — the reference the chaos harness holds fleet
+ * output against, byte for byte.
+ *
+ *   fleet_sweep --insts 20000 --fleet-workers 8 \
+ *       --result-store /tmp/fleet --csv out.csv
+ */
+
+#include "fleet/fleet_main.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return vpsim::fleet::fleetMain(
+        argc, argv,
+        "Fault-isolated sharded sweep over the full experiment grid; "
+        "see docs/FLEET.md.");
+}

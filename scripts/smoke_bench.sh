@@ -49,6 +49,25 @@ for bench in "$build"/bench/*; do
                 2> /dev/null ||
                 { echo "FAIL: $name" >&2; failed=1; }
             continue ;;
+        fleet_sweep|fleet_soak)
+            # Fleet drivers: the determinism axis is worker count, not
+            # --jobs. A small grid in-process (--fleet-workers 0) must
+            # match the same grid sharded across two worker processes
+            # byte for byte (fleet_soak's soak-sized default axes are
+            # overridden down to smoke scale).
+            echo "== $name (in-process vs 2 workers)"
+            fargs=(--insts 2000 --benchmarks go,compress
+                   --predictors stride --table-sizes 0,1024
+                   --window-sizes 40 --fetch-rates 4,8
+                   --vp-penalties 1 --fleet-shard-cells 4
+                   --trace-cache-dir "$cache")
+            "$bench" "${fargs[@]}" --fleet-workers 0 \
+                > "$work/$name.serial" 2> /dev/null ||
+                { echo "FAIL: $name (in-process)" >&2; failed=1; continue; }
+            "$bench" "${fargs[@]}" --fleet-workers 2 \
+                > "$work/$name.parallel" 2> /dev/null ||
+                { echo "FAIL: $name (--fleet-workers 2)" >&2; failed=1; continue; }
+            ;;
         table3_2_pipeline_example)
             # Fixed 8-instruction worked example: no --insts/--benchmarks.
             echo "== $name"

@@ -30,9 +30,11 @@
 #define VPSIM_COMMON_CANCELLATION_HPP
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "common/status.hpp"
 
@@ -85,6 +87,104 @@ class JobCanceledError : public std::runtime_error
 
   private:
     Status errorStatus;
+};
+
+/**
+ * Worker end of a cross-process heartbeat pipe.
+ *
+ * The in-process watchdog above reads a CancellationToken's progress
+ * counter directly; a fleet worker process (src/fleet) publishes the
+ * same monotonic counter to its supervisor by writing 8-byte frames to
+ * an inherited pipe fd. Writes are non-blocking and best-effort: a full
+ * pipe drops the frame (a later beat supersedes it) and a closed read
+ * end (supervisor died) is ignored — the worker must never be killed by
+ * SIGPIPE just because nobody is listening anymore.
+ */
+class HeartbeatWriter
+{
+  public:
+    HeartbeatWriter() = default;
+    ~HeartbeatWriter() { close(); }
+
+    HeartbeatWriter(const HeartbeatWriter &) = delete;
+    HeartbeatWriter &operator=(const HeartbeatWriter &) = delete;
+
+    /** Adopt pipe write end @p fd (made non-blocking); -1 disables. */
+    void attach(int fd);
+
+    bool attached() const { return pipeFd >= 0; }
+
+    /** Publish @p progress_units (monotonic) to the supervisor. */
+    void beat(std::uint64_t progress_units);
+
+    /** Close the fd (idempotent). */
+    void close();
+
+  private:
+    int pipeFd = -1;
+};
+
+/**
+ * Supervisor end of a worker heartbeat pipe.
+ *
+ * poll() drains every frame currently buffered and keeps the latest
+ * progress value; the supervisor's hang detector compares successive
+ * values exactly like the in-process watchdog compares token progress
+ * samples.
+ */
+class HeartbeatReader
+{
+  public:
+    HeartbeatReader() = default;
+    ~HeartbeatReader() { close(); }
+
+    HeartbeatReader(const HeartbeatReader &) = delete;
+    HeartbeatReader &operator=(const HeartbeatReader &) = delete;
+
+    /** Movable so owners (fleet worker handles) can live in vectors. */
+    HeartbeatReader(HeartbeatReader &&other) noexcept { swap(other); }
+    HeartbeatReader &operator=(HeartbeatReader &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            swap(other);
+        }
+        return *this;
+    }
+
+    /** Adopt pipe read end @p fd (made non-blocking); -1 disables. */
+    void attach(int fd);
+
+    bool attached() const { return pipeFd >= 0; }
+
+    /**
+     * Drain buffered frames. Returns true when at least one complete
+     * frame arrived since the last poll; latest() then holds the newest
+     * progress value. A torn final frame is kept pending until its
+     * remaining bytes arrive.
+     */
+    bool poll();
+
+    /** Newest progress value any poll() has seen. */
+    std::uint64_t latest() const { return latestProgress; }
+
+    /** Close the fd (idempotent). */
+    void close();
+
+  private:
+    void swap(HeartbeatReader &other) noexcept
+    {
+        std::swap(pipeFd, other.pipeFd);
+        std::swap(latestProgress, other.latestProgress);
+        for (std::size_t i = 0; i < sizeof(partial); ++i)
+            std::swap(partial[i], other.partial[i]);
+        std::swap(partialBytes, other.partialBytes);
+    }
+
+    int pipeFd = -1;
+    std::uint64_t latestProgress = 0;
+    unsigned char partial[8] = {};
+    std::size_t partialBytes = 0;
 };
 
 /** The calling thread's active token (nullptr outside a watched job). */

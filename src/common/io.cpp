@@ -32,9 +32,11 @@ faultKindFromString(const std::string &text)
     if (text == "mmap-fail") return FaultKind::MmapFail;
     if (text == "block-crc") return FaultKind::BlockCrc;
     if (text == "enospc-capture") return FaultKind::EnospcCapture;
+    if (text == "kill9") return FaultKind::Kill9;
+    if (text == "hang") return FaultKind::Hang;
     fatal("unknown fault kind '" + text +
           "' (expected eio/enospc/torn/sigint/throw/mmap-fail/"
-          "block-crc/enospc-capture)");
+          "block-crc/enospc-capture/kill9/hang)");
 }
 
 bool
@@ -43,7 +45,7 @@ isKnownOp(const std::string &op)
     return op == "open" || op == "read" || op == "write" ||
            op == "flush" || op == "rename" || op == "remove" ||
            op == "job" || op == "mmap" || op == "block" ||
-           op == "capture";
+           op == "capture" || op == "worker";
 }
 
 std::vector<std::string>
@@ -89,6 +91,10 @@ applyControlFaults(FaultKind kind, const std::string &where)
 {
     if (kind == FaultKind::Sigint) {
         std::raise(SIGINT);
+        return FaultKind::None;
+    }
+    if (kind == FaultKind::Kill9) {
+        std::raise(SIGKILL);
         return FaultKind::None;
     }
     if (kind == FaultKind::Throw)

@@ -47,6 +47,9 @@ enum class FaultKind
     MmapFail,      ///< mmap() itself fails; callers must fall back.
     BlockCrc,      ///< A v3 block CRC check sees a mismatch (bit rot).
     EnospcCapture, ///< ENOSPC mid-capture on a streaming trace writer.
+    Kill9,         ///< raise(SIGKILL) — an unannounced process death.
+    Hang,          ///< Stop making progress (fleet workers: stop
+                   ///< heartbeating and sleep until killed).
 };
 
 /**
@@ -58,13 +61,17 @@ enum class FaultKind
  *   seed:<n>           seed the RNG used for torn-write cut points
  *
  * where <op> is one of open, read, write, flush, rename, remove, job,
- * mmap, block, capture and <kind> is eio, enospc, torn, sigint, throw,
- * mmap-fail, block-crc, enospc-capture. Example:
+ * mmap, block, capture, worker and <kind> is eio, enospc, torn, sigint,
+ * throw, mmap-fail, block-crc, enospc-capture, kill9, hang. Example:
  *
  *   --fault-inject write:3:torn,block:2:block-crc,capture:4:enospc-capture
  *
  * The mmap op is counted once per MappedFile::map(); block once per v3
- * block-CRC validation; capture once per streaming-capture append.
+ * block-CRC validation; capture once per streaming-capture append; the
+ * worker op once per fleet worker-process launch (the fleet supervisor
+ * imposes the drawn kind — kill9, hang, or enospc — on that worker, see
+ * src/fleet/supervisor.hpp). kill9 on any other op raises SIGKILL at
+ * that operation; hang is only meaningful for workers.
  *
  * Operation counters are global to the process and thread-safe, so the
  * n-th write is the n-th write the whole run performs, wherever it

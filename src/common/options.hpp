@@ -14,6 +14,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace vpsim
@@ -83,6 +84,14 @@ class Options
      */
     std::string fingerprint(
         const std::vector<std::string> &exclude = {}) const;
+
+    /**
+     * Every declared option with its effective value (defaults
+     * applied), sorted by name. The fleet supervisor re-materializes a
+     * worker process's command line from this — an explicit replay of
+     * the parsed configuration, not a forward of raw argv.
+     */
+    std::vector<std::pair<std::string, std::string>> items() const;
 
   private:
     struct Decl

@@ -688,17 +688,6 @@ runPipelineMachine(TraceSpan records, const PipelineConfig &config)
     return result;
 }
 
-PipelineResult
-runPipelineMachine(TraceSource &source, const PipelineConfig &config)
-{
-    std::vector<TraceRecord> storage;
-    // lint:allow trace-materialize — legacy convenience overload; the
-    // pipeline machine's wrong-path replay needs random access, and
-    // every caller feeds it bounded capture-sized inputs.
-    const TraceSpan records = materializeTrace(source, storage);
-    return runPipelineMachine(records, config);
-}
-
 std::string
 PipelineResult::report() const
 {
@@ -743,17 +732,6 @@ pipelineVpSpeedup(TraceSpan records, const PipelineConfig &config)
         return 1.0;
     return static_cast<double>(base_result.cycles) /
            static_cast<double>(vp_result.cycles);
-}
-
-double
-pipelineVpSpeedup(TraceSource &source, const PipelineConfig &config)
-{
-    std::vector<TraceRecord> storage;
-    // lint:allow trace-materialize — the speedup ratio replays the
-    // same span twice (VP off/on), so a one-pass stream cannot serve
-    // it; callers pass bounded capture-sized inputs.
-    const TraceSpan records = materializeTrace(source, storage);
-    return pipelineVpSpeedup(records, config);
 }
 
 } // namespace vpsim

@@ -191,23 +191,16 @@ struct PipelineResult
  *
  * Takes a span: the cycle-driven model's front ends need random access
  * into the dynamic trace (trace-cache line construction, wrong-path
- * navigation), so block-at-a-time delivery does not fit it — sources
- * are materialized first (see the TraceSource overload). A
+ * navigation), so block-at-a-time delivery does not fit it. Callers
+ * with a TraceSource materialize explicitly (materializeTrace) so the
+ * allocation is visible at the call site. A
  * std::vector<TraceRecord> converts implicitly.
  */
 PipelineResult runPipelineMachine(TraceSpan records,
                                   const PipelineConfig &config);
 
-/** Pipeline run over a source: materializes, then simulates. */
-PipelineResult runPipelineMachine(TraceSource &source,
-                                  const PipelineConfig &config);
-
 /** Speedup of value prediction: cycles(VP off) / cycles(VP on). */
 double pipelineVpSpeedup(TraceSpan records,
-                         const PipelineConfig &config);
-
-/** Pipeline speedup over a source: materializes, then simulates. */
-double pipelineVpSpeedup(TraceSource &source,
                          const PipelineConfig &config);
 
 } // namespace vpsim

@@ -175,18 +175,6 @@ runReferenceIdealMachine(TraceSpan records,
     return result;
 }
 
-IdealMachineResult
-runReferenceIdealMachine(TraceSource &source,
-                         const IdealMachineConfig &config)
-{
-    std::vector<TraceRecord> storage;
-    // lint:allow trace-materialize — legacy convenience overload; the
-    // reference machine replays the trace multiple times, and every
-    // caller feeds it bounded capture-sized inputs.
-    const TraceSpan records = materializeTrace(source, storage);
-    return runReferenceIdealMachine(records, config);
-}
-
 double
 referenceIdealVpSpeedup(TraceSpan records,
                         const IdealMachineConfig &config)
@@ -204,18 +192,6 @@ referenceIdealVpSpeedup(TraceSpan records,
         return 1.0;
     return static_cast<double>(base_result.cycles) /
            static_cast<double>(vp_result.cycles);
-}
-
-double
-referenceIdealVpSpeedup(TraceSource &source,
-                        const IdealMachineConfig &config)
-{
-    std::vector<TraceRecord> storage;
-    // lint:allow trace-materialize — the speedup ratio replays the
-    // same span twice (VP off/on), so a one-pass stream cannot serve
-    // it; callers pass bounded capture-sized inputs.
-    const TraceSpan records = materializeTrace(source, storage);
-    return referenceIdealVpSpeedup(records, config);
 }
 
 } // namespace vpsim

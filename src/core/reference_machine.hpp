@@ -37,22 +37,14 @@ namespace vpsim
  * Naive re-simulation of runIdealMachine() (same result contract).
  * Takes a span: the two-phase algorithm needs random access to the
  * whole trace (exec[producer] lookups), so block-at-a-time delivery
- * does not fit it — sources are materialized first (see the
- * TraceSource overload).
+ * does not fit it. Callers with a TraceSource materialize explicitly
+ * (materializeTrace) so the allocation is visible at the call site.
  */
 IdealMachineResult runReferenceIdealMachine(
     TraceSpan records, const IdealMachineConfig &config);
 
-/** Reference run over a source: materializes, then re-simulates. */
-IdealMachineResult runReferenceIdealMachine(
-    TraceSource &source, const IdealMachineConfig &config);
-
 /** Naive re-computation of idealVpSpeedup(). */
 double referenceIdealVpSpeedup(TraceSpan records,
-                               const IdealMachineConfig &config);
-
-/** Reference speedup over a source: materializes, then re-simulates. */
-double referenceIdealVpSpeedup(TraceSource &source,
                                const IdealMachineConfig &config);
 
 } // namespace vpsim

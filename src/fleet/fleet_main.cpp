@@ -1,0 +1,84 @@
+#include "fleet/fleet_main.hpp"
+
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "common/options.hpp"
+#include "fleet/fleet_manifest.hpp"
+#include "fleet/grid.hpp"
+#include "fleet/supervisor.hpp"
+#include "fleet/worker.hpp"
+#include "sim/experiment.hpp"
+
+namespace vpsim
+{
+namespace fleet
+{
+
+namespace
+{
+
+/**
+ * Append the merged grid to --csv in the same tidy long form
+ * maybeWriteCsv() uses, but with the *fleet* manifest as the sidecar:
+ * the run manifest would sign the full fingerprint, which includes
+ * execution knobs like --fleet-workers and would break the
+ * "fleet output == in-process output" byte-identity contract.
+ */
+void
+writeFleetCsv(const Options &options, const FleetGrid &grid,
+              const FleetReport &report)
+{
+    const std::string path = options.getString("csv");
+    if (path.empty())
+        return;
+    std::FILE *file = std::fopen(path.c_str(), "a");
+    fatalIf(!file, "cannot open CSV file " + path);
+    for (std::size_t row = 0; row < grid.rows(); ++row) {
+        for (std::size_t col = 0; col < grid.cols(); ++col) {
+            std::fprintf(file, "%s,%s,%s,%.9g\n", "fleet",
+                         grid.workloads()[row].c_str(),
+                         grid.columnLabel(col).c_str(),
+                         report.cells[row][col]);
+        }
+    }
+    std::fclose(file);
+    std::fprintf(stderr, "appended %zu rows to %s\n",
+                 grid.rows() * grid.cols(), path.c_str());
+    writeFleetManifest(grid, report, path);
+}
+
+} // namespace
+
+int
+fleetMain(int argc, const char *const *argv,
+          const std::string &description,
+          const std::map<std::string, std::string> &defaults)
+{
+    Options options;
+    declareFleetOptions(options, defaults);
+    options.parse(argc, argv, description);
+
+    if (options.getBool("fleet-worker"))
+        return runFleetWorker(options);
+
+    FleetGrid grid(options);
+    const FleetReport report = runFleet(options, grid);
+
+    std::vector<std::string> column_labels;
+    column_labels.reserve(grid.cols());
+    for (std::size_t col = 0; col < grid.cols(); ++col)
+        column_labels.push_back(grid.columnLabel(col));
+    std::fputs(renderPercentTable(
+                   "Fleet sweep - ideal VP speedup over baseline",
+                   grid.workloads(), column_labels, report.cells)
+                   .c_str(),
+               stdout);
+
+    writeFleetCsv(options, grid, report);
+    reportFleetStats(options, report);
+    return 0;
+}
+
+} // namespace fleet
+} // namespace vpsim

@@ -1,0 +1,177 @@
+#include "fleet/fleet_manifest.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/crc32.hpp"
+#include "common/logging.hpp"
+#include "sim/run_manifest.hpp"
+
+namespace vpsim
+{
+namespace fleet
+{
+
+namespace
+{
+
+constexpr char fleetManifestSchema[] = "vpsim-fleet-manifest 1";
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char ch : text) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", ch);
+                out += buffer;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+hex32(std::uint32_t value)
+{
+    char buffer[16];
+    std::snprintf(buffer, sizeof(buffer), "%08x", value);
+    return buffer;
+}
+
+std::string
+hex16(std::uint64_t value)
+{
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "%016" PRIx64, value);
+    return buffer;
+}
+
+std::string
+joinCells(const std::vector<std::uint32_t> &cells)
+{
+    std::string out;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        out += std::to_string(cells[i]);
+    }
+    return out;
+}
+
+/** Canonical one-line shard lineage: id:first:last:attempts:outcome. */
+std::string
+shardLine(const ShardOutcome &shard)
+{
+    return std::to_string(shard.id) + ':' +
+           std::to_string(shard.firstCell) + ':' +
+           std::to_string(shard.lastCell) + ':' +
+           std::to_string(shard.attempts) + ':' + shard.outcome;
+}
+
+} // namespace
+
+void
+writeFleetManifest(const FleetGrid &grid, const FleetReport &report,
+                   const std::string &csv_path)
+{
+    std::ifstream csv(csv_path, std::ios::binary);
+    fatalIf(!csv, "cannot read back CSV " + csv_path +
+                      " for its fleet manifest");
+    std::vector<char> bytes{std::istreambuf_iterator<char>(csv),
+                            std::istreambuf_iterator<char>()};
+    fatalIf(csv.bad(), "error reading CSV " + csv_path);
+    const std::uint32_t csv_crc = crc32(bytes.data(), bytes.size());
+
+    // Canonical signing string: fixed field order, one key=value per
+    // line, one line per shard. scripts/verify_manifest.py rebuilds
+    // this byte-for-byte from the parsed JSON.
+    std::ostringstream signing;
+    signing << "vpsim-fleet-signing-v1\n"
+            << "schema=" << fleetManifestSchema << '\n'
+            << "gitDescribe=" << buildGitDescribe() << '\n'
+            << "fleetHash=" << hex16(grid.fleetHash()) << '\n'
+            << "rows=" << grid.rows() << '\n'
+            << "cols=" << grid.cols() << '\n'
+            << "cells=" << grid.cells() << '\n'
+            << "retries=" << report.retries << '\n'
+            << "bisections=" << report.bisections << '\n'
+            << "reusedCells=" << report.reusedCells << '\n'
+            << "quarantinedCells=" << joinCells(report.quarantinedCells)
+            << '\n';
+    for (const ShardOutcome &shard : report.shards)
+        signing << "shard=" << shardLine(shard) << '\n';
+    signing << "salvagedFiles=" << report.salvage.files << '\n'
+            << "salvagedBlocks=" << report.salvage.blocksQuarantined
+            << '\n'
+            << "salvagedRecordsLost=" << report.salvage.recordsLost
+            << '\n'
+            << "fingerprint=" << grid.fingerprint() << '\n'
+            << "csvFile=" << csv_path << '\n'
+            << "csvBytes=" << bytes.size() << '\n'
+            << "csvCrc32=" << hex32(csv_crc) << '\n';
+    const std::string signed_body = signing.str();
+    const std::uint32_t signature =
+        crc32(signed_body.data(), signed_body.size());
+
+    const std::string manifest_path =
+        csv_path + ".fleet-manifest.json";
+    std::ofstream out(manifest_path, std::ios::trunc);
+    fatalIf(!out, "cannot write fleet manifest " + manifest_path);
+    out << "{\n"
+        << "  \"schema\": \"" << jsonEscape(fleetManifestSchema)
+        << "\",\n"
+        << "  \"gitDescribe\": \"" << jsonEscape(buildGitDescribe())
+        << "\",\n"
+        << "  \"fleetHash\": \"" << hex16(grid.fleetHash()) << "\",\n"
+        << "  \"rows\": " << grid.rows() << ",\n"
+        << "  \"cols\": " << grid.cols() << ",\n"
+        << "  \"cells\": " << grid.cells() << ",\n"
+        << "  \"retries\": " << report.retries << ",\n"
+        << "  \"bisections\": " << report.bisections << ",\n"
+        << "  \"reusedCells\": " << report.reusedCells << ",\n"
+        << "  \"quarantinedCells\": [";
+    for (std::size_t i = 0; i < report.quarantinedCells.size(); ++i) {
+        if (i > 0)
+            out << ", ";
+        out << report.quarantinedCells[i];
+    }
+    out << "],\n"
+        << "  \"shards\": [";
+    for (std::size_t i = 0; i < report.shards.size(); ++i) {
+        if (i > 0)
+            out << ", ";
+        out << '"' << jsonEscape(shardLine(report.shards[i])) << '"';
+    }
+    out << "],\n"
+        << "  \"salvagedFiles\": " << report.salvage.files << ",\n"
+        << "  \"salvagedBlocks\": " << report.salvage.blocksQuarantined
+        << ",\n"
+        << "  \"salvagedRecordsLost\": " << report.salvage.recordsLost
+        << ",\n"
+        << "  \"fingerprint\": \"" << jsonEscape(grid.fingerprint())
+        << "\",\n"
+        << "  \"csvFile\": \"" << jsonEscape(csv_path) << "\",\n"
+        << "  \"csvBytes\": " << bytes.size() << ",\n"
+        << "  \"csvCrc32\": \"" << hex32(csv_crc) << "\",\n"
+        << "  \"signature\": \"crc32:" << hex32(signature) << "\"\n"
+        << "}\n";
+    out.flush();
+    fatalIf(!out, "error writing fleet manifest " + manifest_path);
+}
+
+} // namespace fleet
+} // namespace vpsim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Signed fleet manifests: provenance sidecars for merged sweep CSVs.
+ *
+ * The run manifest (sim/run_manifest.hpp) describes one bench process;
+ * a fleet's output is assembled from many processes, so its manifest
+ * additionally records *assembly* provenance inside the signed region:
+ * per-shard lineage (which cell ranges ran, how many attempts each
+ * consumed, how each ended), total retry/bisection counts, the
+ * quarantined-cell list, and the merged cross-worker salvage totals.
+ * The experiment fingerprint here is the fleet fingerprint (execution
+ * knobs excluded — grid.hpp), so a fleet and its in-process reference
+ * mode sign the same identity.
+ *
+ * A clean fleet run and a clean `--fleet-workers 0` run of the same
+ * experiment produce byte-identical manifests. Once faults strike,
+ * lineage legitimately diverges (attempts, retries) while the identity
+ * fields — schema, fleetHash, fingerprint, grid shape, quarantined
+ * cells, CSV checksum — must still match; scripts/fleet_chaos.sh
+ * compares accordingly and docs/FLEET.md spells out the contract.
+ *
+ * `scripts/verify_manifest.py` re-derives the CSV checksum and the
+ * signature from `FILE.fleet-manifest.json` and fails on tampering.
+ */
+
+#ifndef VPSIM_FLEET_FLEET_MANIFEST_HPP
+#define VPSIM_FLEET_FLEET_MANIFEST_HPP
+
+#include <string>
+
+#include "common/options.hpp"
+#include "fleet/grid.hpp"
+#include "fleet/supervisor.hpp"
+
+namespace vpsim
+{
+namespace fleet
+{
+
+/**
+ * Write `<csv_path>.fleet-manifest.json` describing @p csv_path as it
+ * exists on disk right now. Fatal on write failure (a sweep whose
+ * provenance cannot be recorded should not look like it succeeded).
+ */
+void writeFleetManifest(const FleetGrid &grid,
+                        const FleetReport &report,
+                        const std::string &csv_path);
+
+} // namespace fleet
+} // namespace vpsim
+
+#endif // VPSIM_FLEET_FLEET_MANIFEST_HPP

@@ -1,0 +1,180 @@
+#include "fleet/worker_handle.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace vpsim
+{
+namespace fleet
+{
+
+namespace
+{
+
+/** The descriptor the child finds its heartbeat pipe on after exec. */
+constexpr int kHeartbeatChildFd = 3;
+
+} // namespace
+
+StatusCode
+classifyExit(int wait_status)
+{
+    if (WIFSIGNALED(wait_status))
+        return StatusCode::kInternal;
+    if (!WIFEXITED(wait_status))
+        return StatusCode::kInternal;
+    switch (WEXITSTATUS(wait_status)) {
+      case kWorkerExitOk: return StatusCode::kOk;
+      case kWorkerExitIo: return StatusCode::kIo;
+      case kWorkerExitCorrupt: return StatusCode::kCorrupt;
+      case kWorkerExitTimeout: return StatusCode::kTimeout;
+      default: return StatusCode::kInternal;
+    }
+}
+
+int
+exitCodeForStatus(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return kWorkerExitOk;
+      case StatusCode::kIo: return kWorkerExitIo;
+      case StatusCode::kCorrupt: return kWorkerExitCorrupt;
+      case StatusCode::kTimeout: return kWorkerExitTimeout;
+      case StatusCode::kCanceled:
+      case StatusCode::kInternal: return kWorkerExitInternal;
+    }
+    return kWorkerExitInternal;
+}
+
+WorkerHandle::~WorkerHandle()
+{
+    // A destructed handle must not leak a live child: kill and reap so
+    // a supervisor unwinding on error leaves no orphans behind.
+    kill9();
+    if (childPid > 0) {
+        int ignored = 0;
+        (void)::waitpid(childPid, &ignored, 0);
+    }
+    reset();
+}
+
+WorkerHandle::WorkerHandle(WorkerHandle &&other) noexcept
+    : childPid(other.childPid),
+      heartbeats(std::move(other.heartbeats))
+{
+    other.childPid = -1;
+}
+
+WorkerHandle &
+WorkerHandle::operator=(WorkerHandle &&other) noexcept
+{
+    if (this != &other) {
+        kill9();
+        if (childPid > 0) {
+            int ignored = 0;
+            (void)::waitpid(childPid, &ignored, 0);
+        }
+        reset();
+        childPid = other.childPid;
+        heartbeats = std::move(other.heartbeats);
+        other.childPid = -1;
+    }
+    return *this;
+}
+
+Status
+WorkerHandle::spawn(const std::vector<std::string> &argv_tail)
+{
+    panicIf(running(), "WorkerHandle::spawn while a child is running");
+
+    int fds[2] = {-1, -1};
+    // O_CLOEXEC on both ends: a later sibling's exec must not inherit
+    // this pipe, or the reader would never see EOF/EPIPE semantics and
+    // descriptors would leak across the whole fleet. The child re-opens
+    // its write end explicitly via dup2 (which clears CLOEXEC on the
+    // duplicate).
+    if (::pipe2(fds, O_CLOEXEC) != 0) {
+        return Status::error(StatusCode::kIo,
+                             std::string("pipe2 failed: ") +
+                                 std::strerror(errno));
+    }
+
+    std::vector<std::string> argv_storage;
+    argv_storage.reserve(argv_tail.size() + 1);
+    argv_storage.push_back("/proc/self/exe");
+    for (const std::string &arg : argv_tail)
+        argv_storage.push_back(arg);
+    std::vector<char *> argv;
+    argv.reserve(argv_storage.size() + 1);
+    for (std::string &arg : argv_storage)
+        argv.push_back(arg.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        const int fork_errno = errno;
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return Status::error(StatusCode::kIo,
+                             std::string("fork failed: ") +
+                                 std::strerror(fork_errno));
+    }
+    if (pid == 0) {
+        // Child: only async-signal-safe calls until exec.
+        if (::dup2(fds[1], kHeartbeatChildFd) < 0)
+            ::_exit(kWorkerExitInternal);
+        ::execv("/proc/self/exe", argv.data());
+        ::_exit(kWorkerExitInternal);
+    }
+
+    ::close(fds[1]);
+    childPid = pid;
+    heartbeats.attach(fds[0]);
+    return Status::ok();
+}
+
+bool
+WorkerHandle::poll(int *wait_status)
+{
+    panicIf(wait_status == nullptr, "WorkerHandle::poll needs output");
+    if (childPid <= 0)
+        return false;
+    const pid_t reaped = ::waitpid(childPid, wait_status, WNOHANG);
+    if (reaped != childPid)
+        return false;
+    // Final heartbeat drain: frames written just before death still
+    // count as progress for hang accounting.
+    (void)heartbeats.poll();
+    childPid = -1;
+    return true;
+}
+
+bool
+WorkerHandle::pollHeartbeat()
+{
+    return heartbeats.poll();
+}
+
+void
+WorkerHandle::kill9()
+{
+    if (childPid > 0)
+        (void)::kill(childPid, SIGKILL);
+}
+
+void
+WorkerHandle::reset()
+{
+    heartbeats.close();
+    childPid = -1;
+}
+
+} // namespace fleet
+} // namespace vpsim

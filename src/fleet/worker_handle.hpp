@@ -1,0 +1,114 @@
+/**
+ * @file
+ * One fleet worker child process: spawn, monitor, classify its death.
+ *
+ * A worker is this very binary re-executed (via /proc/self/exe) with
+ * `--fleet-worker 1 --fleet-cells <first>-<last>` appended, so worker
+ * and supervisor can never disagree about code version or option
+ * semantics. The child inherits a write end of a heartbeat pipe on a
+ * fixed descriptor (fd 3, dup2'd in the forked child before exec, with
+ * all other pipe ends closed by O_CLOEXEC), and the supervisor reads
+ * progress frames from the other end to distinguish a *slow* worker
+ * from a *hung* one.
+ *
+ * Exit classification is the supervisor's failure taxonomy: a worker
+ * that dies reports *how* through its exit status, and the supervisor
+ * maps that onto the repo-wide StatusCode classes to pick a recovery
+ * (retry transient I/O, recompute corrupt results, bisect repeated
+ * internal crashes down to the poisoned cell).
+ */
+
+#ifndef VPSIM_FLEET_WORKER_HANDLE_HPP
+#define VPSIM_FLEET_WORKER_HANDLE_HPP
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.hpp"
+#include "common/status.hpp"
+
+namespace vpsim
+{
+namespace fleet
+{
+
+/** Exit codes a fleet worker uses to report its failure class. */
+enum WorkerExitCode : int
+{
+    kWorkerExitOk = 0,
+    kWorkerExitIo = 41,       ///< StatusCode::kIo (e.g. ENOSPC on store).
+    kWorkerExitCorrupt = 42,  ///< StatusCode::kCorrupt.
+    kWorkerExitTimeout = 44,  ///< StatusCode::kTimeout.
+    kWorkerExitInternal = 45, ///< StatusCode::kInternal (model bug).
+};
+
+/**
+ * Map a waitpid() status to the failure class it reports.
+ *
+ * Death by signal — SIGKILL, SIGSEGV, an abort() on a poisoned cell —
+ * is kInternal: the worker never got to explain itself, and repeated
+ * unexplained deaths are what bisection exists for. Unknown exit codes
+ * are also kInternal (a worker that can't follow the protocol is not
+ * to be trusted about anything else).
+ */
+StatusCode classifyExit(int wait_status);
+
+/** Map a worker Status to the exit code that reports it. */
+int exitCodeForStatus(StatusCode code);
+
+/** A spawned worker child and its heartbeat channel. */
+class WorkerHandle
+{
+  public:
+    WorkerHandle() = default;
+    ~WorkerHandle();
+
+    WorkerHandle(const WorkerHandle &) = delete;
+    WorkerHandle &operator=(const WorkerHandle &) = delete;
+    WorkerHandle(WorkerHandle &&other) noexcept;
+    WorkerHandle &operator=(WorkerHandle &&other) noexcept;
+
+    /**
+     * Fork+exec this binary with @p argv_tail appended to the program
+     * name. A heartbeat pipe is created; the child gets the write end
+     * on fd 3 (announced to it via `--fleet-heartbeat-fd 3`, which the
+     * caller must include in @p argv_tail). kIo on pipe/fork failure.
+     */
+    [[nodiscard]] Status spawn(
+        const std::vector<std::string> &argv_tail);
+
+    bool running() const { return childPid > 0; }
+    pid_t pid() const { return childPid; }
+
+    /**
+     * Non-blocking reap. Returns true when the child has exited, with
+     * the raw waitpid status in @p wait_status; the handle then no
+     * longer owns a process.
+     */
+    bool poll(int *wait_status);
+
+    /**
+     * Drain heartbeat frames; true when at least one arrived since the
+     * last call. progress() then reports the newest value.
+     */
+    bool pollHeartbeat();
+
+    std::uint64_t progress() const { return heartbeats.latest(); }
+
+    /** SIGKILL the child (hung or superseded). Safe when not running. */
+    void kill9();
+
+  private:
+    void reset();
+
+    pid_t childPid = -1;
+    HeartbeatReader heartbeats;
+};
+
+} // namespace fleet
+} // namespace vpsim
+
+#endif // VPSIM_FLEET_WORKER_HANDLE_HPP

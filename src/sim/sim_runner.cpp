@@ -21,6 +21,7 @@
 #include "common/resource_usage.hpp"
 #include "common/stats.hpp"
 #include "trace/trace_stats.hpp"
+#include "trace/trace_v3.hpp"
 
 namespace vpsim
 {
@@ -560,23 +561,74 @@ SimRunner::captureTrace(const std::string &name, std::uint64_t insts,
     }
 
     const auto start = std::chrono::steady_clock::now();
-    auto trace = captureWorkloadTrace(name, insts + skip, params);
-    if (skip > 0)
-        trace = sliceTrace(trace, skip);
-    captureMicros += microsSince(start);
-    ++capturesRun;
-
-    if (use_cache) {
-        const Status stored = cache->store(key, trace);
-        // A store that still fails after the cache's own retries is
-        // treated as persistent (disk full, dir deleted): degrade to
-        // in-memory capture once, with one warning, instead of paying
-        // the retry cost and a warning per capture.
-        if (!stored.isOk() && !cacheDegraded.exchange(true)) {
+    std::vector<TraceRecord> trace;
+    bool have_trace = false;
+    if (use_cache && captureFormatVersion >= traceFormatVersionV3) {
+        // Stream the capture straight into the cache entry in bounded
+        // chunks, so insts + skip records never materialize in this
+        // process, then map the published entry back in. Warm-up
+        // handling matches sliceTrace(): the first `skip` records are
+        // dropped and kept records renumber from seq 0, so the entry
+        // is byte-identical to one written by the materializing path.
+        std::uint64_t seen = 0;
+        std::vector<TraceRecord> kept;
+        const Status streamed = cache->storeStreaming(
+            key,
+            [&](const std::function<Status(
+                    const std::vector<TraceRecord> &)> &append) {
+                seen = 0;
+                return captureWorkloadTraceChunked(
+                    name, insts + skip, params, defaultRecordsPerBlock,
+                    [&](const std::vector<TraceRecord> &chunk) {
+                        const std::uint64_t first = seen;
+                        seen += chunk.size();
+                        if (seen <= skip)
+                            return Status::ok();
+                        const auto cut = static_cast<std::size_t>(
+                            skip > first ? skip - first : 0);
+                        kept.assign(chunk.begin() +
+                                        static_cast<std::ptrdiff_t>(cut),
+                                    chunk.end());
+                        for (TraceRecord &rec : kept)
+                            rec.seq -= skip;
+                        return append(kept);
+                    });
+            });
+        if (streamed.isOk()) {
+            // Read the entry back directly (not tryLoad: this is our
+            // own just-published file, not a cache lookup, so it must
+            // not perturb the hit/miss counters or quarantine logic).
+            const Status read = readTraceV3(cache->pathFor(key), &trace);
+            if (read.isOk()) {
+                have_trace = true;
+            } else {
+                warn("cannot read back streamed trace capture: " +
+                     read.message() + "; recapturing in memory");
+            }
+        } else if (!cacheDegraded.exchange(true)) {
             warn("trace cache degraded to in-memory capture: " +
-                 stored.message());
+                 streamed.message());
         }
     }
+
+    if (!have_trace) {
+        trace = captureWorkloadTrace(name, insts + skip, params);
+        if (skip > 0)
+            trace = sliceTrace(trace, skip);
+        if (use_cache && !cacheDegraded.load()) {
+            const Status stored = cache->store(key, trace);
+            // A store that still fails after the cache's own retries is
+            // treated as persistent (disk full, dir deleted): degrade
+            // to in-memory capture once, with one warning, instead of
+            // paying the retry cost and a warning per capture.
+            if (!stored.isOk() && !cacheDegraded.exchange(true)) {
+                warn("trace cache degraded to in-memory capture: " +
+                     stored.message());
+            }
+        }
+    }
+    captureMicros += microsSince(start);
+    ++capturesRun;
 
     // --mem-budget soft guard: materialized captures are the main RSS
     // driver in a bench process, so crossing the budget here gets one

@@ -274,4 +274,60 @@ TraceCacheStore::store(const TraceCacheKey &key,
     return result;
 }
 
+Status
+TraceCacheStore::storeStreaming(
+    const TraceCacheKey &key,
+    const std::function<Status(
+        const std::function<Status(const std::vector<TraceRecord> &)>
+            &)> &produce) const
+{
+    // Streaming is a v3-only property: the append-only block framing is
+    // what lets a capture go straight to disk. Pre-v3 keys exist only in
+    // format-compatibility tests; their captures stay materialized.
+    if (key.formatVersion < traceFormatVersionV3) {
+        return Status::error(
+            StatusCode::kInternal,
+            "streaming store requires trace format v3 (key has v" +
+                std::to_string(key.formatVersion) + ")");
+    }
+
+    const std::string path = pathFor(key);
+    const std::string temp =
+        path + ".tmp." + std::to_string(::getpid());
+
+    Status result = Status::ok();
+    for (int attempt = 1; attempt <= maxIoAttempts; ++attempt) {
+        TraceV3Writer writer;
+        result = writer.open(temp, defaultRecordsPerBlock);
+        if (result.isOk()) {
+            // Re-run the producer from scratch each attempt: captures
+            // are deterministic, so replaying is always safe, whereas
+            // resuming a half-written temporary never is.
+            result = produce(
+                [&writer](const std::vector<TraceRecord> &chunk) {
+                    return writer.append(chunk);
+                });
+        }
+        if (result.isOk())
+            result = writer.finish();
+        else
+            writer.close();
+        if (result.isOk()) {
+            result = io::renameFile(temp, path);
+            if (result.isOk())
+                return result;
+            result = Status::error(result.code(),
+                                   "cannot publish trace cache entry: " +
+                                       result.message());
+        }
+        (void)io::removeFile(temp);
+        if (result.code() != StatusCode::kIo)
+            break;
+        if (attempt < maxIoAttempts)
+            backoff(attempt);
+    }
+    noteError(result);
+    return result;
+}
+
 } // namespace vpsim

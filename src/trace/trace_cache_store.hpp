@@ -46,6 +46,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -140,6 +141,22 @@ class TraceCacheStore
     [[nodiscard]] Status store(
         const TraceCacheKey &key,
         const std::vector<TraceRecord> &records) const;
+
+    /**
+     * Streaming store for v3 keys: open a temporary, hand @p produce a
+     * sink that appends record chunks to the entry's TraceV3Writer,
+     * and publish with the same fsync + atomic-rename contract as
+     * store() — so the capture never materializes in this process.
+     * @p produce is re-invoked from scratch on each transient-failure
+     * retry (a capture is deterministic, a half-written file is not).
+     * Returns kInternal for pre-v3 keys; callers fall back to the
+     * materializing store().
+     */
+    [[nodiscard]] Status storeStreaming(
+        const TraceCacheKey &key,
+        const std::function<Status(
+            const std::function<Status(
+                const std::vector<TraceRecord> &)> &)> &produce) const;
 
     /** @name Hit/miss counters (cumulative over this store's lifetime). */
     /// @{

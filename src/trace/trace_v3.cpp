@@ -211,6 +211,16 @@ SalvageRegistry::note(const std::string &path,
     (void)path;
 }
 
+void
+SalvageRegistry::addTotals(const Totals &other)
+{
+    MutexLock lock(mutex);
+    sums.files += other.files;
+    sums.blocksQuarantined += other.blocksQuarantined;
+    sums.recordsLost += other.recordsLost;
+    sums.bytesSkipped += other.bytesSkipped;
+}
+
 SalvageRegistry::Totals
 SalvageRegistry::totals() const
 {

@@ -89,6 +89,17 @@ class SalvageRegistry
     /** Fold one damaged file's report in (no-op when report.clean()). */
     void note(const std::string &path, const BlockSalvageReport &report);
 
+    /**
+     * Fold another process's totals in. The registry is process-global,
+     * so a fleet worker's salvage damage would otherwise vanish with
+     * the worker: workers serialize their totals into their shard
+     * result files (src/fleet/result_store.hpp) and the supervisor
+     * merges them here, making fleet --stats and manifests report the
+     * same salvaged_blocks / salvaged_records_lost as a single-process
+     * run.
+     */
+    void addTotals(const Totals &other);
+
     /** Consistent snapshot of the totals so far. */
     Totals totals() const;
 

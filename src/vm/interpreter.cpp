@@ -1,5 +1,7 @@
 #include "vm/interpreter.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace vpsim
@@ -203,6 +205,34 @@ captureTrace(const Program &target_program, Memory initial_memory,
     records.reserve(max_insts);
     interp.run(max_insts, &records);
     return records;
+}
+
+Status
+captureTraceChunked(
+    const Program &target_program, Memory initial_memory,
+    std::uint64_t max_insts, std::uint64_t chunk_insts,
+    const std::function<Status(const std::vector<TraceRecord> &)> &sink)
+{
+    panicIf(chunk_insts == 0, "chunk_insts must be positive");
+    Interpreter interp(target_program, std::move(initial_memory));
+    std::vector<TraceRecord> chunk;
+    chunk.reserve(static_cast<std::size_t>(
+        std::min(chunk_insts, max_insts)));
+    std::uint64_t remaining = max_insts;
+    while (remaining > 0) {
+        chunk.clear();
+        const std::uint64_t fuel = std::min(chunk_insts, remaining);
+        const Interpreter::RunResult ran = interp.run(fuel, &chunk);
+        remaining -= ran.executed;
+        if (!chunk.empty()) {
+            const Status sunk = sink(chunk);
+            if (!sunk.isOk())
+                return sunk;
+        }
+        if (ran.halted || ran.executed < fuel)
+            break;
+    }
+    return Status::ok();
 }
 
 } // namespace vpsim

@@ -13,8 +13,10 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "common/status.hpp"
 #include "trace/record.hpp"
 #include "vm/memory.hpp"
 #include "vm/program.hpp"
@@ -72,6 +74,20 @@ class Interpreter
 std::vector<TraceRecord> captureTrace(const Program &target_program,
                                       Memory initial_memory,
                                       std::uint64_t max_insts);
+
+/**
+ * Streaming capture: run the program and hand the trace to @p sink in
+ * bounded chunks of at most @p chunk_insts records, so the full trace
+ * never materializes in this process (the sink typically appends to a
+ * TraceV3Writer). The chunk buffer is reused across calls; the sink
+ * must copy or write out what it needs before returning. Stops early
+ * (and returns the sink's error) on the first non-ok sink result.
+ */
+[[nodiscard]] Status captureTraceChunked(
+    const Program &target_program, Memory initial_memory,
+    std::uint64_t max_insts, std::uint64_t chunk_insts,
+    const std::function<Status(const std::vector<TraceRecord> &)>
+        &sink);
 
 } // namespace vpsim
 

@@ -78,4 +78,16 @@ captureWorkloadTrace(const std::string &name, std::uint64_t max_insts,
                         max_insts);
 }
 
+Status
+captureWorkloadTraceChunked(
+    const std::string &name, std::uint64_t max_insts,
+    const WorkloadParams &params, std::uint64_t chunk_insts,
+    const std::function<Status(const std::vector<TraceRecord> &)> &sink)
+{
+    Workload workload = buildWorkload(name, params);
+    return captureTraceChunked(workload.program,
+                               std::move(workload.memory), max_insts,
+                               chunk_insts, sink);
+}
+
 } // namespace vpsim

@@ -24,9 +24,12 @@
 #ifndef VPSIM_WORKLOADS_WORKLOAD_HPP
 #define VPSIM_WORKLOADS_WORKLOAD_HPP
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "trace/record.hpp"
 #include "vm/memory.hpp"
 #include "vm/program.hpp"
@@ -90,6 +93,18 @@ Workload buildWorkload(const std::string &name,
 std::vector<TraceRecord>
 captureWorkloadTrace(const std::string &name, std::uint64_t max_insts,
                      const WorkloadParams &params = {});
+
+/**
+ * Streaming variant: build the benchmark and deliver its trace to
+ * @p sink in bounded chunks of at most @p chunk_insts records (see
+ * captureTraceChunked), so a capture headed for disk never
+ * materializes in memory first.
+ */
+[[nodiscard]] Status captureWorkloadTraceChunked(
+    const std::string &name, std::uint64_t max_insts,
+    const WorkloadParams &params, std::uint64_t chunk_insts,
+    const std::function<Status(const std::vector<TraceRecord> &)>
+        &sink);
 
 } // namespace vpsim
 

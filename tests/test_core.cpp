@@ -689,7 +689,11 @@ TEST(IdealMachine, SpeedupOverloadsAgree)
                      idealVpSpeedup(source, config));
 }
 
-TEST(ReferenceMachine, SourceOverloadMatchesSpanOverload)
+// The reference and pipeline machines take spans only; a caller
+// holding a TraceSource materializes explicitly. These tests pin the
+// contract that an explicitly materialized source is equivalent to
+// handing the machine the vector directly.
+TEST(ReferenceMachine, MaterializedSourceMatchesSpanOverload)
 {
     const auto trace = figure32();
     IdealMachineConfig config;
@@ -697,20 +701,22 @@ TEST(ReferenceMachine, SourceOverloadMatchesSpanOverload)
     const IdealMachineResult from_span =
         runReferenceIdealMachine(TraceSpan(trace), config);
     VectorTraceSource source{trace};
-    const IdealMachineResult from_source =
-        runReferenceIdealMachine(source, config);
+    std::vector<TraceRecord> storage;
+    const IdealMachineResult from_source = runReferenceIdealMachine(
+        materializeTrace(source, storage), config);
     expectSameIdealResult(from_span, from_source);
 }
 
-TEST(PipelineMachine, SourceOverloadMatchesSpanOverload)
+TEST(PipelineMachine, MaterializedSourceMatchesSpanOverload)
 {
     const auto trace = loopTrace(200, 4);
     PipelineConfig config;
     config.useValuePrediction = true;
     const PipelineResult from_span = runPipelineMachine(trace, config);
     VectorTraceSource source{trace};
-    const PipelineResult from_source =
-        runPipelineMachine(source, config);
+    std::vector<TraceRecord> storage;
+    const PipelineResult from_source = runPipelineMachine(
+        materializeTrace(source, storage), config);
     EXPECT_EQ(from_span.cycles, from_source.cycles);
     EXPECT_EQ(from_span.instructions, from_source.instructions);
     EXPECT_EQ(from_span.branchMispredicts,
