@@ -1,0 +1,379 @@
+"""lock-order: global acquisition-order graph and EXCLUDES violations.
+
+Builds one directed graph over canonical lock identities from two
+evidence sources:
+
+  - observed nesting: a `MutexLock lock(B);` executed while A is held
+    (same function, RAII scope tracking) adds edge A -> B;
+  - call propagation: calling f() while holding A adds A -> B for
+    every lock B that f (or anything f transitively calls) acquires.
+    Callees are resolved nominally — a member call binds only when
+    the receiver's declared type names the candidate's class, so
+    `allDone.wait(...)` on a condition variable never aliases
+    `ThreadPool::wait()`. ACQUIRE() annotations count as direct
+    acquisitions.
+
+Findings:
+
+  - a cycle in the graph (Tarjan SCC of size > 1, or a self-edge):
+    two threads taking the locks in opposite orders can deadlock;
+  - acquiring a lock already held on the same path: self-deadlock,
+    vpsim::Mutex is non-recursive;
+  - calling a function annotated EXCLUDES(M) while M is held: the
+    annotation is the author's statement that the callee takes M (or
+    sleeps on it) — honoring it only when clang's -Wthread-safety
+    happens to be on would make g++ builds silently weaker.
+
+Lock identity: `Class::member` when the expression resolves to a
+Mutex member (via the enclosing class, else a unique owning class),
+`file::name` for file-scope mutexes, else the normalized expression
+text. Unresolvable or ambiguous expressions stay textual — distinct
+nodes can only split a real cycle into silence, never invent one.
+"""
+
+from .model import Block, Stmt, normalize_lock_expr
+from .cppsem import find_calls, local_decl, chain_text
+from .typeenv import TypeEnv, lambda_locals
+
+ID = "lock-order"
+
+
+def run(model, report):
+    ctx = _Context(model)
+    summaries = []
+    for sm in model.files.values():
+        for fn in sm.functions:
+            if fn.body is None:
+                continue
+            summaries.append(_scan_function(ctx, sm, fn))
+
+    _propagate(ctx, summaries)
+    _emit_site_findings(ctx, summaries, report)
+    _emit_cycles(ctx, summaries, report)
+
+
+class _Context:
+    def __init__(self, model):
+        self.model = model
+        self.env = TypeEnv(model)
+        # member name -> set of classes declaring a Mutex of that name
+        self.mutex_owners = {}
+        # name -> file, for file-scope/global mutexes
+        self.global_mutexes = {}
+        for sm in model.files.values():
+            for var in sm.member_vars:
+                if not _is_mutex_type(var.type_text):
+                    continue
+                if var.class_name:
+                    self.mutex_owners.setdefault(
+                        var.name, set()).add(var.class_name)
+                else:
+                    self.global_mutexes[var.name] = var.file
+        # Definitions only (propagation bodies)...
+        self.defs_by_name = model.functions_by_name()
+        # ...and everything including bodyless declarations, which is
+        # where EXCLUDES/REQUIRES annotations live.
+        self.all_by_name = {}
+        for fn in model.all_functions():
+            self.all_by_name.setdefault(fn.name, []).append(fn)
+
+    def lock_key(self, expr, fn):
+        expr = normalize_lock_expr(expr)
+        if not expr:
+            return None
+        last = expr
+        for sep in ("->", ".", "::"):
+            if sep in last:
+                last = last.rsplit(sep, 1)[1]
+        simple = expr == last
+        owners = self.mutex_owners.get(last, set())
+        if simple and fn.class_name and fn.class_name in owners:
+            return "%s::%s" % (fn.class_name, last)
+        if len(owners) == 1:
+            return "%s::%s" % (next(iter(owners)), last)
+        if simple and last in self.global_mutexes:
+            return "%s::%s" % (self.global_mutexes[last], last)
+        if simple:
+            # Unknown bare name: qualify by class/file so unrelated
+            # `mutex` spellings never alias.
+            scope = fn.class_name or fn.file
+            return "%s::%s" % (scope, expr)
+        return expr
+
+    def resolve_def(self, summary, call):
+        """The unique function DEFINITION a call dispatches to, under
+        nominal receiver typing; None when ambiguous/unresolvable."""
+        candidates = self.defs_by_name.get(call.name, [])
+        return self._filter(summary, call, candidates)
+
+    def resolve_annotated(self, summary, call):
+        """All declarations/definitions the call can dispatch to —
+        used for annotation lookup (annotations sit on header
+        declarations, which have no body)."""
+        candidates = self.all_by_name.get(call.name, [])
+        fn = summary.fn
+        if call.receiver is None:
+            if call.name in summary.shadowed:
+                return []
+            return [c for c in candidates
+                    if c.class_name is None or
+                    c.class_name == fn.class_name]
+        cls = self.env.receiver_class(fn, call.receiver,
+                                      summary.local_env)
+        if cls is None:
+            return []
+        return [c for c in candidates if c.class_name == cls]
+
+    def _filter(self, summary, call, candidates):
+        fn = summary.fn
+        if call.receiver is None:
+            if call.name in summary.shadowed:
+                return None
+            cands = [c for c in candidates
+                     if c.class_name is None or
+                     c.class_name == fn.class_name]
+        else:
+            cls = self.env.receiver_class(fn, call.receiver,
+                                          summary.local_env)
+            if cls is None:
+                return None
+            cands = [c for c in candidates if c.class_name == cls]
+        return cands[0] if len(cands) == 1 else None
+
+
+class _Summary:
+    __slots__ = ("fn", "local_env", "shadowed", "direct", "effective",
+                 "edges", "call_sites", "violations")
+
+    def __init__(self, ctx, fn):
+        self.fn = fn
+        self.local_env = ctx.env.locals_of(fn)
+        self.shadowed = lambda_locals(fn)
+        self.direct = set()     # lock keys acquired in the body
+        self.effective = set()  # direct + transitive (fixpoint)
+        self.edges = []         # (held_key, acquired_key, file, line)
+        self.call_sites = []    # (Call, frozenset(held), file, line)
+        self.violations = []    # (file, line, message)
+
+
+def _is_mutex_type(type_text):
+    words = type_text.replace("::", " ").split()
+    return "Mutex" in words
+
+
+def _scan_function(ctx, sm, fn):
+    summary = _Summary(ctx, fn)
+    for expr in fn.annotations.get("acquire", []):
+        key = ctx.lock_key(expr, fn)
+        if key:
+            summary.direct.add(key)
+    held0 = set()
+    for expr in fn.annotations.get("requires", []):
+        key = ctx.lock_key(expr, fn)
+        if key:
+            held0.add(key)
+    _walk(ctx, sm, fn, fn.body.items, set(held0), summary)
+    return summary
+
+
+def _walk(ctx, sm, fn, items, held, summary):
+    """Interpret @p items with RAII scoping: locks taken here are held
+    for the remainder of THIS item list; nested blocks get a copy."""
+    for item in items:
+        if isinstance(item, Stmt):
+            _do_tokens(ctx, sm, fn, item.tokens, item.line, held,
+                       summary)
+            for sub in item.sub_blocks:
+                # Lambda bodies run later, usually on another thread:
+                # they do not inherit this scope's held locks.
+                inherited = set() if sub.kind == "lambda" \
+                    else set(held)
+                _walk(ctx, sm, fn, sub.items, inherited, summary)
+        elif isinstance(item, Block):
+            if item.header:
+                _do_tokens(ctx, sm, fn, item.header, item.line, held,
+                           summary)
+            _walk(ctx, sm, fn, item.items, set(held), summary)
+
+
+def _do_tokens(ctx, sm, fn, tokens, line, held, summary):
+    decl = local_decl(tokens, {"MutexLock"})
+    if decl is not None:
+        _type, _name, init, _idx = decl
+        expr = chain_text(init or [])
+        key = ctx.lock_key(expr, fn)
+        if key:
+            if key in held:
+                summary.violations.append(
+                    (sm.path, line,
+                     "lock '%s' acquired while already held on this "
+                     "path: vpsim::Mutex is non-recursive, this "
+                     "self-deadlocks" % key))
+            else:
+                for prior in sorted(held):
+                    summary.edges.append((prior, key, sm.path, line))
+                summary.direct.add(key)
+                held.add(key)
+        return
+
+    for call in find_calls(tokens):
+        if call.name == "MutexLock":
+            continue
+        summary.call_sites.append(
+            (call, frozenset(held), sm.path, line))
+
+
+def _propagate(ctx, summaries):
+    """effective = direct ∪ (callees' effective), to fixpoint."""
+    by_fn = {id(s.fn): s for s in summaries}
+    for s in summaries:
+        s.effective = set(s.direct)
+    changed = True
+    while changed:
+        changed = False
+        for s in summaries:
+            for call, _held, _file, _line in s.call_sites:
+                callee = ctx.resolve_def(s, call)
+                if callee is None:
+                    continue
+                cs = by_fn.get(id(callee))
+                if cs and not cs.effective <= s.effective:
+                    s.effective |= cs.effective
+                    changed = True
+
+
+def _emit_site_findings(ctx, summaries, report):
+    by_fn = {id(s.fn): s for s in summaries}
+    for s in summaries:
+        for file, line, message in s.violations:
+            report(file, line, ID, message)
+        for call, held, file, line in s.call_sites:
+            if not held:
+                continue
+            for callee in ctx.resolve_annotated(s, call):
+                for expr in callee.annotations.get("excludes", []):
+                    key = ctx.lock_key(expr, callee)
+                    if key in held:
+                        report(
+                            file, line, ID,
+                            "'%s()' is annotated EXCLUDES(%s) but is "
+                            "called while '%s' is held: the callee "
+                            "(re)acquires that mutex" %
+                            (call.name, expr, key))
+            callee = ctx.resolve_def(s, call)
+            if callee is not None:
+                cs = by_fn.get(id(callee))
+                if cs is None:
+                    continue
+                required = {ctx.lock_key(e, callee) for e in
+                            callee.annotations.get("requires", [])}
+                for key in sorted(cs.effective & held):
+                    if key in required:
+                        continue  # callee expects it held, no re-take
+                    report(
+                        file, line, ID,
+                        "calling '%s()' while holding '%s', which it "
+                        "acquires (possibly transitively): "
+                        "self-deadlock on a non-recursive Mutex" %
+                        (call.name, key))
+
+
+def _collect_edges(ctx, summaries):
+    edges = {}
+    for s in summaries:
+        for a, b, file, line in s.edges:
+            edges.setdefault((a, b), (file, line))
+    by_fn = {id(s.fn): s for s in summaries}
+    for s in summaries:
+        for call, held, file, line in s.call_sites:
+            if not held:
+                continue
+            callee = ctx.resolve_def(s, call)
+            if callee is None:
+                continue
+            cs = by_fn.get(id(callee))
+            if cs is None:
+                continue
+            for b in cs.effective:
+                for a in held:
+                    if a != b:
+                        edges.setdefault((a, b), (file, line))
+    return edges
+
+
+def _emit_cycles(ctx, summaries, report):
+    edges = _collect_edges(ctx, summaries)
+    graph = {}
+    for (a, b), _site in edges.items():
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+
+    for scc in _tarjan(graph):
+        nodes = sorted(scc)
+        cyclic = len(nodes) > 1 or (
+            nodes and nodes[0] in graph.get(nodes[0], ()))
+        if not cyclic:
+            continue
+        # Anchor the finding at the lexically first participating edge.
+        sites = sorted(
+            site for (a, b), site in edges.items()
+            if a in scc and b in scc)
+        file, line = sites[0]
+        detail = "; ".join(
+            "%s -> %s (%s:%d)" % (a, b, sf, sl)
+            for (a, b), (sf, sl) in sorted(edges.items())
+            if a in scc and b in scc)
+        report(file, line, ID,
+               "lock-order cycle among {%s}: opposite acquisition "
+               "orders can deadlock [%s]" % (", ".join(nodes), detail))
+
+
+def _tarjan(graph):
+    index = {}
+    lowlink = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    counter = [0]
+
+    def strongconnect(v):
+        # Iterative Tarjan: (node, iterator) frames.
+        work = [(v, iter(sorted(graph.get(v, ()))))]
+        index[v] = lowlink[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = lowlink[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(graph.get(w, ())))))
+                    advanced = True
+                    break
+                elif w in on_stack:
+                    lowlink[node] = min(lowlink[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.add(w)
+                    if w == node:
+                        break
+                sccs.append(scc)
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+    return sccs

@@ -1,0 +1,219 @@
+"""Token-level semantic helpers shared by the checkers: call
+extraction with receiver chains, local-declaration recognition, and
+assignment splitting. All operate on the Stmt/Block model, never on
+raw text."""
+
+from .model import Block, Stmt
+
+
+class Call:
+    """One call expression inside a statement."""
+
+    __slots__ = ("name", "receiver", "qualifier", "args",
+                 "name_index", "line", "arg_index_of")
+
+    def __init__(self, name, receiver, qualifier, args, name_index,
+                 line, arg_index_of):
+        self.name = name            # member/function identifier
+        self.receiver = receiver    # "src", "this", "a.b" or None
+        self.qualifier = qualifier  # "io::" style prefix or ""
+        self.args = args            # [[Token]] split on top commas
+        self.name_index = name_index
+        self.line = line
+        # token-stream index of each argument's first token
+        self.arg_index_of = arg_index_of
+
+
+def find_calls(tokens):
+    """All call expressions in @p tokens, in source order."""
+    calls = []
+    n = len(tokens)
+    for i in range(n - 1):
+        if tokens[i].kind != "ident" or tokens[i + 1].text != "(":
+            continue
+        if tokens[i].text in ("if", "while", "for", "switch", "return",
+                              "sizeof", "alignof", "catch", "new",
+                              "static_cast", "const_cast",
+                              "dynamic_cast", "reinterpret_cast",
+                              "decltype", "noexcept", "assert"):
+            continue
+        # A declaration like `TraceSpan span(x)` is Type Name ( —
+        # identifier directly preceding another identifier means the
+        # earlier one is a type, the later the declared name, so this
+        # "(": constructor args, not a call of `span`.
+        if i >= 1 and tokens[i - 1].kind == "ident" and \
+                tokens[i - 1].text not in ("return", "co_return"):
+            continue
+        close = _match_paren(tokens, i + 1, n)
+        args, arg_starts = _split_call_args(tokens, i + 2, close)
+        receiver, qualifier = _receiver_of(tokens, i)
+        calls.append(Call(tokens[i].text, receiver, qualifier, args,
+                          i, tokens[i].line, arg_starts))
+    return calls
+
+
+def _receiver_of(tokens, name_index):
+    """The receiver chain ("a.b", "this") of a member call whose name
+    sits at @p name_index, or (None, qualifier) for free calls."""
+    i = name_index - 1
+    if i < 0:
+        return None, ""
+    if tokens[i].text == "::":
+        # Namespace/static qualification: collect `a::b::`.
+        parts = []
+        j = i
+        while j - 1 >= 0 and tokens[j].text == "::" and \
+                tokens[j - 1].kind == "ident":
+            parts.insert(0, tokens[j - 1].text)
+            j -= 2
+        return None, "::".join(parts) + "::" if parts else ""
+    if tokens[i].text not in (".", "->"):
+        return None, ""
+    parts = []
+    while i >= 0 and tokens[i].text in (".", "->"):
+        j = i - 1
+        if j >= 0 and tokens[j].text == ")":
+            # A call or parenthesized expr as receiver: keep the
+            # called member as the chain head, e.g. `x.columns().f()`
+            # -> receiver "x.columns()".
+            depth = 0
+            while j >= 0:
+                if tokens[j].text == ")":
+                    depth += 1
+                elif tokens[j].text == "(":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j -= 1
+            j -= 1
+            if j >= 0 and tokens[j].kind == "ident":
+                parts.insert(0, tokens[j].text + "()")
+                i = j - 1
+                continue
+            break
+        if j >= 0 and tokens[j].text == "]":
+            depth = 0
+            while j >= 0:
+                if tokens[j].text == "]":
+                    depth += 1
+                elif tokens[j].text == "[":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j -= 1
+            j -= 1
+            if j >= 0 and tokens[j].kind == "ident":
+                parts.insert(0, tokens[j].text + "[]")
+                i = j - 1
+                continue
+            break
+        if j >= 0 and tokens[j].kind == "ident":
+            parts.insert(0, tokens[j].text)
+            i = j - 1
+            continue
+        break
+    if not parts:
+        return None, ""
+    return ".".join(parts), ""
+
+
+def _split_call_args(tokens, i, close):
+    args = []
+    starts = []
+    current = []
+    current_start = None
+    depth = 0
+    j = i
+    while j < close:
+        text = tokens[j].text
+        if text in "([{":
+            depth += 1
+        elif text in ")]}":
+            depth -= 1
+        if text == "," and depth == 0:
+            args.append(current)
+            starts.append(current_start)
+            current = []
+            current_start = None
+        else:
+            if current_start is None:
+                current_start = j
+            current.append(tokens[j])
+        j += 1
+    if current:
+        args.append(current)
+        starts.append(current_start)
+    return args, starts
+
+
+def _match_paren(tokens, i, n):
+    depth = 0
+    j = i
+    while j < n:
+        if tokens[j].text == "(":
+            depth += 1
+        elif tokens[j].text == ")":
+            depth -= 1
+            if depth == 0:
+                return j
+        j += 1
+    return n - 1
+
+
+def local_decl(tokens, type_names):
+    """If the statement declares a local whose type's last name is in
+    @p type_names, return (type_name, var_name, init_tokens or None,
+    name_index); else None. Handles `const T x`, `T x = ...`,
+    `auto x = ...` (auto is never matched — callers resolve the
+    initializer), `T x(...)`, `T &x = ...`."""
+    i = 0
+    n = len(tokens)
+    while i < n and tokens[i].text in ("const", "static", "constexpr"):
+        i += 1
+    if i >= n or tokens[i].kind != "ident":
+        return None
+    if tokens[i].text not in type_names:
+        return None
+    type_name = tokens[i].text
+    i += 1
+    while i < n and tokens[i].text in ("&", "*", "const"):
+        i += 1
+    if i >= n or tokens[i].kind != "ident":
+        return None
+    name = tokens[i].text
+    name_index = i
+    i += 1
+    if i >= n:
+        return (type_name, name, None, name_index)
+    if tokens[i].text == "=":
+        return (type_name, name, tokens[i + 1:], name_index)
+    if tokens[i].text == "(":
+        close = _match_paren(tokens, i, n)
+        return (type_name, name, tokens[i + 1:close], name_index)
+    return None
+
+
+def top_level_assignment(tokens):
+    """If the statement is `<lhs> = <rhs>` at depth 0 (not ==, not a
+    declaration), return (lhs_tokens, rhs_tokens); else None."""
+    depth = 0
+    for idx, tok in enumerate(tokens):
+        if tok.text in "([{":
+            depth += 1
+        elif tok.text in ")]}":
+            depth -= 1
+        elif tok.text == "=" and depth == 0 and idx > 0:
+            lhs = tokens[:idx]
+            # A declaration has two adjacent identifiers in the LHS
+            # (type then name); a plain assignment never does.
+            for k in range(len(lhs) - 1):
+                if lhs[k].kind == "ident" and \
+                        lhs[k + 1].kind == "ident":
+                    return None
+            return lhs, tokens[idx + 1:]
+    return None
+
+
+def chain_text(tokens):
+    """Joined text of a member-access chain, no spaces."""
+    return "".join(t.text for t in tokens)

@@ -1,0 +1,349 @@
+"""vpsim-analyze engine: file discovery, frontend selection,
+suppression, baseline gating, and the fixture self-test.
+
+Pipeline:  compile_commands.json (+ src headers)  ->  frontend
+(libclang when loadable, internal otherwise)  ->  semantic model  ->
+checkers  ->  findings  ->  `lint:allow` suppression  ->  baseline
+delta.  Exit 0 only when the delta is empty in BOTH directions: a new
+finding must be fixed/suppressed/baselined, and a baseline entry whose
+finding disappeared must be deleted (stale entries hide regressions
+that reintroduce the same finding).
+
+Baseline entries are line-number independent (digits are normalized)
+so pure code motion does not churn the file.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+from . import CHECKERS
+from .frontend_internal import build_model as build_internal
+from .frontend_libclang import FrontendUnavailable, \
+    build_model as build_libclang
+from . import check_span_lifetime, check_status_dataflow, \
+    check_lock_order, check_taxonomy
+
+CHECKER_MODULES = {
+    "span-lifetime": check_span_lifetime,
+    "status-dataflow": check_status_dataflow,
+    "lock-order": check_lock_order,
+    "taxonomy": check_taxonomy,
+}
+assert sorted(CHECKER_MODULES) == sorted(CHECKERS)
+
+ANALYZED_PREFIXES = ("src/", "bench/")
+ALLOW_RE = re.compile(r"lint:allow\s+([\w-]+)")
+EXPECT_RE = re.compile(r"lint:expect\s+([\w-]+)")
+
+
+# ---- file discovery ------------------------------------------------
+
+
+def discover_files(root, compdb_path):
+    """Repo-relative files to analyze: every compile_commands.json TU
+    under src/ or bench/, plus all headers under src/ (contracts live
+    in headers; TU-only coverage would skip header-only helpers).
+    Without a compdb, globs the same prefixes."""
+    root = Path(root)
+    files = set()
+    entries = []
+    if compdb_path and Path(compdb_path).is_file():
+        entries = json.loads(Path(compdb_path).read_text())
+        for entry in entries:
+            try:
+                rel = Path(entry["file"]).resolve().relative_to(
+                    root.resolve())
+            except ValueError:
+                continue
+            rel = rel.as_posix()
+            if rel.startswith(ANALYZED_PREFIXES):
+                files.add(rel)
+    else:
+        for pattern in ("src/**/*.cpp", "bench/**/*.cpp"):
+            for path in root.glob(pattern):
+                files.add(path.relative_to(root).as_posix())
+    for path in root.glob("src/**/*.hpp"):
+        files.add(path.relative_to(root).as_posix())
+    return sorted(files), entries
+
+
+# ---- model + findings ----------------------------------------------
+
+
+def build_model(root, files, entries, frontend, log=print):
+    """(model, frontend_used). frontend: auto|libclang|internal."""
+    if frontend in ("auto", "libclang"):
+        try:
+            return build_libclang(root, files, entries), "libclang"
+        except FrontendUnavailable as err:
+            if frontend == "libclang":
+                raise
+            log("vpsim-analyze: libclang unavailable (%s); using the "
+                "internal frontend" % err, file=sys.stderr)
+    return build_internal(root, files), "internal"
+
+
+class Finding:
+    __slots__ = ("path", "line", "checker", "message")
+
+    def __init__(self, path, line, checker, message):
+        self.path = path
+        self.line = line
+        self.checker = checker
+        self.message = message
+
+    def render(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.checker,
+                                   self.message)
+
+    def baseline_key(self):
+        # Digits normalized so line references inside messages (and
+        # the finding line itself) do not churn the baseline on code
+        # motion; the (path, checker, shape-of-message) triple is
+        # stable.
+        return "%s: [%s] %s" % (self.path, self.checker,
+                                re.sub(r"\d+", "N", self.message))
+
+
+def run_checkers(model, checker_names):
+    findings = []
+
+    def report(path, line, checker, message):
+        findings.append(Finding(path, line, checker, message))
+
+    for name in checker_names:
+        CHECKER_MODULES[name].run(model, report)
+    findings.sort(key=lambda f: (f.path, f.line, f.checker))
+    return findings
+
+
+def apply_suppressions(model, findings):
+    """Drop findings carrying a `lint:allow <checker>` on the flagged
+    line or in the contiguous comment block above it (same convention
+    as scripts/lint_project.py)."""
+    kept = []
+    for f in findings:
+        sm = model.files.get(f.path)
+        if sm is not None and _neighborhood_allows(
+                sm.raw_lines, f.line, f.checker):
+            continue
+        kept.append(f)
+    return kept
+
+
+def _neighborhood_allows(raw_lines, lineno, checker):
+    if 0 <= lineno - 1 < len(raw_lines) and \
+            checker in ALLOW_RE.findall(raw_lines[lineno - 1]):
+        return True
+    candidate = lineno - 2
+    while 0 <= candidate < len(raw_lines):
+        stripped = raw_lines[candidate].lstrip()
+        if not stripped.startswith("//"):
+            break
+        if checker in ALLOW_RE.findall(raw_lines[candidate]):
+            return True
+        candidate -= 1
+    return False
+
+
+# ---- baseline ------------------------------------------------------
+
+
+def load_baseline(path):
+    entries = []
+    if Path(path).is_file():
+        for line in Path(path).read_text().splitlines():
+            line = line.strip()
+            if line and not line.startswith("#"):
+                entries.append(line)
+    return entries
+
+
+def write_baseline(path, findings):
+    lines = [
+        "# vpsim-analyze baseline: pre-existing findings tolerated by",
+        "# the `ast_analyze` gate. Regenerate with",
+        "#   python3 scripts/vpsim_analyze.py --update-baseline",
+        "# Entries are line-number independent (digits normalized).",
+        "# An entry whose finding no longer fires is STALE and fails",
+        "# the gate: delete it when you fix the finding.",
+    ]
+    lines += sorted({f.baseline_key() for f in findings})
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def baseline_delta(findings, baseline_entries):
+    current = {f.baseline_key(): f for f in findings}
+    baseline = set(baseline_entries)
+    new = [f for key, f in sorted(current.items())
+           if key not in baseline]
+    stale = sorted(baseline - set(current))
+    return new, stale
+
+
+# ---- self-test -----------------------------------------------------
+
+
+def self_test(root, checker_names, out=sys.stderr):
+    """Every fixture under tests/lint_fixtures/ast must yield EXACTLY
+    its `lint:expect <checker>` set after suppression. A flat .cpp
+    fixture is modeled alone; a directory fixture is modeled as a
+    mini source tree (paths relative to the fixture directory, so a
+    file at <fixture>/src/trace/x.hpp belongs to subsystem `trace`
+    and cross-subsystem checks are exercisable)."""
+    fixture_root = Path(root) / "tests" / "lint_fixtures" / "ast"
+    if not fixture_root.is_dir():
+        print("vpsim-analyze --self-test: no fixtures at %s"
+              % fixture_root, file=out)
+        return 1
+    failures = 0
+    ran = 0
+    for entry in sorted(fixture_root.iterdir()):
+        if entry.is_dir():
+            files = sorted(
+                p.relative_to(entry).as_posix()
+                for p in entry.rglob("*")
+                if p.suffix in (".cpp", ".hpp"))
+            fixture_base = entry
+        elif entry.suffix == ".cpp":
+            files = [entry.name]
+            fixture_base = fixture_root
+        else:
+            continue
+        ran += 1
+        model = build_internal(fixture_base, files)
+        for err in model.parse_errors:
+            print("vpsim-analyze --self-test: %s: parse error: %s"
+                  % (entry.name, err), file=out)
+            failures += 1
+        findings = apply_suppressions(
+            model, run_checkers(model, checker_names))
+        got = {(f.path, f.checker, f.line) for f in findings}
+        expected = set()
+        for rel in files:
+            text = (fixture_base / rel).read_text()
+            for idx, line in enumerate(text.splitlines(), start=1):
+                for m in EXPECT_RE.finditer(line):
+                    expected.add((rel, m.group(1), idx))
+        unknown = {c for _, c, _ in expected} - set(CHECKER_MODULES)
+        if unknown:
+            print("vpsim-analyze --self-test: %s expects unknown "
+                  "checker(s): %s" % (entry.name,
+                                      ", ".join(sorted(unknown))),
+                  file=out)
+            failures += 1
+        for path, checker, line in sorted(expected - got):
+            print("vpsim-analyze --self-test: %s: seeded %s finding "
+                  "at %s:%d NOT caught" % (entry.name, checker, path,
+                                           line), file=out)
+            failures += 1
+        for path, checker, line in sorted(got - expected):
+            print("vpsim-analyze --self-test: %s: FALSE POSITIVE %s "
+                  "at %s:%d" % (entry.name, checker, path, line),
+                  file=out)
+            failures += 1
+    if ran == 0:
+        print("vpsim-analyze --self-test: no fixtures found",
+              file=out)
+        return 1
+    if failures:
+        print("vpsim-analyze --self-test: FAILED (%d problem(s) "
+              "across %d fixture(s))" % (failures, ran), file=out)
+        return 1
+    print("vpsim-analyze --self-test: OK (%d fixtures, exact match)"
+          % ran)
+    return 0
+
+
+# ---- CLI -----------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="vpsim_analyze.py",
+        description="AST-level semantic checks: %s"
+        % ", ".join(CHECKERS))
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two dirs up)")
+    parser.add_argument("--compdb", default=None,
+                        help="compile_commands.json (default: "
+                        "<root>/build/compile_commands.json)")
+    parser.add_argument("--frontend", default="auto",
+                        choices=("auto", "libclang", "internal"))
+    parser.add_argument("--checkers", default=",".join(CHECKERS),
+                        help="comma-separated subset to run")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file (default: "
+                        "scripts/analysis/baseline.txt)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current "
+                        "findings")
+    parser.add_argument("--list", action="store_true",
+                        help="print every finding (even baselined)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="check every seeded fixture is caught "
+                        "exactly")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root) if args.root else \
+        Path(__file__).resolve().parents[2]
+    checker_names = [c.strip() for c in args.checkers.split(",")
+                     if c.strip()]
+    unknown = set(checker_names) - set(CHECKER_MODULES)
+    if unknown:
+        print("vpsim-analyze: unknown checker(s): %s"
+              % ", ".join(sorted(unknown)), file=sys.stderr)
+        return 2
+
+    if args.self_test:
+        return self_test(root, checker_names)
+
+    compdb = args.compdb or (root / "build" / "compile_commands.json")
+    baseline_path = args.baseline or \
+        (root / "scripts" / "analysis" / "baseline.txt")
+
+    files, entries = discover_files(root, compdb)
+    if not files:
+        print("vpsim-analyze: no files to analyze under %s" % root,
+              file=sys.stderr)
+        return 2
+    model, used = build_model(root, files, entries, args.frontend)
+    for err in model.parse_errors:
+        print("vpsim-analyze: warning: %s" % err, file=sys.stderr)
+
+    findings = apply_suppressions(
+        model, run_checkers(model, checker_names))
+
+    if args.list:
+        for f in findings:
+            print(f.render())
+        print("vpsim-analyze: %d finding(s) over %d files "
+              "(frontend: %s)" % (len(findings), len(files), used))
+        return 0
+
+    if args.update_baseline:
+        write_baseline(baseline_path, findings)
+        print("vpsim-analyze: baseline rewritten with %d entr%s"
+              % (len(findings), "y" if len(findings) == 1 else "ies"))
+        return 0
+
+    new, stale = baseline_delta(findings, load_baseline(baseline_path))
+    for f in new:
+        print(f.render())
+    for key in stale:
+        print("vpsim-analyze: STALE baseline entry (finding no "
+              "longer fires — delete it): %s" % key)
+    if new or stale:
+        print("vpsim-analyze: FAILED — %d new finding(s), %d stale "
+              "baseline entr%s (frontend: %s)"
+              % (len(new), len(stale),
+                 "y" if len(stale) == 1 else "ies", used),
+              file=sys.stderr)
+        return 1
+    print("vpsim-analyze: OK — %d files, %d finding(s) all "
+          "baselined, no drift (frontend: %s)"
+          % (len(files), len(findings), used))
+    return 0

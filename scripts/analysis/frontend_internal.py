@@ -1,0 +1,30 @@
+"""Internal frontend: build the semantic model with the bundled
+lexer/parser — no compiler, no dependencies beyond the Python stdlib.
+
+Used whenever libclang is unavailable (the common case on minimal
+build hosts), and as the reference the self-test always runs, so the
+`ast_analyze` ctest gates every tree regardless of toolchain.
+"""
+
+from pathlib import Path
+
+from .model import Model
+from .parser import parse_source
+
+
+def build_model(root, files):
+    """Parse @p files (repo-relative paths under @p root) into a
+    Model. Files that fail to read are skipped with a note in
+    Model.parse_errors (an unreadable file must not silently shrink
+    the analysis surface — the engine reports these)."""
+    model = Model()
+    model.parse_errors = []
+    for rel in files:
+        path = Path(root) / rel
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as err:
+            model.parse_errors.append("%s: %s" % (rel, err))
+            continue
+        model.add(parse_source(rel, text))
+    return model

@@ -1,0 +1,132 @@
+"""libclang frontend: build the semantic model with clang.cindex.
+
+When the Python bindings and a libclang shared library are available,
+translation units are parsed with the *real* compile flags from
+compile_commands.json, so include resolution, macro configuration and
+enum-value evaluation are the compiler's own. Function/enum extents
+found by clang are then sliced out of the original source text and fed
+through the same statement structurer the internal frontend uses
+(parser.structure_body), so both frontends produce one model dialect
+and every checker behaves identically under either.
+
+Raises FrontendUnavailable when the bindings or the library cannot be
+loaded; the engine falls back to the internal frontend with a warning
+(never a silent skip — see the ast-analyze CI job).
+"""
+
+from pathlib import Path
+
+from .lexer import tokenize
+from .model import Model, EnumDef, FunctionDef, normalize_lock_expr
+from .parser import parse_source, structure_body
+
+
+class FrontendUnavailable(RuntimeError):
+    pass
+
+
+def _load_cindex():
+    try:
+        from clang import cindex
+    except ImportError as err:
+        raise FrontendUnavailable(
+            "python clang bindings not importable: %s" % err)
+    try:
+        index = cindex.Index.create()
+    except Exception as err:  # cindex raises LibclangError and friends
+        raise FrontendUnavailable(
+            "libclang shared library not loadable: %s" % err)
+    return cindex, index
+
+
+def build_model(root, files, compdb_entries):
+    """Parse the translation units of @p compdb_entries whose file is
+    in @p files; headers pulled in by a TU are modeled from the
+    cursors clang visits inside them. Files never reached by any TU
+    (header-only helpers) fall back to the internal parser so the
+    model's coverage matches the internal frontend's."""
+    cindex, index = _load_cindex()
+    root = Path(root)
+    wanted = {str((root / f).resolve()): f for f in files}
+    model = Model()
+    model.parse_errors = []
+    seen = set()
+
+    for entry in compdb_entries:
+        tu_abs = str(Path(entry["file"]).resolve())
+        if tu_abs not in wanted:
+            continue
+        args = _clean_args(entry.get("arguments") or
+                           entry.get("command", "").split())
+        try:
+            tu = index.parse(tu_abs, args=args)
+        except Exception as err:
+            model.parse_errors.append("%s: %s" % (wanted[tu_abs], err))
+            continue
+        for cursor in tu.cursor.get_children():
+            _visit(cindex, cursor, root, wanted, model, seen)
+
+    # Anything not reached through a TU still gets modeled.
+    for abs_path, rel in sorted(wanted.items()):
+        if rel not in model.files:
+            try:
+                text = Path(abs_path).read_text(encoding="utf-8",
+                                                errors="replace")
+            except OSError as err:
+                model.parse_errors.append("%s: %s" % (rel, err))
+                continue
+            model.add(parse_source(rel, text))
+    return model
+
+
+def _clean_args(argv):
+    """Compiler argv -> clang frontend args: drop the compiler, the
+    input file, and output options."""
+    args = []
+    skip_next = False
+    for arg in argv[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if arg in ("-o", "-c"):
+            skip_next = arg == "-o"
+            continue
+        if arg.endswith((".cpp", ".cc", ".o")):
+            continue
+        args.append(arg)
+    return args
+
+
+def _visit(cindex, cursor, root, wanted, model, seen):
+    """Collect function definitions and enums from @p cursor when it
+    lives in a wanted file."""
+    try:
+        loc_file = cursor.location.file
+    except Exception:
+        loc_file = None
+    if loc_file is not None:
+        abs_path = str(Path(loc_file.name).resolve())
+        rel = wanted.get(abs_path)
+        if rel is not None and rel not in model.files:
+            # First time we reach this file through any TU: parse it
+            # once with the shared parser for member/class structure,
+            # then overlay clang's semantically-evaluated enums below.
+            text = Path(abs_path).read_text(encoding="utf-8",
+                                            errors="replace")
+            model.add(parse_source(rel, text))
+        if rel is not None and cursor.kind == cindex.CursorKind.ENUM_DECL \
+                and cursor.spelling:
+            key = (rel, cursor.spelling)
+            if key not in seen:
+                seen.add(key)
+                sm = model.files[rel]
+                sm.enums = [e for e in sm.enums
+                            if e.name != cursor.spelling]
+                sm.enums.append(EnumDef(
+                    cursor.spelling, rel, cursor.location.line,
+                    [(c.spelling, c.enum_value, c.location.line)
+                     for c in cursor.get_children()
+                     if c.kind ==
+                     cindex.CursorKind.ENUM_CONSTANT_DECL]))
+    for child in cursor.get_children():
+        _visit(cindex, child, root, wanted, model, seen)

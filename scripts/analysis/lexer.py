@@ -1,0 +1,178 @@
+"""C++ lexer for the internal analysis frontend.
+
+Produces a flat token stream with line numbers. Comments are dropped;
+string and character literals (including raw strings, which the
+token-level linter's stripper famously mishandles) become single
+placeholder tokens so statement structure survives but nothing inside
+a literal can ever match an identifier pattern.
+
+Preprocessor directives are dropped wholesale: the internal frontend
+analyzes one configuration (the one the tree builds), and conditional
+blocks it cannot evaluate would only desynchronize the brace
+structure. `#include` / `#define` lines carry no statement-level
+semantics the checkers consume.
+"""
+
+from collections import namedtuple
+
+Token = namedtuple("Token", ["kind", "text", "line"])
+
+# Kinds: "ident" (identifiers & keywords), "num", "str", "char",
+# "punct".
+
+# Multi-character operators the parser cares about, longest first.
+_PUNCT3 = ("<<=", ">>=", "...", "->*")
+_PUNCT2 = ("::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+           "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--")
+
+_IDENT_START = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+
+
+def _scan_raw_string(text, i, n):
+    """i points at the opening quote of R"delim( ... )delim"."""
+    j = i + 1
+    while j < n and text[j] != "(":
+        j += 1
+    delim = text[i + 1:j]
+    close = ")" + delim + '"'
+    end = text.find(close, j + 1)
+    if end < 0:
+        return n
+    return end + len(close)
+
+
+def tokenize(text):
+    """The token stream of @p text; see the module docstring."""
+    tokens = []
+    i = 0
+    n = len(text)
+    line = 1
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r\f\v":
+            i += 1
+            continue
+        nxt = text[i + 1] if i + 1 < n else ""
+        # Comments.
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            if j < 0:
+                break
+            line += text.count("\n", i, j + 2)
+            i = j + 2
+            continue
+        # Preprocessor directive: drop through the (continued) line.
+        if ch == "#" and (not tokens or tokens[-1].line != line):
+            while i < n:
+                j = text.find("\n", i)
+                if j < 0:
+                    i = n
+                    break
+                if text[j - 1] == "\\" and j >= 1:
+                    line += 1
+                    i = j + 1
+                    continue
+                i = j  # leave the newline for the main loop
+                break
+            continue
+        # Raw strings: R"( ... )" with optional delimiter, and the
+        # encoding-prefixed forms (u8R, LR, ...).
+        if ch in "RuUL" and tokens is not None:
+            m = _match_string_prefix(text, i, n)
+            if m is not None:
+                start, is_raw = m
+                if is_raw:
+                    end = _scan_raw_string(text, start, n)
+                else:
+                    end = _scan_quoted(text, start, n, text[start])
+                line += text.count("\n", i, end)
+                tokens.append(Token("str", '""', line))
+                i = end
+                continue
+        if ch == '"':
+            end = _scan_quoted(text, i, n, '"')
+            line += text.count("\n", i, end)
+            tokens.append(Token("str", '""', line))
+            i = end
+            continue
+        if ch == "'":
+            # Digit separators (1'000'000) only occur mid-number and
+            # numbers are consumed greedily below, so a bare ' here
+            # starts a character literal.
+            end = _scan_quoted(text, i, n, "'")
+            tokens.append(Token("char", "''", line))
+            i = end
+            continue
+        if ch in _IDENT_START:
+            j = i + 1
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            tokens.append(Token("ident", text[i:j], line))
+            i = j
+            continue
+        if ch.isdigit() or (ch == "." and nxt.isdigit()):
+            j = i + 1
+            while j < n and (text[j] in _IDENT_CONT or text[j] in ".'"
+                             or (text[j] in "+-" and
+                                 text[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+            continue
+        three = text[i:i + 3]
+        if three in _PUNCT3:
+            tokens.append(Token("punct", three, line))
+            i += 3
+            continue
+        two = text[i:i + 2]
+        if two in _PUNCT2:
+            tokens.append(Token("punct", two, line))
+            i += 2
+            continue
+        tokens.append(Token("punct", ch, line))
+        i += 1
+    return tokens
+
+
+def _match_string_prefix(text, i, n):
+    """If a string literal (with encoding/raw prefix) starts at @p i,
+    return (index of its opening quote, is_raw); else None."""
+    j = i
+    if text[j] == "u" and j + 1 < n and text[j + 1] == "8":
+        j += 2
+    elif text[j] in "uUL":
+        j += 1
+    is_raw = j < n and text[j] == "R"
+    if is_raw:
+        j += 1
+    if j == i and not is_raw:
+        return None
+    if j < n and text[j] == '"':
+        return (j, is_raw)
+    return None
+
+
+def _scan_quoted(text, i, n, quote):
+    """i points at the opening quote; returns index past the close."""
+    j = i + 1
+    while j < n:
+        ch = text[j]
+        if ch == "\\":
+            j += 2
+            continue
+        if ch == quote:
+            return j + 1
+        if ch == "\n" and quote == "'":
+            return j  # unterminated char literal; resynchronize
+        j += 1
+    return n

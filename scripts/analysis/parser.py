@@ -1,0 +1,729 @@
+"""Structural C++ parser for the internal analysis frontend.
+
+Builds the semantic model (model.py) from a token stream: namespaces
+and classes for qualified names, enum definitions with evaluated
+literal values, member variable declarations, and function definitions
+with their bodies parsed into Stmt/Block trees.
+
+This is not a general C++ parser — it is a *structural* one: it
+bracket-matches reliably (the lexer guarantees literals cannot confuse
+it), understands declaration contexts, and classifies statements, but
+it does not do overload resolution or template instantiation. The
+checkers are written against exactly the facts it can extract; the
+libclang frontend extracts the same facts with a real compiler and
+feeds the same statement structurer, so the two frontends converge by
+construction.
+"""
+
+from .lexer import tokenize
+from .model import (Block, EnumDef, FunctionDef, SourceModel, Stmt,
+                    VarDecl, normalize_lock_expr)
+
+_CONTROL_KEYWORDS = {"if", "while", "for", "switch", "do", "else",
+                     "return", "catch", "case", "default", "goto",
+                     "break", "continue", "try", "throw", "new",
+                     "delete", "sizeof", "alignof", "static_assert",
+                     "co_return", "co_await", "co_yield"}
+
+_ANNOTATION_MACROS = {"REQUIRES": "requires", "EXCLUDES": "excludes",
+                      "ACQUIRE": "acquire", "RELEASE": "release"}
+
+_OPEN = {"(": ")", "[": "]", "{": "}"}
+
+
+def parse_source(path, text):
+    """Parse @p text into a SourceModel for repo-relative @p path."""
+    sm = SourceModel(path, text.splitlines())
+    tokens = tokenize(text)
+    _Parser(sm, tokens).parse_decl_region(0, len(tokens),
+                                          namespaces=(), class_name=None)
+    return sm
+
+
+def structure_body(tokens, start, end, line):
+    """Parse tokens[start:end] (contents between a function body's
+    braces) into a Block("compound") tree. Shared by both frontends."""
+    items = _parse_statements(tokens, start, end)
+    return Block("compound", [], items, line)
+
+
+class _Parser:
+    def __init__(self, sm, tokens):
+        self.sm = sm
+        self.tokens = tokens
+
+    # ---- declaration regions (namespace / class / top level) --------
+
+    def parse_decl_region(self, i, end, namespaces, class_name):
+        toks = self.tokens
+        while i < end:
+            t = toks[i]
+            if t.text == "namespace" and t.kind == "ident":
+                i = self._parse_namespace(i, end, namespaces,
+                                          class_name)
+            elif t.text in ("class", "struct") and \
+                    self._is_class_definition(i, end):
+                i = self._parse_class(i, end, namespaces)
+            elif t.text == "enum":
+                i = self._parse_enum(i, end)
+            elif t.text == "template":
+                i = self._skip_template_header(i, end)
+            elif t.text in ("using", "typedef", "extern",
+                            "static_assert", "friend"):
+                i = self._skip_to(i, end, ";") + 1
+            elif t.text in ("public", "private", "protected") and \
+                    i + 1 < end and toks[i + 1].text == ":":
+                i += 2
+            elif t.text == ";":
+                i += 1
+            else:
+                i = self._parse_member_or_function(i, end, namespaces,
+                                                  class_name)
+        return i
+
+    def _parse_namespace(self, i, end, namespaces, class_name):
+        toks = self.tokens
+        j = i + 1
+        names = []
+        while j < end and toks[j].text != "{" and toks[j].text != ";":
+            if toks[j].kind == "ident":
+                names.append(toks[j].text)
+            j += 1
+        if j >= end or toks[j].text == ";":  # namespace alias
+            return j + 1
+        close = _match_group(toks, j, end)
+        self.parse_decl_region(j + 1, close, namespaces + tuple(names),
+                               class_name)
+        return close + 1
+
+    def _is_class_definition(self, i, end):
+        """class/struct followed eventually by { before ; at depth 0
+        (else it is a forward declaration or an elaborated type in a
+        declaration)."""
+        toks = self.tokens
+        depth = 0
+        j = i + 1
+        while j < end:
+            text = toks[j].text
+            if text in "(<[":
+                depth += 1
+            elif text in ")>]":
+                depth -= 1
+            elif depth == 0:
+                if text == "{":
+                    return True
+                if text in (";", "=") or (text == ")"):
+                    return False
+            j += 1
+        return False
+
+    def _parse_class(self, i, end, namespaces):
+        toks = self.tokens
+        j = i + 1
+        name = None
+        while j < end and toks[j].text != "{":
+            # The class name is the last plain identifier before a
+            # base-clause ":" or the brace (skips attribute macros like
+            # CAPABILITY("mutex") via their balanced parens).
+            if toks[j].text == "(":
+                j = _match_group(toks, j, end) + 1
+                continue
+            if toks[j].text == ":":
+                break
+            if toks[j].kind == "ident" and toks[j].text != "final":
+                name = toks[j].text
+            j += 1
+        while j < end and toks[j].text != "{":
+            j += 1
+        if j >= end:
+            return end
+        close = _match_group(toks, j, end)
+        if name:
+            self.parse_decl_region(j + 1, close, namespaces, name)
+        return close + 1
+
+    def _parse_enum(self, i, end):
+        toks = self.tokens
+        j = i + 1
+        if j < end and toks[j].text in ("class", "struct"):
+            j += 1
+        name = None
+        if j < end and toks[j].kind == "ident":
+            name = toks[j].text
+            j += 1
+        while j < end and toks[j].text not in ("{", ";"):
+            j += 1
+        if j >= end or toks[j].text == ";":
+            return j + 1
+        close = _match_group(toks, j, end)
+        enumerators = []
+        k = j + 1
+        while k < close:
+            if toks[k].kind == "ident":
+                ename = toks[k].text
+                eline = toks[k].line
+                value = None
+                k += 1
+                if k < close and toks[k].text == "=":
+                    expr_start = k + 1
+                    while k < close and toks[k].text != ",":
+                        if toks[k].text in _OPEN:
+                            k = _match_group(toks, k, close)
+                        k += 1
+                    value = _eval_int(toks[expr_start:k])
+                else:
+                    while k < close and toks[k].text != ",":
+                        k += 1
+                enumerators.append((ename, value, eline))
+            k += 1
+        if name:
+            self.sm.enums.append(EnumDef(name, self.sm.path,
+                                         toks[i].line, enumerators))
+        return close + 1
+
+    def _skip_template_header(self, i, end):
+        toks = self.tokens
+        j = i + 1
+        if j >= end or toks[j].text != "<":
+            return j
+        depth = 0
+        while j < end:
+            text = toks[j].text
+            if text == "<":
+                depth += 1
+            elif text == ">":
+                depth -= 1
+                if depth == 0:
+                    return j + 1
+            elif text == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return j + 1
+            elif text in "([{":
+                j = _match_group(toks, j, end)
+            j += 1
+        return end
+
+    # ---- members and functions --------------------------------------
+
+    def _parse_member_or_function(self, i, end, namespaces,
+                                  class_name):
+        """Parse one declaration starting at @p i: a function
+        definition/declaration or a variable declaration. Returns the
+        index just past it."""
+        toks = self.tokens
+        j = i
+        paren = None  # index of the parameter-list "("
+        name_idx = None
+        while j < end:
+            text = toks[j].text
+            if text == ";":
+                if paren is not None and name_idx is not None:
+                    self._record_function(i, name_idx, paren, None,
+                                          namespaces, class_name,
+                                          qual_end=j)
+                else:
+                    self._record_var(i, j, class_name)
+                return j + 1
+            if text == "=":
+                # Variable with initializer, or = default/delete/0.
+                k = self._skip_to(j, end, ";")
+                if paren is not None and name_idx is not None:
+                    self._record_function(i, name_idx, paren, None,
+                                          namespaces, class_name,
+                                          qual_end=j)
+                else:
+                    self._record_var(i, j, class_name)
+                return k + 1
+            if text == "{":
+                if paren is not None and name_idx is not None:
+                    close = _match_group(toks, j, end)
+                    self._record_function(i, name_idx, paren,
+                                          (j, close), namespaces,
+                                          class_name, qual_end=j)
+                    return close + 1
+                # Brace initializer on a variable: skip the group.
+                j = _match_group(toks, j, end)
+                j += 1
+                continue
+            if text == "(":
+                prev = toks[j - 1] if j > i else None
+                if paren is None and prev is not None and \
+                        prev.kind == "ident" and \
+                        prev.text not in _CONTROL_KEYWORDS:
+                    paren = j
+                    name_idx = j - 1
+                    j = _match_group(toks, j, end) + 1
+                    # Constructor member-init list: scan balanced
+                    # groups until the body brace.
+                    if j < end and toks[j].text == ":":
+                        j = self._skip_ctor_init(j + 1, end)
+                    continue
+                j = _match_group(toks, j, end) + 1
+                continue
+            if text == ":" and paren is None and toks[j - 1].kind == \
+                    "ident" and j > i and toks[i].text == "case":
+                return self._skip_to(j, end, ";") + 1
+            if text in ("operator",):
+                # Skip operator overloads entirely.
+                k = self._skip_to(j, end, "{")
+                semi = self._skip_to(j, end, ";")
+                if semi < k:
+                    return semi + 1
+                if k >= end:
+                    return end
+                return _match_group(toks, k, end) + 1
+            if text == "->":
+                # Trailing return type: scan to the body or semicolon.
+                j += 1
+                continue
+            if text in "[<":
+                grp = _match_group(toks, j, end)
+                if grp > j:
+                    j = grp
+                j += 1
+                continue
+            j += 1
+        return end
+
+    def _skip_ctor_init(self, j, end):
+        """j is just past the ":" of a constructor member-init list;
+        returns the index of the body "{"."""
+        toks = self.tokens
+        while j < end:
+            text = toks[j].text
+            if text.isidentifier() or text == "::":
+                j += 1
+                if j < end and toks[j].text in ("(", "{", "<"):
+                    j = _match_group(toks, j, end) + 1
+                    if j < end and toks[j].text in ("(", "{"):
+                        # templated base: Base<T>{...}
+                        if toks[j - 1].text == ">":
+                            j = _match_group(toks, j, end) + 1
+                continue
+            if text == ",":
+                j += 1
+                continue
+            if text == "{":
+                return j
+            if text == "...":
+                j += 1
+                continue
+            j += 1
+        return end
+
+    def _record_function(self, start, name_idx, paren, body_span,
+                         namespaces, class_name, qual_end):
+        toks = self.tokens
+        name_parts = [toks[name_idx].text]
+        k = name_idx - 1
+        while k - 1 >= start and toks[k].text == "::" and \
+                toks[k - 1].kind == "ident":
+            name_parts.insert(0, toks[k - 1].text)
+            k -= 2
+        name = name_parts[-1]
+        # Out-of-line member definition: Class::name(...)
+        owner = class_name
+        if len(name_parts) >= 2:
+            owner = name_parts[-2]
+        return_tokens = [t for t in toks[start:k + 1]
+                         if t.text not in ("inline", "static",
+                                           "virtual", "explicit",
+                                           "constexpr", "friend",
+                                           "mutable", "typename")]
+        return_tokens = _strip_attributes(return_tokens)
+        # Destructors / constructors have no return type; fine.
+        param_close = _match_group(toks, paren, len(toks))
+        param_tokens = toks[paren + 1:param_close]
+        annotations = self._parse_annotations(param_close + 1,
+                                              qual_end)
+        body = None
+        if body_span is not None:
+            b0, b1 = body_span
+            body = structure_body(toks, b0 + 1, b1, toks[b0].line)
+        qualname = "::".join(namespaces +
+                             ((owner,) if owner else ()) + (name,))
+        self.sm.functions.append(FunctionDef(
+            name, qualname, owner, self.sm.path, toks[name_idx].line,
+            return_tokens, param_tokens, body, annotations))
+
+    def _parse_annotations(self, j, end):
+        """REQUIRES/EXCLUDES/ACQUIRE/RELEASE between the parameter
+        list and the body/semicolon."""
+        toks = self.tokens
+        out = {"requires": [], "excludes": [], "acquire": [],
+               "release": []}
+        while j < end:
+            text = toks[j].text
+            if text in _ANNOTATION_MACROS and j + 1 < end and \
+                    toks[j + 1].text == "(":
+                close = _match_group(toks, j + 1, end)
+                args = _split_args(toks, j + 2, close)
+                out[_ANNOTATION_MACROS[text]].extend(
+                    normalize_lock_expr("".join(a)) for a in args if a)
+                j = close + 1
+                continue
+            if text == "(":
+                j = _match_group(toks, j, end) + 1
+                continue
+            j += 1
+        return out
+
+    def _record_var(self, start, semi, class_name):
+        """Best-effort variable declaration between start and the ;
+        — used for the Mutex-member and container indexes."""
+        toks = self.tokens
+        # Find the declared name: last identifier at depth 0 before
+        # ";", "=", "{", or "(" (initializer).
+        depth = 0
+        name = None
+        name_line = None
+        type_end = None
+        j = start
+        while j < semi:
+            text = toks[j].text
+            if text in "(<[{":
+                depth += 1
+            elif text in ")>]}":
+                depth -= 1
+            elif depth == 0 and text in ("=",):
+                break
+            elif depth == 0 and toks[j].kind == "ident" and \
+                    text not in ("const", "mutable", "static",
+                                 "constexpr", "inline", "GUARDED_BY",
+                                 "PT_GUARDED_BY"):
+                name = text
+                name_line = toks[j].line
+                type_end = j
+            j += 1
+        if name is None or type_end is None or type_end == start:
+            return
+        type_text = " ".join(t.text for t in toks[start:type_end])
+        if not type_text:
+            return
+        self.sm.member_vars.append(VarDecl(name, type_text,
+                                           self.sm.path,
+                                           name_line, class_name))
+
+    def _skip_to(self, i, end, target):
+        toks = self.tokens
+        j = i
+        while j < end:
+            text = toks[j].text
+            if text == target:
+                return j
+            if text in _OPEN and target not in _OPEN.values():
+                j = _match_group(toks, j, end)
+            j += 1
+        return end
+
+
+# ---- statement structurer (shared with the libclang frontend) -------
+
+def _parse_statements(tokens, i, end):
+    items = []
+    while i < end:
+        t = tokens[i]
+        text = t.text
+        if text == ";":
+            i += 1
+            continue
+        if text == "{":
+            close = _match_group(tokens, i, end)
+            items.append(Block("compound", [],
+                               _parse_statements(tokens, i + 1, close),
+                               t.line))
+            i = close + 1
+            continue
+        if text in ("if", "while", "switch") and i + 1 < end and \
+                tokens[i + 1].text == "(":
+            cond_close = _match_group(tokens, i + 1, end)
+            header = list(tokens[i + 2:cond_close])
+            body_items, i2 = _parse_one_statement(tokens,
+                                                  cond_close + 1, end)
+            kind = {"if": "if", "while": "while",
+                    "switch": "switch"}[text]
+            if kind == "switch":
+                body_items = _group_cases(body_items)
+            items.append(Block(kind, header, body_items, t.line))
+            i = i2
+            if text == "if" and i < end and tokens[i].text == "else":
+                else_line = tokens[i].line
+                body_items, i = _parse_one_statement(tokens, i + 1,
+                                                     end)
+                items.append(Block("else", [], body_items, else_line))
+            continue
+        if text == "for" and i + 1 < end and tokens[i + 1].text == "(":
+            cond_close = _match_group(tokens, i + 1, end)
+            header = list(tokens[i + 2:cond_close])
+            body_items, i = _parse_one_statement(tokens,
+                                                 cond_close + 1, end)
+            items.append(Block("for", header, body_items, t.line))
+            continue
+        if text == "do":
+            body_items, i = _parse_one_statement(tokens, i + 1, end)
+            header = []
+            if i < end and tokens[i].text == "while" and \
+                    i + 1 < end and tokens[i + 1].text == "(":
+                cond_close = _match_group(tokens, i + 1, end)
+                header = list(tokens[i + 2:cond_close])
+                i = cond_close + 1
+                if i < end and tokens[i].text == ";":
+                    i += 1
+            items.append(Block("dowhile", header, body_items, t.line))
+            continue
+        if text in ("case", "default"):
+            j = i
+            while j < end and tokens[j].text != ":":
+                j += 1
+            items.append(Block("case", list(tokens[i:j]), [], t.line))
+            i = j + 1
+            continue
+        if text == "try":
+            body_items, i = _parse_one_statement(tokens, i + 1, end)
+            items.append(Block("compound", [], body_items, t.line))
+            while i < end and tokens[i].text == "catch":
+                cond_close = _match_group(tokens, i + 1, end)
+                body_items, i = _parse_one_statement(tokens,
+                                                     cond_close + 1,
+                                                     end)
+                items.append(Block("compound", [], body_items, t.line))
+            continue
+        # Plain statement: accumulate to the ; at depth 0, capturing
+        # any brace groups (lambdas, brace-init) as sub-blocks.
+        stmt_tokens = []
+        sub_blocks = []
+        j = i
+        depth = 0
+        while j < end:
+            tt = tokens[j].text
+            if tt == "{":
+                # A brace group inside a statement: a lambda body or a
+                # brace-init list. Parse it as a nested block so lock
+                # scopes and span uses inside lambdas stay visible,
+                # and keep it out of the statement's own tokens.
+                close = _match_group(tokens, j, end)
+                sub_blocks.append(Block(
+                    "lambda", [],
+                    _parse_statements(tokens, j + 1, close),
+                    tokens[j].line))
+                j = close + 1
+                continue
+            if tt in "([":
+                depth += 1
+            elif tt in ")]":
+                depth -= 1
+            elif tt == ";" and depth <= 0:
+                break
+            stmt_tokens.append(tokens[j])
+            j += 1
+        items.append(Stmt(stmt_tokens, t.line, sub_blocks))
+        i = j + 1
+    return items
+
+
+def _parse_one_statement(tokens, i, end):
+    """The single statement (or brace block) controlled by an
+    if/while/for; returns (items, next_index)."""
+    while i < end and tokens[i].text == ";":
+        return [], i + 1
+    if i < end and tokens[i].text == "{":
+        close = _match_group(tokens, i, end)
+        return _parse_statements(tokens, i + 1, close), close + 1
+    # A single controlled statement — possibly itself an if/for/....
+    items = _parse_statements_limit_one(tokens, i, end)
+    return items
+
+
+def _parse_statements_limit_one(tokens, i, end):
+    """Parse exactly one statement starting at i."""
+    # Reuse the general machinery on a window that we cut after the
+    # first complete statement: simplest is to parse the full region
+    # and take the first item — but that would re-parse repeatedly.
+    # Instead find this statement's extent, then parse just it.
+    t = tokens[i].text
+    if t in ("if", "while", "for", "switch", "do", "try"):
+        ext = _control_extent(tokens, i, end)
+        return _parse_statements(tokens, i, ext), ext
+    j = i
+    depth = 0
+    while j < end:
+        tt = tokens[j].text
+        if tt in "([{":
+            j = _match_group(tokens, j, end)
+        elif tt == ";" and depth == 0:
+            j += 1
+            break
+        j += 1
+    return _parse_statements(tokens, i, j), j
+
+
+def _control_extent(tokens, i, end):
+    """Index just past the control statement starting at i."""
+    t = tokens[i].text
+    j = i + 1
+    if t == "do":
+        j = _statement_extent(tokens, j, end)
+        if j < end and tokens[j].text == "while":
+            j = _match_group(tokens, j + 1, end) + 1
+            if j < end and tokens[j].text == ";":
+                j += 1
+        return j
+    if t == "try":
+        if j < end and tokens[j].text == "{":
+            j = _match_group(tokens, j, end) + 1
+        while j < end and tokens[j].text == "catch":
+            j = _match_group(tokens, j + 1, end) + 1
+            if j < end and tokens[j].text == "{":
+                j = _match_group(tokens, j, end) + 1
+        return j
+    if j < end and tokens[j].text == "(":
+        j = _match_group(tokens, j, end) + 1
+    j = _statement_extent(tokens, j, end)
+    if t == "if" and j < end and tokens[j].text == "else":
+        j = _statement_extent(tokens, j + 1, end)
+    return j
+
+
+def _statement_extent(tokens, i, end):
+    if i >= end:
+        return end
+    t = tokens[i].text
+    if t == "{":
+        return _match_group(tokens, i, end) + 1
+    if t in ("if", "while", "for", "switch", "do", "try"):
+        return _control_extent(tokens, i, end)
+    j = i
+    while j < end:
+        tt = tokens[j].text
+        if tt in "([{":
+            j = _match_group(tokens, j, end)
+        elif tt == ";":
+            return j + 1
+        j += 1
+    return end
+
+
+def _group_cases(items):
+    """Regroup a switch body's flat items so each Block("case") owns
+    the statements through the next label."""
+    out = []
+    current = None
+    for item in items:
+        if isinstance(item, Block) and item.kind == "case":
+            current = Block("case", item.header, [], item.line)
+            out.append(current)
+        elif current is not None:
+            current.items.append(item)
+        else:
+            out.append(item)
+    return out
+
+
+# ---- shared helpers -------------------------------------------------
+
+def _match_group(tokens, i, end):
+    """Index of the token closing the group opened at @p i ("(", "[",
+    "{" — or "<" for template argument lists, best-effort). Returns i
+    if tokens[i] opens nothing."""
+    opener = tokens[i].text
+    if opener == "<":
+        depth = 0
+        j = i
+        while j < end:
+            text = tokens[j].text
+            if text == "<":
+                depth += 1
+            elif text == ">":
+                depth -= 1
+                if depth == 0:
+                    return j
+            elif text == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return j
+            elif text in (";", "{"):
+                return i  # not a template argument list after all
+            elif text in "([":
+                j = _match_group(tokens, j, end)
+            j += 1
+        return i
+    if opener not in _OPEN:
+        return i
+    depth = 0
+    j = i
+    while j < end:
+        text = tokens[j].text
+        if text == opener:
+            depth += 1
+        elif text == _OPEN[opener]:
+            depth -= 1
+            if depth == 0:
+                return j
+        j += 1
+    return end - 1
+
+
+def _split_args(tokens, i, end):
+    """Comma-separated argument texts between i and end."""
+    args = []
+    current = []
+    depth = 0
+    j = i
+    while j < end:
+        text = tokens[j].text
+        if text in "([{<":
+            depth += 1
+        elif text in ")]}>":
+            depth -= 1
+        if text == "," and depth == 0:
+            args.append(current)
+            current = []
+        else:
+            current.append(text)
+        j += 1
+    args.append(current)
+    return args
+
+
+def _strip_attributes(tokens):
+    """Drop [[...]] attribute groups from a token list."""
+    out = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        if tokens[i].text == "[" and i + 1 < n and \
+                tokens[i + 1].text == "[":
+            depth = 0
+            while i < n:
+                if tokens[i].text == "[":
+                    depth += 1
+                elif tokens[i].text == "]":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            i += 1
+            continue
+        out.append(tokens[i])
+        i += 1
+    return out
+
+
+def _eval_int(tokens):
+    """Evaluate a literal integer enumerator value; None when the
+    expression is not a plain (possibly negated) integer literal."""
+    texts = [t.text for t in tokens]
+    neg = False
+    while texts and texts[0] in ("+", "-", "(", ")"):
+        if texts[0] == "-":
+            neg = not neg
+        texts = [t for t in texts[1:] if t not in ("(", ")")]
+    if len(texts) != 1:
+        return None
+    text = texts[0].rstrip("uUlL").replace("'", "")
+    try:
+        value = int(text, 0)
+    except ValueError:
+        return None
+    return -value if neg else value

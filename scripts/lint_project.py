@@ -124,6 +124,23 @@ def strip_comments_and_strings(text):
                 state = "block-comment"
                 out.append("  ")
                 i += 2
+            elif ch == '"' and re.search(r"(?:u8|[uUL])?R\Z",
+                                         text[max(0, i - 3):i]):
+                # Raw string literal R"delim(...)delim": no escape
+                # processing, and embedded quotes must not pop the
+                # string state early (they used to leak literal text
+                # into the scanned code, a false-positive source for
+                # every text-matching rule).
+                open_paren = text.find("(", i + 1)
+                delim = text[i + 1:open_paren] if open_paren != -1 \
+                    else ""
+                closing = ")" + delim + '"'
+                end = text.find(closing, open_paren + 1) \
+                    if open_paren != -1 else -1
+                stop = n if end == -1 else end + len(closing)
+                for j in range(i, stop):
+                    out.append("\n" if text[j] == "\n" else " ")
+                i = stop
             elif ch == '"':
                 state = "string"
                 out.append(" ")
@@ -316,7 +333,12 @@ def unordered_container_vars(text):
             elif text[i] == ">":
                 depth -= 1
             i += 1
-        ident = re.match(r"\s*&?\s*(\w+)\s*[;={(]", text[i:])
+        # `;` / `=` / `{` follow VARIABLE names; a `(` follows a
+        # FUNCTION name (`std::unordered_map<K, V> buildMap(...)`),
+        # which must not register — a same-named ordered variable
+        # iterated elsewhere would be flagged. Direct-init variables
+        # (`map m(16);`) are rare enough in this tree to trade away.
+        ident = re.match(r"\s*&?\s*(\w+)\s*[;={]", text[i:])
         if ident:
             names.add(ident.group(1))
     return names

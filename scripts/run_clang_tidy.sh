@@ -8,8 +8,14 @@
 #   scripts/run_clang_tidy.sh --update-baseline
 #   scripts/run_clang_tidy.sh --build-dir build-tidy
 #
+# The gate fails on ANY drift from the baseline: new findings mean a
+# regression, stale entries mean the baseline lies about the tree —
+# ratchet it down with --update-baseline in the same change that fixed
+# the finding.
+#
 # Exit codes: 0 clean (or tool unavailable — the clang CI job is the
-# enforcement point), 1 new findings, 2 usage/setup error.
+# enforcement point), 1 baseline drift (new or stale findings), 2
+# usage/setup error.
 set -u -o pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -83,14 +89,19 @@ NEW="$(grep -v '^#' "$BASELINE" | sort -u |
 FIXED="$(grep -v '^#' "$BASELINE" | sort -u |
          comm -23 - "$FINDINGS" || true)"
 
+DRIFT=0
 if [ -n "$FIXED" ]; then
-    echo "run_clang_tidy.sh: findings fixed since baseline (rerun" \
-         "with --update-baseline to ratchet down):"
-    echo "$FIXED" | sed 's/^/  /'
+    echo "run_clang_tidy.sh: STALE baseline entries (fixed in the" \
+         "tree; rerun with --update-baseline to ratchet down):" >&2
+    echo "$FIXED" | sed 's/^/  /' >&2
+    DRIFT=1
 fi
 if [ -n "$NEW" ]; then
     echo "run_clang_tidy.sh: NEW findings not in baseline:" >&2
     echo "$NEW" | sed 's/^/  /' >&2
+    DRIFT=1
+fi
+if [ "$DRIFT" -eq 1 ]; then
     exit 1
 fi
 echo "run_clang_tidy.sh: clean against baseline."

@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""AST-level semantic analysis for the vpsim tree.
+
+Thin launcher for scripts/analysis/ (the engine, two frontends, and
+the four checkers: span-lifetime, status-dataflow, lock-order,
+taxonomy). See docs/STATIC_ANALYSIS.md for the checker catalog.
+
+Usage:
+    python3 scripts/vpsim_analyze.py                 # gate vs baseline
+    python3 scripts/vpsim_analyze.py --list          # show everything
+    python3 scripts/vpsim_analyze.py --self-test     # fixture check
+    python3 scripts/vpsim_analyze.py --update-baseline
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from analysis.engine import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -35,6 +35,11 @@ classifyExit(int wait_status)
       case kWorkerExitIo: return StatusCode::kIo;
       case kWorkerExitCorrupt: return StatusCode::kCorrupt;
       case kWorkerExitTimeout: return StatusCode::kTimeout;
+      // Explicit, not via default: the default arm is for codes no
+      // enumerator declares (a crashed or foreign child), and the
+      // taxonomy checker holds every declared code to an explicit
+      // classification.
+      case kWorkerExitInternal: return StatusCode::kInternal;
       default: return StatusCode::kInternal;
     }
 }

@@ -1,0 +1,72 @@
+// Seeded violations for the lock-order checker (vpsim-analyze).
+// Parsed, never compiled: EXCLUDES(...) reads as an annotation macro
+// exactly like src/common/thread_annotations.hpp spells it.
+
+class Mutex {};
+
+class MutexLock {
+  public:
+    explicit MutexLock(Mutex &m);
+};
+
+class Pair {
+  public:
+    void lockAlphaThenBeta();
+    void lockBetaThenAlpha();
+    void reenter();
+    void takeBeta();
+    void nestedSelfDeadlock();
+    void helper() EXCLUDES(alpha);
+    void callsHelperLocked();
+    void checkedHelper();
+
+  private:
+    Mutex alpha;
+    Mutex beta;
+};
+
+// One half of the cycle: alpha -> beta. The cycle finding is anchored
+// at the lexically first participating edge, which is this inner
+// acquisition.
+void Pair::lockAlphaThenBeta() {
+    MutexLock first(alpha);
+    MutexLock second(beta); // lint:expect lock-order
+}
+
+// The other half: beta -> alpha closes the cycle.
+void Pair::lockBetaThenAlpha() {
+    MutexLock first(beta);
+    MutexLock second(alpha);
+}
+
+// Violation: re-acquiring a held non-recursive mutex.
+void Pair::reenter() {
+    MutexLock outer(alpha);
+    MutexLock inner(alpha); // lint:expect lock-order
+}
+
+void Pair::takeBeta() {
+    MutexLock lock(beta);
+}
+
+// Violation: callee (transitively) takes a lock the caller holds.
+void Pair::nestedSelfDeadlock() {
+    MutexLock lock(beta);
+    takeBeta(); // lint:expect lock-order
+}
+
+// Violation: the EXCLUDES annotation on helper() says it must not be
+// entered with alpha held.
+void Pair::callsHelperLocked() {
+    MutexLock lock(alpha);
+    helper(); // lint:expect lock-order
+}
+
+// Suppressed: in this configuration the helper only probes the flag
+// and never blocks on alpha.
+void Pair::checkedHelper() {
+    MutexLock lock(alpha);
+    // Probe-only path, cannot block on alpha here.
+    // lint:allow lock-order
+    helper();
+}

@@ -1,0 +1,92 @@
+// Seeded violations for the span-lifetime checker (vpsim-analyze).
+//
+// Parsed by the analyzer, never compiled: the stubs below carry the
+// NAMES the checker keys on (TraceSpan, TraceSource::nextBlock, ...),
+// not real behavior. Every line that must be flagged carries an
+// expect tag (lint colon expect + checker id); the self-test requires
+// the exact set — a false positive anywhere else in this file fails
+// too.
+
+struct TraceRecord {
+    int pc;
+};
+
+class TraceSpan {
+  public:
+    const TraceRecord *begin() const;
+    const TraceRecord *end() const;
+};
+
+class TraceSource {
+  public:
+    bool nextBlock(TraceSpan &out, int limit);
+    void reset();
+};
+
+class Holder {
+  public:
+    void remember(TraceSource &source);
+
+  private:
+    TraceSpan keep;
+};
+
+// Violation: `a` is read after the second delivery into `b` recycled
+// the source's block buffer.
+int sumStaleAcrossDeliveries(TraceSource &source) {
+    TraceSpan a;
+    TraceSpan b;
+    if (!source.nextBlock(a, 64))
+        return 0;
+    if (!source.nextBlock(b, 64))
+        return 0;
+    return static_cast<int>(a.end() - a.begin()); // lint:expect span-lifetime
+}
+
+// Violation: `firstBlock` kept across the refilling loop header.
+int sumStaleInLoop(TraceSource &source) {
+    TraceSpan firstBlock;
+    TraceSpan block;
+    int total = 0;
+    if (!source.nextBlock(firstBlock, 64))
+        return 0;
+    while (source.nextBlock(block, 64))
+        total += static_cast<int>(block.begin() - firstBlock.begin()); // lint:expect span-lifetime
+    return total;
+}
+
+// Violation: a borrowed span stored into a member outlives the scope
+// that guarantees the source is alive.
+void Holder::remember(TraceSource &source) {
+    TraceSpan span;
+    if (!source.nextBlock(span, 32))
+        return;
+    keep = span; // lint:expect span-lifetime
+}
+
+// Clean: the failure branch of a negated probe leaves earlier spans
+// valid (the source.hpp contract), and returning a span BY VALUE is
+// the documented pass-through idiom.
+TraceSpan firstOrEmpty(TraceSource &source) {
+    TraceSpan first;
+    TraceSpan probe;
+    if (!source.nextBlock(first, 64))
+        return TraceSpan();
+    if (!source.nextBlock(probe, 1))
+        return first;
+    return TraceSpan();
+}
+
+// Suppressed: this helper is only ever handed vector-backed sources,
+// whose spans survive later deliveries.
+int vectorBackedOnly(TraceSource &source) {
+    TraceSpan a;
+    TraceSpan b;
+    if (!source.nextBlock(a, 64))
+        return 0;
+    if (!source.nextBlock(b, 64))
+        return 0;
+    // Vector-backed source by construction in this harness; spans are
+    // stable across deliveries. lint:allow span-lifetime
+    return static_cast<int>(b.begin() - a.begin());
+}

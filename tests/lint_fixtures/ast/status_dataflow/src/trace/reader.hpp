@@ -1,0 +1,17 @@
+// status-dataflow fixture, trace side: Status producers whose home
+// subsystem is `trace` (this mini-tree mirrors the repo layout, so
+// cross-subsystem propagation is exercisable). Parsed, never
+// compiled.
+
+class Status {
+  public:
+    static Status ok();
+    static Status error(int code, const char *message);
+    static Status wrap(int code, const char *message,
+                       const Status &cause);
+    bool isOk() const;
+    int code() const;
+};
+
+Status loadBlock();
+Status verifyBlock();

@@ -81,6 +81,39 @@ seededUnorderedOutput()
     return total;
 }
 
+// Fixed FP class: a FUNCTION whose return type is an unordered map
+// must not register its NAME as a container variable. The range-for
+// below walks a same-named ORDERED vector and must stay quiet.
+std::unordered_map<int, double> snapshotCells();
+
+double
+sumOrderedSnapshot(const std::vector<double> &snapshotCells)
+{
+    double total = 0.0;
+    for (double cell : snapshotCells)
+        total += cell;
+    return total;
+}
+
+// Fixed FP class: the embedded quotes in a raw string used to pop the
+// stripper's string state early, leaking the literal's text — here a
+// phantom unordered_map declaration — into the scanned code, which
+// then flagged the ordered loop below.
+inline const char *
+manifestTemplate()
+{
+    return R"json({"kind": "std::unordered_map<int, double> phantomCells;"})json";
+}
+
+double
+sumOrderedCells(const std::vector<double> &phantomCells)
+{
+    double total = 0.0;
+    for (double cell : phantomCells)
+        total += cell;
+    return total;
+}
+
 class SeededRawMutex
 {
     // [raw-mutex] Invisible to the thread-safety analysis; GUARDED_BY
